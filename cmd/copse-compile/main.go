@@ -1,0 +1,91 @@
+// Command copse-compile is the COPSE staging compiler: it reads a
+// decision-forest model in the text format, restructures it into the
+// vectorizable form of the paper's §4.2, and writes a compiled artifact.
+// With -emit it additionally generates a standalone Go program
+// specialized to the model (the analogue of the paper's generated C++).
+//
+// Usage:
+//
+//	copse-compile -model income5.forest -out income5.copse
+//	copse-compile -model income5.forest -slots 2048 -emit main.go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"copse"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("copse-compile: ")
+
+	modelPath := flag.String("model", "", "input model in COPSE text format")
+	slots := flag.Int("slots", 1024, "target packing width (1024 = BGV test preset, 2048 = demo preset)")
+	padK := flag.Int("padk", 0, "pad feature multiplicity to this bound instead of revealing exact K (0 = exact)")
+	out := flag.String("out", "", "output artifact path")
+	emit := flag.String("emit", "", "also emit a standalone Go program to this path")
+	flag.Parse()
+
+	if *modelPath == "" {
+		log.Fatal("need -model FILE")
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	forest, err := copse.ParseModel(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	compiled, err := copse.Compile(forest, copse.CompileOptions{
+		Slots:             *slots,
+		PadMultiplicityTo: *padK,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := compiled.Meta
+	fmt.Fprintf(os.Stderr, "staged %s\n", m.String())
+	fmt.Fprintf(os.Stderr, "  padded widths: q̂=%d b̂=%d; rotation keys: %d; recommended BGV levels: %d\n",
+		m.QPad, m.BPad, len(m.RotationSteps), m.RecommendedLevels)
+	fmt.Fprintf(os.Stderr, "  ct-ct depth: %d (encrypted model) / %d (plaintext model)\n",
+		m.CtDepthCipherModel, m.CtDepthPlainModel)
+
+	if *out != "" {
+		w, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := copse.WriteArtifact(w, compiled); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote artifact %s\n", *out)
+	}
+	if *emit != "" {
+		w, err := os.Create(*emit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := copse.GenerateProgram(w, compiled); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "emitted program %s\n", *emit)
+	}
+	if *out == "" && *emit == "" {
+		if err := copse.WriteArtifact(os.Stdout, compiled); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

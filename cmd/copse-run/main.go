@@ -1,0 +1,118 @@
+// Command copse-run serves secure inference from a compiled artifact: it
+// plays all three parties (Maurice loads and encrypts the model, Diane
+// encrypts the features, Sally classifies) and reports the result, the
+// per-stage timing, and what the server could infer from ciphertext
+// shapes alone.
+//
+// Usage:
+//
+//	copse-run -artifact income5.copse -features 30,9,40,0,0,3,7,1
+//	copse-run -artifact m.copse -features 3,5 -backend clear -scenario servermodel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"copse"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("copse-run: ")
+
+	artifact := flag.String("artifact", "", "compiled model artifact")
+	featArg := flag.String("features", "", "comma-separated quantized feature values")
+	backendArg := flag.String("backend", "bgv", "bgv or clear")
+	scenarioArg := flag.String("scenario", "offload", "offload, servermodel, or clienteval")
+	workers := flag.Int("workers", 1, "intra-query parallelism")
+	seed := flag.Uint64("seed", 0, "deterministic keys/encryption when non-zero")
+	flag.Parse()
+
+	if *artifact == "" || *featArg == "" {
+		log.Fatal("need -artifact FILE and -features LIST")
+	}
+	f, err := os.Open(*artifact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	compiled, err := copse.ReadArtifact(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := copse.SystemConfig{Workers: *workers, Seed: *seed}
+	switch *backendArg {
+	case "bgv":
+		cfg.Backend = copse.BackendBGV
+		switch compiled.Meta.Slots {
+		case 1024:
+			cfg.Security = copse.SecurityTest
+		case 2048:
+			cfg.Security = copse.SecurityDemo
+		case 16384:
+			cfg.Security = copse.Security128
+		default:
+			log.Fatalf("no BGV preset with %d slots; recompile with -slots 1024 or 2048", compiled.Meta.Slots)
+		}
+	case "clear":
+		cfg.Backend = copse.BackendClear
+	default:
+		log.Fatalf("unknown backend %q", *backendArg)
+	}
+	switch *scenarioArg {
+	case "offload":
+		cfg.Scenario = copse.ScenarioOffload
+	case "servermodel":
+		cfg.Scenario = copse.ScenarioServerModel
+	case "clienteval":
+		cfg.Scenario = copse.ScenarioClientEval
+	default:
+		log.Fatalf("unknown scenario %q", *scenarioArg)
+	}
+
+	var features []uint64
+	for _, part := range strings.Split(*featArg, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			log.Fatalf("bad feature %q: %v", part, err)
+		}
+		features = append(features, v)
+	}
+
+	sys, err := copse.NewSystem(compiled, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	query, err := sys.Diane.EncryptQuery(features)
+	if err != nil {
+		log.Fatal(err)
+	}
+	encrypted, trace, err := sys.Sally.Classify(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := sys.Diane.DecryptResult(encrypted)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	meta := sys.Sally.Meta()
+	fmt.Printf("model: %s\n", meta)
+	fmt.Printf("per-tree labels:")
+	for _, l := range result.PerTree {
+		fmt.Printf(" %s", meta.LabelNames[l])
+	}
+	fmt.Println()
+	fmt.Printf("plurality: %s\n", meta.LabelNames[result.Plurality()])
+	fmt.Printf("stage times: compare=%v reshuffle=%v levels=%v accumulate=%v total=%v\n",
+		trace.Compare, trace.Reshuffle, trace.Levels, trace.Accumulate, trace.Total)
+	view := sys.Sally.ServerView()
+	fmt.Printf("server-inferable structure: q̂=%d b̂=%d d=%d p=%d\n", view.QPad, view.BPad, view.D, view.P)
+	fmt.Printf("backend ops: %v\n", sys.Backend().Counts())
+}

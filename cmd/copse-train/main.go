@@ -1,0 +1,91 @@
+// Command copse-train fits a random forest (the library's scikit-learn
+// stand-in) on a CSV dataset or one of the built-in synthetic datasets,
+// and writes the quantized model in the COPSE text format.
+//
+// Usage:
+//
+//	copse-train -dataset income -trees 5 -out income5.forest
+//	copse-train -csv data.csv -trees 15 -depth 8 -out model.forest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"copse"
+	"copse/internal/synth"
+	"copse/internal/train"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("copse-train: ")
+
+	csvPath := flag.String("csv", "", "CSV dataset (header row, float features, label in last column)")
+	dataset := flag.String("dataset", "", "built-in synthetic dataset: income or soccer")
+	rows := flag.Int("rows", 3000, "rows to generate for built-in datasets")
+	trees := flag.Int("trees", 5, "number of trees")
+	depth := flag.Int("depth", 7, "maximum tree depth")
+	minLeaf := flag.Int("minleaf", 8, "minimum samples per leaf")
+	precision := flag.Int("precision", 8, "fixed-point precision bits")
+	seed := flag.Uint64("seed", 1, "training seed")
+	out := flag.String("out", "", "output model path (default stdout)")
+	flag.Parse()
+
+	var x [][]float64
+	var y []int
+	var labels []string
+	switch {
+	case *csvPath != "":
+		f, err := os.Open(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		var err2 error
+		x, y, _, labels, err2 = train.LoadCSV(f)
+		if err2 != nil {
+			log.Fatal(err2)
+		}
+	case *dataset == "income":
+		ds := synth.Income(*rows, *seed)
+		x, y, labels = ds.X, ds.Y, ds.Labels
+	case *dataset == "soccer":
+		ds := synth.Soccer(*rows, *seed)
+		x, y, labels = ds.X, ds.Y, ds.Labels
+	default:
+		log.Fatal("need -csv FILE or -dataset income|soccer")
+	}
+
+	tm, err := copse.Train(x, y, labels, copse.TrainConfig{
+		NumTrees:  *trees,
+		MaxDepth:  *depth,
+		MinLeaf:   *minLeaf,
+		Precision: *precision,
+		Seed:      *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := tm.Accuracy(x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := tm.Forest
+	fmt.Fprintf(os.Stderr, "trained %d trees: depth=%d branches=%d leaves=%d K=%d train-accuracy=%.3f\n",
+		len(f.Trees), f.Depth(), f.Branches(), f.Leaves(), f.MaxMultiplicity(), acc)
+
+	w := os.Stdout
+	if *out != "" {
+		w, err = os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer w.Close()
+	}
+	if err := copse.FormatModel(w, f); err != nil {
+		log.Fatal(err)
+	}
+}

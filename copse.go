@@ -1,0 +1,326 @@
+// Package copse is a vectorized secure decision-forest inference system:
+// a Go implementation of COPSE (Malik, Singhal, Gottfried, Kulkarni:
+// "Vectorized Secure Evaluation of Decision Forests", PLDI 2021).
+//
+// COPSE evaluates an entire decision forest under fully homomorphic
+// encryption as four packed (SIMD) stages — compare, reshuffle,
+// level-process, accumulate — instead of a sequential tree walk. The
+// model owner (Maurice) compiles and encrypts the forest; the data owner
+// (Diane) encrypts feature vectors; an untrusted server (Sally) runs the
+// inference without learning either.
+//
+// The typical flow:
+//
+//	forest, _ := copse.ParseModel(r)                    // or copse.Train(...)
+//	compiled, _ := copse.Compile(forest, copse.CompileOptions{Slots: 1024})
+//	sys, _ := copse.NewSystem(compiled, copse.SystemConfig{
+//		Backend:  copse.BackendBGV,
+//		Scenario: copse.ScenarioOffload,
+//	})
+//	query, _ := sys.Diane.EncryptQuery([]uint64{3, 5})
+//	encrypted, _, _ := sys.Sally.Classify(query)
+//	result, _ := sys.Diane.DecryptResult(encrypted)
+//	fmt.Println(result.Plurality())
+package copse
+
+import (
+	"fmt"
+	"io"
+
+	"copse/internal/bgv"
+	"copse/internal/core"
+	"copse/internal/he"
+	"copse/internal/he/hebgv"
+	"copse/internal/he/heclear"
+	"copse/internal/model"
+)
+
+// Model types and serialization, re-exported from the model package.
+type (
+	// Forest is a decision-forest model.
+	Forest = model.Forest
+	// Tree is a single decision tree.
+	Tree = model.Tree
+	// Node is a tree node.
+	Node = model.Node
+)
+
+// ParseModel reads a forest in the COPSE text format.
+func ParseModel(r io.Reader) (*Forest, error) { return model.Parse(r) }
+
+// ParseModelString parses a forest from a string.
+func ParseModelString(s string) (*Forest, error) { return model.ParseString(s) }
+
+// FormatModel writes a forest in the COPSE text format.
+func FormatModel(w io.Writer, f *Forest) error { return model.Format(w, f) }
+
+// ExampleForest returns the paper's Figure 1 running example.
+func ExampleForest() *Forest { return model.Figure1() }
+
+// Compiler types, re-exported from the core package.
+type (
+	// CompileOptions controls staging.
+	CompileOptions = core.Options
+	// Compiled is a staged model.
+	Compiled = core.Compiled
+	// Meta holds a compiled model's structural parameters.
+	Meta = core.Meta
+	// Query is a prepared (usually encrypted) feature vector.
+	Query = core.Query
+	// Result is a decoded classification.
+	Result = core.Result
+	// Trace is the per-stage timing breakdown of one inference.
+	Trace = core.Trace
+	// Scenario is a party configuration (paper §7.1).
+	Scenario = core.Scenario
+	// Party is a notional protocol party.
+	Party = core.Party
+	// Leakage describes what a party learns in a scenario.
+	Leakage = core.Leakage
+)
+
+// Party configurations (see paper §7.1 and Tables 3–4).
+const (
+	// ScenarioOffload: model and data owned by the same party, compute
+	// offloaded to an untrusted server (model and features encrypted).
+	ScenarioOffload = core.ScenarioOffload
+	// ScenarioServerModel: the server owns the model in plaintext;
+	// clients send encrypted features.
+	ScenarioServerModel = core.ScenarioServerModel
+	// ScenarioClientEval: the client evaluates an encrypted model on
+	// its own plaintext features.
+	ScenarioClientEval = core.ScenarioClientEval
+	// ScenarioThreeParty and the collusion variants model the
+	// three-physical-party analysis of Table 4.
+	ScenarioThreeParty = core.ScenarioThreeParty
+	ScenarioColludeSM  = core.ScenarioColludeSM
+	ScenarioColludeSD  = core.ScenarioColludeSD
+)
+
+// Notional parties.
+const (
+	PartyServer     = core.PartyServer
+	PartyModelOwner = core.PartyModelOwner
+	PartyDataOwner  = core.PartyDataOwner
+)
+
+// Revealed returns the leakage-table entry for a scenario and party.
+func Revealed(s Scenario, p Party) Leakage { return core.Revealed(s, p) }
+
+// Compile stages a forest into its vectorizable form: the padded
+// threshold vector, reshuffling matrix, level matrices and masks of
+// §4.2, plus the rotation-key set and parameter recommendation.
+func Compile(f *Forest, opts CompileOptions) (*Compiled, error) {
+	return core.Compile(f, opts)
+}
+
+// WriteArtifact serializes a compiled model.
+func WriteArtifact(w io.Writer, c *Compiled) error { return core.WriteArtifact(w, c) }
+
+// ReadArtifact deserializes a compiled model.
+func ReadArtifact(r io.Reader) (*Compiled, error) { return core.ReadArtifact(r) }
+
+// GenerateProgram emits a standalone Go program specialized to the
+// compiled model — the staging-compiler output of the paper's §5
+// (there it is C++ linking the runtime; here it is Go driving this
+// package's API).
+func GenerateProgram(w io.Writer, c *Compiled) error { return core.GenerateProgram(w, c) }
+
+// BackendKind selects the homomorphic backend.
+type BackendKind int
+
+const (
+	// BackendBGV runs on real RLWE/BGV ciphertexts.
+	BackendBGV BackendKind = iota
+	// BackendClear runs the identical dataflow on a noise-free
+	// reference backend: exact semantics, no cryptography. Useful for
+	// testing and for algorithmic scaling studies.
+	BackendClear
+)
+
+// SecurityPreset selects the BGV lattice dimension.
+type SecurityPreset int
+
+const (
+	// SecurityTest: N=2048 (1024 slots). Functionally faithful;
+	// dimension far below 128-bit security. Fast.
+	SecurityTest SecurityPreset = iota
+	// SecurityDemo: N=4096 (2048 slots), fits the largest models.
+	SecurityDemo
+	// Security128: N=32768, matching the paper's security parameter at
+	// COPSE's depths. Very slow in pure Go.
+	Security128
+)
+
+// SystemConfig configures NewSystem.
+type SystemConfig struct {
+	Backend  BackendKind
+	Scenario Scenario
+	Security SecurityPreset
+	// Workers is the intra-query parallelism (the paper's
+	// multithreaded mode); 0 or 1 means single-threaded.
+	Workers int
+	// ReuseRotations enables the rotation-hoisting ablation (DESIGN.md §6).
+	ReuseRotations bool
+	// Levels overrides the compiler's recommended BGV chain length.
+	Levels int
+	// Seed, when non-zero, makes key generation and encryption
+	// deterministic (tests and reproducible experiments only).
+	Seed uint64
+}
+
+// System wires the three parties around a shared backend, mirroring the
+// workflow of Figure 2.
+type System struct {
+	Maurice *ModelOwner
+	Diane   *DataOwner
+	Sally   *Server
+
+	backend he.Backend
+	cfg     SystemConfig
+}
+
+// ModelOwner (Maurice) holds the compiled model and knows its private
+// structure.
+type ModelOwner struct {
+	Compiled *Compiled
+}
+
+// DataOwner (Diane) prepares queries and decrypts results.
+type DataOwner struct {
+	sys *System
+}
+
+// Server (Sally) executes inference over operands it cannot read.
+type Server struct {
+	sys    *System
+	engine *core.Engine
+	model  *core.ModelOperands
+}
+
+// NewSystem instantiates the parties for a compiled model: it builds the
+// backend (generating keys for exactly the rotations the compiler
+// emitted), encrypts or encodes the model per the scenario, and returns
+// the wired parties.
+func NewSystem(c *Compiled, cfg SystemConfig) (*System, error) {
+	var backend he.Backend
+	switch cfg.Backend {
+	case BackendClear:
+		backend = heclear.New(c.Meta.Slots, 65537)
+	case BackendBGV:
+		levels := cfg.Levels
+		if levels == 0 {
+			levels = c.Meta.RecommendedLevels
+		}
+		var params bgv.Params
+		switch cfg.Security {
+		case SecurityTest:
+			params = bgv.TestParams(levels)
+		case SecurityDemo:
+			params = bgv.DemoParams(levels)
+		case Security128:
+			params = bgv.Secure128Params(levels)
+		default:
+			return nil, fmt.Errorf("copse: unknown security preset %d", cfg.Security)
+		}
+		if slots := 1 << (params.LogN - 1); slots != c.Meta.Slots {
+			return nil, fmt.Errorf("copse: model staged for %d slots but preset provides %d; recompile with Slots=%d",
+				c.Meta.Slots, slots, slots)
+		}
+		b, err := hebgv.New(hebgv.Config{
+			Params:        params,
+			RotationSteps: c.Meta.RotationSteps,
+			Seed:          cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		backend = b
+	default:
+		return nil, fmt.Errorf("copse: unknown backend kind %d", cfg.Backend)
+	}
+
+	encryptModel, _, err := scenarioEncryption(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	operands, err := core.Prepare(backend, c, encryptModel)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{backend: backend, cfg: cfg}
+	sys.Maurice = &ModelOwner{Compiled: c}
+	sys.Diane = &DataOwner{sys: sys}
+	sys.Sally = &Server{
+		sys: sys,
+		engine: &core.Engine{
+			Backend:           backend,
+			Workers:           cfg.Workers,
+			SkipZeroDiagonals: !encryptModel,
+			ReuseRotations:    cfg.ReuseRotations,
+		},
+		model: operands,
+	}
+	return sys, nil
+}
+
+// scenarioEncryption maps a scenario to (model encrypted, features
+// encrypted).
+func scenarioEncryption(s Scenario) (encModel, encFeats bool, err error) {
+	switch s {
+	case ScenarioOffload, ScenarioThreeParty, ScenarioColludeSM, ScenarioColludeSD:
+		return true, true, nil
+	case ScenarioServerModel:
+		return false, true, nil
+	case ScenarioClientEval:
+		return true, false, nil
+	}
+	return false, false, fmt.Errorf("copse: unknown scenario %d", s)
+}
+
+// Backend exposes the underlying homomorphic backend (for op counting
+// and diagnostics).
+func (s *System) Backend() he.Backend { return s.backend }
+
+// EncryptQuery prepares a quantized feature vector per the scenario:
+// replicated to the model's maximum multiplicity K, padded,
+// bit-transposed, and encrypted (left plaintext in ScenarioClientEval).
+func (d *DataOwner) EncryptQuery(features []uint64) (*Query, error) {
+	_, encFeats, err := scenarioEncryption(d.sys.cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	return core.PrepareQuery(d.sys.backend, &d.sys.Sally.model.Meta, features, encFeats)
+}
+
+// EncryptedResult is Sally's output: the encrypted N-hot leaf bitvector.
+type EncryptedResult struct {
+	op he.Operand
+}
+
+// Classify runs Algorithm 1 on an encrypted query.
+func (s *Server) Classify(q *Query) (*EncryptedResult, *Trace, error) {
+	op, trace, err := s.engine.Classify(s.model, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &EncryptedResult{op: op}, trace, nil
+}
+
+// ServerView reports what the server can infer from artifact shapes
+// alone (the executable form of Table 3's leakage).
+func (s *Server) ServerView() core.ServerView {
+	return core.InferServerView(s.model)
+}
+
+// DecryptResult decrypts and decodes a classification.
+func (d *DataOwner) DecryptResult(r *EncryptedResult) (*Result, error) {
+	slots, err := he.Reveal(d.sys.backend, r.op)
+	if err != nil {
+		return nil, err
+	}
+	return core.DecodeResult(&d.sys.Sally.model.Meta, slots)
+}
+
+// Meta exposes the compiled model's public parameters.
+func (s *Server) Meta() *Meta { return &s.model.Meta }

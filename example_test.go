@@ -1,0 +1,61 @@
+package copse_test
+
+import (
+	"fmt"
+	"log"
+
+	"copse"
+)
+
+// Example runs the paper's Figure 1 walkthrough on the exact reference
+// backend: the input (x, y) = (0, 5) classifies as L4.
+func Example() {
+	forest := copse.ExampleForest()
+	compiled, err := copse.Compile(forest, copse.CompileOptions{Slots: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := copse.NewSystem(compiled, copse.SystemConfig{
+		Backend:  copse.BackendClear,
+		Scenario: copse.ScenarioOffload,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	query, err := sys.Diane.EncryptQuery([]uint64{0, 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	encrypted, _, err := sys.Sally.Classify(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := sys.Diane.DecryptResult(encrypted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(forest.Labels[result.PerTree[0]])
+	// Output: L4
+}
+
+// ExampleRevealed shows the executable leakage model of the paper's
+// Table 3: in the offloading scenario the server learns the quantized
+// branching, branch count and depth, and nothing else.
+func ExampleRevealed() {
+	l := copse.Revealed(copse.ScenarioOffload, copse.PartyServer)
+	fmt.Println(l.Q, l.B, l.D, l.K, l.Everything)
+	// Output: true true true false false
+}
+
+// ExampleCompile shows the structural parameters the staging compiler
+// derives from the Figure 1 tree — the same K=3, q=6, b=5 the paper
+// walks through in §4.1.1.
+func ExampleCompile() {
+	compiled, err := copse.Compile(copse.ExampleForest(), copse.CompileOptions{Slots: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := compiled.Meta
+	fmt.Printf("K=%d q=%d b=%d d=%d\n", m.K, m.Q, m.B, m.D)
+	// Output: K=3 q=6 b=5 d=3
+}

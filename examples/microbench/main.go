@@ -1,0 +1,40 @@
+// Microbench: the sensitivity study of the paper's §8.4 (Figure 10) —
+// how the four pipeline stages respond to tree depth, branch count, and
+// fixed-point precision, on the Table 6 microbenchmark models.
+//
+// Run with: go run ./examples/microbench [-backend bgv] [-queries N]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"copse/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	backend := flag.String("backend", "clear", "clear (fast, structural timing) or bgv (real ciphertexts)")
+	queries := flag.Int("queries", 9, "queries per model (median reported)")
+	flag.Parse()
+
+	cfg := experiments.Config{Backend: *backend, Queries: *queries, Seed: 1}
+
+	tbl, err := experiments.Table6()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	for _, variant := range []string{"a", "b", "c"} {
+		tbl, err := experiments.Fig10(cfg, variant)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

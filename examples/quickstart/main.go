@@ -1,0 +1,78 @@
+// Quickstart: secure evaluation of the paper's Figure 1 decision tree.
+//
+// Maurice compiles and encrypts the model, Diane encrypts the feature
+// vector (x, y) = (0, 5), Sally classifies it under encryption, and
+// Diane decrypts the answer — which must be L4, the label the paper's §3
+// walkthrough derives.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"copse"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The running example from the paper's Figure 1: two features
+	// (x, y), six labels, five branches.
+	forest := copse.ExampleForest()
+	fmt.Println("model (COPSE text format):")
+	if err := copse.FormatModel(logWriter{}, forest); err != nil {
+		log.Fatal(err)
+	}
+
+	// Maurice: stage the forest into its vectorizable form.
+	compiled, err := copse.Compile(forest, copse.CompileOptions{Slots: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompiled: %s\n", compiled.Meta.String())
+	fmt.Printf("threshold vector padded to q̂=%d, branch vector to b̂=%d, %d levels\n",
+		compiled.Meta.QPad, compiled.Meta.BPad, compiled.Meta.D)
+
+	// Wire the three parties over real BGV ciphertexts. ScenarioOffload
+	// encrypts both the model and the features; the server learns
+	// neither.
+	sys, err := copse.NewSystem(compiled, copse.SystemConfig{
+		Backend:  copse.BackendBGV,
+		Scenario: copse.ScenarioOffload,
+		Security: copse.SecurityTest,
+		Workers:  8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Diane: encrypt (x, y) = (0, 5) and query.
+	features := []uint64{0, 5}
+	query, err := sys.Diane.EncryptQuery(features)
+	if err != nil {
+		log.Fatal(err)
+	}
+	encrypted, trace, err := sys.Sally.Classify(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := sys.Diane.DecryptResult(encrypted)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nClassify(x=%d, y=%d) = %s (paper's walkthrough: L4)\n",
+		features[0], features[1], forest.Labels[result.PerTree[0]])
+	fmt.Printf("stages: compare=%v reshuffle=%v levels=%v accumulate=%v (total %v)\n",
+		trace.Compare, trace.Reshuffle, trace.Levels, trace.Accumulate, trace.Total)
+	fmt.Printf("FHE operations: %v\n", sys.Backend().Counts())
+}
+
+type logWriter struct{}
+
+func (logWriter) Write(p []byte) (int, error) {
+	fmt.Print("  " + string(p))
+	return len(p), nil
+}

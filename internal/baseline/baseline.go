@@ -1,0 +1,291 @@
+// Package baseline reimplements the paper's comparison system: the
+// polynomial-based secure decision-forest evaluation of Aloufi et al.
+// [1] (paper §2.3.1, §8.2). Each tree is a boolean polynomial over the
+// decision results: every leaf contributes a term multiplying the
+// decisions (or their complements) along its root path, times the bits
+// of its label; label bits are packed into SIMD slots so one operation
+// handles all bits, but — crucially — every decision node is evaluated
+// by its own comparison. Comparison cost is therefore linear in the
+// branch count b, where COPSE's is constant (its packed comparison
+// covers all branches at once). Both systems share the same SecComp
+// circuit and the same FHE backend, exactly like the paper's evaluation
+// methodology.
+package baseline
+
+import (
+	"fmt"
+
+	"copse/internal/bits"
+	"copse/internal/he"
+	"copse/internal/matrix"
+	"copse/internal/model"
+	"copse/internal/seccomp"
+)
+
+// Meta carries the public parameters of a prepared baseline model.
+type Meta struct {
+	NumFeatures int
+	Precision   int
+	NumTrees    int
+	NumLabels   int
+	LabelBits   int // slots used per tree result
+	Branches    int
+}
+
+// branchOps is one decision node: the bit planes of its threshold
+// (broadcast across slots) and its feature index.
+type branchOps struct {
+	feature int
+	planes  []he.Operand
+}
+
+// leafOps is one polynomial term: the root path (branch index + side)
+// and the label-bit vector.
+type leafOps struct {
+	path      []pathEdge
+	labelBits he.Operand
+	label     int
+}
+
+type pathEdge struct {
+	branch int
+	right  bool
+}
+
+// treeOps is one tree's polynomial.
+type treeOps struct {
+	branches []int // indices into Model.branches, preorder
+	leaves   []leafOps
+}
+
+// Model is a forest prepared for baseline evaluation.
+type Model struct {
+	Meta      Meta
+	Encrypted bool
+	branches  []branchOps
+	trees     []treeOps
+}
+
+// Query carries the data owner's features: p bit planes per feature,
+// each broadcast across slots (the baseline packs label bits, not
+// decisions, so features are scalar ciphertexts).
+type Query struct {
+	features [][]he.Operand
+}
+
+// broadcast fills all slots with the bits of v's plane i.
+func broadcastPlanes(b he.Backend, v uint64, p int, encrypt bool) ([]he.Operand, error) {
+	planes, err := bits.Transpose([]uint64{v}, p)
+	if err != nil {
+		return nil, err
+	}
+	ops := make([]he.Operand, p)
+	for i := range planes {
+		full := make([]uint64, b.Slots())
+		for j := range full {
+			full[j] = planes[i][0]
+		}
+		ops[i], err = makeOperand(b, full, encrypt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ops, nil
+}
+
+func makeOperand(b he.Backend, vals []uint64, encrypt bool) (he.Operand, error) {
+	if encrypt {
+		ct, err := b.Encrypt(vals)
+		if err != nil {
+			return he.Operand{}, err
+		}
+		return he.Cipher(ct), nil
+	}
+	return he.NewPlain(b, vals)
+}
+
+// Prepare loads a forest for baseline evaluation. With encrypt=true the
+// thresholds and label bits are encrypted (model hidden from the
+// server); otherwise they are plaintexts.
+func Prepare(b he.Backend, f *model.Forest, encrypt bool) (*Model, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	labelBits := max(log2Ceil(len(f.Labels)), 1)
+	m := &Model{
+		Meta: Meta{
+			NumFeatures: f.NumFeatures,
+			Precision:   f.Precision,
+			NumTrees:    len(f.Trees),
+			NumLabels:   len(f.Labels),
+			LabelBits:   labelBits,
+			Branches:    f.Branches(),
+		},
+		Encrypted: encrypt,
+	}
+	for _, tr := range f.Trees {
+		var t treeOps
+		var walk func(n *model.Node, path []pathEdge) error
+		walk = func(n *model.Node, path []pathEdge) error {
+			if n.Leaf {
+				lb := make([]uint64, b.Slots())
+				for j := 0; j < labelBits; j++ {
+					lb[j] = uint64(n.Label>>uint(j)) & 1
+				}
+				op, err := makeOperand(b, lb, encrypt)
+				if err != nil {
+					return err
+				}
+				t.leaves = append(t.leaves, leafOps{
+					path:      append([]pathEdge(nil), path...),
+					labelBits: op,
+					label:     n.Label,
+				})
+				return nil
+			}
+			planes, err := broadcastPlanes(b, n.Threshold, f.Precision, encrypt)
+			if err != nil {
+				return err
+			}
+			idx := len(m.branches)
+			m.branches = append(m.branches, branchOps{feature: n.Feature, planes: planes})
+			t.branches = append(t.branches, idx)
+			if err := walk(n.Left, append(path, pathEdge{idx, false})); err != nil {
+				return err
+			}
+			return walk(n.Right, append(path, pathEdge{idx, true}))
+		}
+		if tr.Root.Leaf {
+			return nil, fmt.Errorf("baseline: bare-leaf tree unsupported")
+		}
+		if err := walk(tr.Root, nil); err != nil {
+			return nil, err
+		}
+		m.trees = append(m.trees, t)
+	}
+	return m, nil
+}
+
+// PrepareQuery encrypts (or encodes) a quantized feature vector.
+func PrepareQuery(b he.Backend, meta *Meta, features []uint64, encrypt bool) (*Query, error) {
+	if len(features) != meta.NumFeatures {
+		return nil, fmt.Errorf("baseline: got %d features, model wants %d", len(features), meta.NumFeatures)
+	}
+	q := &Query{}
+	limit := uint64(1) << uint(meta.Precision)
+	for _, v := range features {
+		if v >= limit {
+			return nil, fmt.Errorf("baseline: feature value %d exceeds %d-bit precision", v, meta.Precision)
+		}
+		planes, err := broadcastPlanes(b, v, meta.Precision, encrypt)
+		if err != nil {
+			return nil, err
+		}
+		q.features = append(q.features, planes)
+	}
+	return q, nil
+}
+
+// Engine evaluates baseline models. Workers parallelizes across branch
+// comparisons and leaf terms (the TBB-style parallelism of the paper's
+// reimplementation); 1 means fully sequential.
+type Engine struct {
+	Backend he.Backend
+	Workers int
+}
+
+// Classify evaluates every tree's polynomial, returning one operand per
+// tree whose low LabelBits slots hold the chosen label's bits.
+func (e *Engine) Classify(m *Model, q *Query) ([]he.Operand, error) {
+	if len(q.features) != m.Meta.NumFeatures {
+		return nil, fmt.Errorf("baseline: query features %d, model wants %d", len(q.features), m.Meta.NumFeatures)
+	}
+	workers := max(e.Workers, 1)
+
+	// Every decision node gets its own comparison — the baseline's
+	// sequential bottleneck (parallelized across branches only by
+	// multithreading, never by packing).
+	decisions := make([]he.Operand, len(m.branches))
+	notDecisions := make([]he.Operand, len(m.branches))
+	err := matrix.ParallelFor(len(m.branches), workers, func(i int) error {
+		br := m.branches[i]
+		d, err := seccomp.CompareGT(e.Backend, q.features[br.feature], br.planes)
+		if err != nil {
+			return err
+		}
+		decisions[i] = d
+		notDecisions[i], err = he.Not(e.Backend, d)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baseline: comparisons: %w", err)
+	}
+
+	out := make([]he.Operand, len(m.trees))
+	for ti, tree := range m.trees {
+		terms := make([]he.Operand, len(tree.leaves))
+		err := matrix.ParallelFor(len(tree.leaves), workers, func(li int) error {
+			leaf := tree.leaves[li]
+			ops := make([]he.Operand, 0, len(leaf.path)+1)
+			for _, edge := range leaf.path {
+				if edge.right {
+					ops = append(ops, decisions[edge.branch])
+				} else {
+					ops = append(ops, notDecisions[edge.branch])
+				}
+			}
+			ops = append(ops, leaf.labelBits)
+			// Pairwise products: depth logarithmic in the polynomial
+			// order, as in Aloufi et al.
+			term, err := he.MulAll(e.Backend, ops)
+			if err != nil {
+				return err
+			}
+			terms[li] = term
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("baseline: tree %d terms: %w", ti, err)
+		}
+		acc := terms[0]
+		for _, term := range terms[1:] {
+			acc, err = he.Add(e.Backend, acc, term)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out[ti] = acc
+	}
+	return out, nil
+}
+
+// DecodeResult turns decrypted per-tree slot vectors into label indices.
+func DecodeResult(meta *Meta, perTree [][]uint64) ([]int, error) {
+	if len(perTree) != meta.NumTrees {
+		return nil, fmt.Errorf("baseline: %d tree results, want %d", len(perTree), meta.NumTrees)
+	}
+	out := make([]int, len(perTree))
+	for ti, slots := range perTree {
+		label := 0
+		for j := 0; j < meta.LabelBits; j++ {
+			bit := slots[j]
+			if bit > 1 {
+				return nil, fmt.Errorf("baseline: tree %d slot %d holds %d, not a bit", ti, j, bit)
+			}
+			label |= int(bit) << uint(j)
+		}
+		if label >= meta.NumLabels {
+			return nil, fmt.Errorf("baseline: tree %d decoded label %d out of range", ti, label)
+		}
+		out[ti] = label
+	}
+	return out, nil
+}
+
+func log2Ceil(n int) int {
+	d := 0
+	for 1<<d < n {
+		d++
+	}
+	return d
+}

@@ -1,0 +1,189 @@
+package baseline
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"copse/internal/he"
+	"copse/internal/he/heclear"
+	"copse/internal/model"
+	"copse/internal/synth"
+)
+
+func classifyBaseline(t *testing.T, e *Engine, m *Model, feats []uint64, encFeats bool) []int {
+	t.Helper()
+	q, err := PrepareQuery(e.Backend, &m.Meta, feats, encFeats)
+	if err != nil {
+		t.Fatalf("PrepareQuery: %v", err)
+	}
+	outs, err := e.Classify(m, q)
+	if err != nil {
+		t.Fatalf("Classify: %v", err)
+	}
+	var perTree [][]uint64
+	for _, op := range outs {
+		slots, err := he.Reveal(e.Backend, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perTree = append(perTree, slots)
+	}
+	got, err := DecodeResult(&m.Meta, perTree)
+	if err != nil {
+		t.Fatalf("DecodeResult: %v", err)
+	}
+	return got
+}
+
+func TestBaselineFigure1(t *testing.T) {
+	b := heclear.New(64, 65537)
+	forest := model.Figure1()
+	m, err := Prepare(b, forest, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Backend: b}
+	for x := uint64(0); x < 16; x += 3 {
+		for y := uint64(0); y < 16; y += 3 {
+			want := forest.Classify([]uint64{x, y})
+			got := classifyBaseline(t, e, m, []uint64{x, y}, true)
+			if got[0] != want[0] {
+				t.Errorf("(%d,%d): got L%d want L%d", x, y, got[0], want[0])
+			}
+		}
+	}
+}
+
+// TestBaselineMatchesDirect is the baseline's correctness property test
+// over random forests and all party configurations.
+func TestBaselineMatchesDirect(t *testing.T) {
+	b := heclear.New(128, 65537)
+	f := func(seed uint64, cfg uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 0xba5e))
+		spec := synth.ForestSpec{
+			NumFeatures: 1 + r.IntN(3),
+			NumLabels:   2 + r.IntN(4),
+			Precision:   1 + r.IntN(6),
+			MaxDepth:    1 + r.IntN(4),
+			Seed:        seed,
+		}
+		capacity := 1<<uint(spec.MaxDepth) - 1
+		for i := 0; i < 1+r.IntN(2); i++ {
+			spec.BranchesPerTree = append(spec.BranchesPerTree, min(spec.MaxDepth+r.IntN(5), capacity))
+		}
+		forest, err := synth.Generate(spec)
+		if err != nil {
+			return false
+		}
+		m, err := Prepare(b, forest, cfg&1 != 0)
+		if err != nil {
+			return false
+		}
+		e := &Engine{Backend: b, Workers: 1 + int(cfg%4)}
+		for trial := 0; trial < 3; trial++ {
+			feats := make([]uint64, forest.NumFeatures)
+			for i := range feats {
+				feats[i] = r.Uint64N(1 << uint(forest.Precision))
+			}
+			want := forest.Classify(feats)
+			got := classifyBaseline(t, e, m, feats, cfg&2 != 0)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Logf("seed=%d cfg=%d feats=%v tree %d: got %d want %d", seed, cfg, feats, i, got[i], want[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBaselineComparisonCostLinearInBranches verifies the scaling
+// contrast the paper exploits: baseline ct-ct multiplications grow
+// linearly with branch count (COPSE's comparison step is constant).
+func TestBaselineComparisonCostLinearInBranches(t *testing.T) {
+	b := heclear.New(256, 65537)
+	mulsFor := func(branches int) int64 {
+		forest, err := synth.Generate(synth.ForestSpec{
+			NumFeatures: 2, NumLabels: 3, Precision: 8,
+			MaxDepth: 5, BranchesPerTree: []int{branches}, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Prepare(b, forest, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := PrepareQuery(b, &m.Meta, []uint64{100, 50}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.ResetCounts()
+		e := &Engine{Backend: b}
+		if _, err := e.Classify(m, q); err != nil {
+			t.Fatal(err)
+		}
+		return b.Counts().Mul
+	}
+	m10, m20 := mulsFor(10), mulsFor(20)
+	if m20 < m10*3/2 {
+		t.Errorf("baseline muls should grow ~linearly with branches: b=10→%d, b=20→%d", m10, m20)
+	}
+}
+
+func TestBaselineParallelEquivalence(t *testing.T) {
+	b := heclear.New(128, 65537)
+	forest, err := synth.Generate(synth.ForestSpec{
+		NumFeatures: 3, NumLabels: 4, Precision: 6,
+		MaxDepth: 4, BranchesPerTree: []int{9, 11}, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Prepare(b, forest, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := []uint64{10, 20, 30}
+	seq := classifyBaseline(t, &Engine{Backend: b, Workers: 1}, m, feats, true)
+	par := classifyBaseline(t, &Engine{Backend: b, Workers: 8}, m, feats, true)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("tree %d: sequential %d vs parallel %d", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestBaselineErrors(t *testing.T) {
+	b := heclear.New(64, 65537)
+	forest := model.Figure1()
+	m, err := Prepare(b, forest, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PrepareQuery(b, &m.Meta, []uint64{1}, true); err == nil {
+		t.Error("wrong feature count accepted")
+	}
+	if _, err := PrepareQuery(b, &m.Meta, []uint64{1, 999}, true); err == nil {
+		t.Error("out-of-precision feature accepted")
+	}
+	if _, err := DecodeResult(&m.Meta, nil); err == nil {
+		t.Error("wrong tree count accepted")
+	}
+	bad := [][]uint64{{7, 7, 7}}
+	if _, err := DecodeResult(&m.Meta, bad); err == nil {
+		t.Error("non-bit slots accepted")
+	}
+	leafOnly := &model.Forest{
+		Labels: []string{"x", "y"}, NumFeatures: 1, Precision: 2,
+		Trees: []*model.Tree{{Root: &model.Node{Leaf: true}}},
+	}
+	if _, err := Prepare(b, leafOnly, true); err == nil {
+		t.Error("bare-leaf tree accepted")
+	}
+}

@@ -1,0 +1,189 @@
+package bgv
+
+import (
+	"fmt"
+	"sync"
+
+	"copse/internal/ring"
+)
+
+// Plaintext holds an encoded message: a polynomial with coefficients in
+// [0, T). Lifting into the ciphertext ring at a given level is cached,
+// since plaintext model components (matrix diagonals, masks) are reused
+// across many homomorphic operations.
+type Plaintext struct {
+	Coeffs []uint64 // length N, values < T
+
+	mu     sync.Mutex
+	lifted map[int]*ring.Poly // level -> NTT-domain lift
+}
+
+// NewPlaintext wraps encoded coefficients.
+func NewPlaintext(coeffs []uint64) *Plaintext {
+	return &Plaintext{Coeffs: coeffs}
+}
+
+// lift returns the NTT-domain embedding of the plaintext at the given
+// level, caching the result.
+func (pt *Plaintext) lift(ctx *ring.Context, level int) *ring.Poly {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if pt.lifted == nil {
+		pt.lifted = make(map[int]*ring.Poly)
+	}
+	if p, ok := pt.lifted[level]; ok {
+		return p
+	}
+	p := ctx.NewPoly(level)
+	for i := 0; i <= level; i++ {
+		q := ctx.Moduli[i].Q
+		pi := p.Coeffs[i]
+		for j, c := range pt.Coeffs {
+			pi[j] = c % q
+		}
+	}
+	ctx.NTT(p)
+	pt.lifted[level] = p
+	return p
+}
+
+// Ciphertext is a BGV ciphertext of degree len(C)-1 in the secret key,
+// stored in NTT domain. NoiseBits is a running upper-bound estimate of
+// log2 of the critical quantity |t·e + m|, used by the evaluator to drive
+// automatic modulus switching (HElib does the same).
+type Ciphertext struct {
+	C         []*ring.Poly
+	NoiseBits float64
+}
+
+// Level returns the ciphertext level.
+func (ct *Ciphertext) Level() int { return ct.C[0].Level() }
+
+// Degree returns the degree of the ciphertext in s (1 for fresh
+// ciphertexts, 2 after an unrelinearized multiplication).
+func (ct *Ciphertext) Degree() int { return len(ct.C) - 1 }
+
+// Copy returns a deep copy.
+func (ct *Ciphertext) Copy() *Ciphertext {
+	out := &Ciphertext{NoiseBits: ct.NoiseBits}
+	for _, c := range ct.C {
+		out.C = append(out.C, c.Copy())
+	}
+	return out
+}
+
+// Encryptor encrypts plaintexts under a public key. Not safe for
+// concurrent use (it owns a sampler).
+type Encryptor struct {
+	params  *Parameters
+	pk      *PublicKey
+	sampler *ring.Sampler
+}
+
+// NewEncryptor returns an encryptor seeded from system entropy.
+func NewEncryptor(params *Parameters, pk *PublicKey) *Encryptor {
+	return &Encryptor{params: params, pk: pk, sampler: ring.NewSampler(params.RingCtx)}
+}
+
+// NewSeededEncryptor returns a deterministic encryptor for tests.
+func NewSeededEncryptor(params *Parameters, pk *PublicKey, seed uint64) *Encryptor {
+	return &Encryptor{params: params, pk: pk, sampler: ring.NewSeededSampler(params.RingCtx, seed)}
+}
+
+// Encrypt produces a fresh encryption of pt at the top level:
+// (c0, c1) = (B·u + t·e0 + m, A·u + t·e1).
+func (e *Encryptor) Encrypt(pt *Plaintext) *Ciphertext {
+	ctx := e.params.RingCtx
+	level := e.params.MaxLevel()
+
+	u := e.sampler.TernaryPoly(level)
+	ctx.NTT(u)
+
+	c0 := ctx.NewPoly(level)
+	ctx.MulCoeffs(e.pk.B, u, c0)
+	c1 := ctx.NewPoly(level)
+	ctx.MulCoeffs(e.pk.A, u, c1)
+
+	e0 := e.sampler.ErrorPoly(level)
+	ctx.MulScalar(e0, e.params.T, e0)
+	ctx.NTT(e0)
+	ctx.Add(c0, e0, c0)
+
+	e1 := e.sampler.ErrorPoly(level)
+	ctx.MulScalar(e1, e.params.T, e1)
+	ctx.NTT(e1)
+	ctx.Add(c1, e1, c1)
+
+	ctx.Add(c0, pt.lift(ctx, level), c0)
+
+	return &Ciphertext{
+		C:         []*ring.Poly{c0, c1},
+		NoiseBits: e.params.freshNoiseBits(),
+	}
+}
+
+// Decryptor decrypts ciphertexts with the secret key.
+type Decryptor struct {
+	params *Parameters
+	sk     *SecretKey
+}
+
+// NewDecryptor returns a decryptor for sk.
+func NewDecryptor(params *Parameters, sk *SecretKey) *Decryptor {
+	return &Decryptor{params: params, sk: sk}
+}
+
+// phase computes c0 + c1·s (+ c2·s²) in coefficient domain at the
+// ciphertext's level.
+func (d *Decryptor) phase(ct *Ciphertext) *ring.Poly {
+	ctx := d.params.RingCtx
+	level := ct.Level()
+	s := restrict(d.sk.S, level)
+	acc := ct.C[0].Copy()
+	sPow := s.Copy()
+	tmp := ctx.NewPoly(level)
+	for i := 1; i < len(ct.C); i++ {
+		ctx.MulCoeffs(ct.C[i], sPow, tmp)
+		ctx.Add(acc, tmp, acc)
+		if i+1 < len(ct.C) {
+			ctx.MulCoeffs(sPow, s, sPow)
+		}
+	}
+	ctx.INTT(acc)
+	return acc
+}
+
+// Decrypt recovers the plaintext coefficients of ct.
+func (d *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
+	phi := d.phase(ct)
+	return NewPlaintext(d.params.RingCtx.ToCenteredMod(phi, d.params.T))
+}
+
+// NoiseBudget returns the remaining noise budget of ct in bits: the
+// number of modulus bits left before |t·e + m| reaches Q/2 and decryption
+// fails. Negative budgets mean the ciphertext is already undecryptable.
+func (d *Decryptor) NoiseBudget(ct *Ciphertext) int {
+	phi := d.phase(ct)
+	noiseBits := d.params.RingCtx.MaxCenteredBits(phi)
+	return d.params.QBits(ct.Level()) - noiseBits - 1
+}
+
+// freshNoiseBits estimates log2|t·e + m| of a fresh public-key
+// encryption: t · (e0 + e·u + e1·s) has canonical norm about
+// t·B·sqrt(2N), padded generously.
+func (p *Parameters) freshNoiseBits() float64 {
+	return float64(bitsOf(p.T)) + float64(p.LogN)/2 + 8
+}
+
+func bitsOf(x uint64) int {
+	n := 0
+	for x > 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}
+
+// errNotEnoughLevels is returned when an operation would need a level
+// below zero.
+var errNotEnoughLevels = fmt.Errorf("bgv: modulus chain exhausted (increase Params.Levels)")

@@ -1,0 +1,80 @@
+package bgv
+
+import (
+	"fmt"
+
+	"copse/internal/ring"
+)
+
+// Encoder maps vectors of Z_T values ("slots") to plaintext polynomials
+// and back, such that ring addition and multiplication act slot-wise.
+// This is BGV/BFV batching: the plaintext ring Z_T[x]/(x^N+1) splits into
+// N linear factors because T ≡ 1 mod 2N, and the generator-3 index map
+// orders the factors so that the Galois map x -> x^3 rotates slots
+// cyclically within a row. We expose the first row (N/2 slots); the
+// second row is left zero.
+type Encoder struct {
+	params   *Parameters
+	tMod     *ring.Modulus // NTT tables modulo T
+	indexMap []int         // slot index -> coefficient position (in NTT order)
+}
+
+// NewEncoder builds the batching encoder for params.
+func NewEncoder(params *Parameters) (*Encoder, error) {
+	n := params.N()
+	tMod, err := ring.NewModulus(params.T, n)
+	if err != nil {
+		return nil, fmt.Errorf("bgv: plaintext modulus is not NTT-friendly: %w", err)
+	}
+	enc := &Encoder{params: params, tMod: tMod, indexMap: make([]int, n)}
+	m := uint64(2 * n)
+	pos := uint64(1)
+	logN := params.LogN
+	for i := 0; i < n/2; i++ {
+		idx1 := (pos - 1) / 2
+		idx2 := (m - pos - 1) / 2
+		enc.indexMap[i] = int(bitrevInt(idx1, logN))
+		enc.indexMap[i+n/2] = int(bitrevInt(idx2, logN))
+		pos = (pos * slotGenerator) % m
+	}
+	return enc, nil
+}
+
+func bitrevInt(x uint64, bits int) uint64 {
+	var r uint64
+	for i := 0; i < bits; i++ {
+		r = (r << 1) | (x & 1)
+		x >>= 1
+	}
+	return r
+}
+
+// Encode packs up to Slots() values (each < T) into a plaintext.
+func (e *Encoder) Encode(values []uint64) (*Plaintext, error) {
+	n := e.params.N()
+	if len(values) > e.params.Slots() {
+		return nil, fmt.Errorf("bgv: %d values exceed %d slots", len(values), e.params.Slots())
+	}
+	buf := make([]uint64, n)
+	for i, v := range values {
+		if v >= e.params.T {
+			return nil, fmt.Errorf("bgv: value %d at slot %d exceeds plaintext modulus %d", v, i, e.params.T)
+		}
+		buf[e.indexMap[i]] = v
+	}
+	e.tMod.INTT(buf)
+	return NewPlaintext(buf), nil
+}
+
+// Decode unpacks a plaintext into its Slots() slot values.
+func (e *Encoder) Decode(pt *Plaintext) []uint64 {
+	n := e.params.N()
+	buf := make([]uint64, n)
+	copy(buf, pt.Coeffs)
+	e.tMod.NTT(buf)
+	out := make([]uint64, e.params.Slots())
+	for i := range out {
+		out[i] = buf[e.indexMap[i]]
+	}
+	return out
+}

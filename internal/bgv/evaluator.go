@@ -1,0 +1,334 @@
+package bgv
+
+import (
+	"fmt"
+	"math"
+
+	"copse/internal/ring"
+)
+
+// Evaluator performs homomorphic operations. It holds only read-only key
+// material, so a single Evaluator is safe for concurrent use across
+// goroutines as long as distinct ciphertexts are operated on.
+type Evaluator struct {
+	params *Parameters
+	keys   *EvaluationKeys
+}
+
+// NewEvaluator returns an evaluator using the given evaluation keys. The
+// keys may be nil for purely additive workloads.
+func NewEvaluator(params *Parameters, keys *EvaluationKeys) *Evaluator {
+	return &Evaluator{params: params, keys: keys}
+}
+
+// msFloorBits is the noise level right after a modulus switch:
+// roughly t·(1 + ||s||_1) plus rounding, padded.
+func (ev *Evaluator) msFloorBits() float64 {
+	return float64(bitsOf(ev.params.T)) + float64(ev.params.LogN) + 4
+}
+
+// ksNoiseBits is the additive noise of one key switch: the digits are
+// bounded by 2^w and the key errors by t·B, so the added term is about
+// D·2^w·N·t·B.
+func (ev *Evaluator) ksNoiseBits(level int) float64 {
+	d := ev.params.RingCtx.NumDigits(level, ev.params.DigitBits)
+	return float64(ev.params.DigitBits) + float64(ev.params.LogN) +
+		float64(bitsOf(ev.params.T)) + math.Log2(float64(d)) + 6
+}
+
+// manage drops levels while the noise estimate gets too close to the
+// current modulus, mirroring HElib's automatic modulus switching. The
+// policy is lazy: it only switches when the decryption margin is at risk,
+// because key-switching operations (rotations, relinearization) need a
+// modulus comfortably above the key-switch noise and so benefit from
+// staying at higher levels.
+func (ev *Evaluator) manage(ct *Ciphertext) error {
+	margin := float64(bitsOf(ev.params.T)) + 10
+	for ct.Level() > 0 && ct.NoiseBits > float64(ev.params.QBits(ct.Level()))-margin {
+		if err := ev.ModSwitch(ct); err != nil {
+			return err
+		}
+	}
+	if ct.NoiseBits > float64(ev.params.QBits(ct.Level()))-float64(bitsOf(ev.params.T))-2 {
+		return fmt.Errorf("bgv: noise estimate %.0f bits exceeds modulus at level %d: %w",
+			ct.NoiseBits, ct.Level(), errNotEnoughLevels)
+	}
+	return nil
+}
+
+// alignLevels switches the higher-level operand down so both share a
+// level, returning (possibly shallow-copied) aligned ciphertexts.
+func (ev *Evaluator) alignLevels(a, b *Ciphertext) (*Ciphertext, *Ciphertext, error) {
+	for a.Level() > b.Level() {
+		a = a.Copy()
+		for a.Level() > b.Level() {
+			if err := ev.ModSwitch(a); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	for b.Level() > a.Level() {
+		b = b.Copy()
+		for b.Level() > a.Level() {
+			if err := ev.ModSwitch(b); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return a, b, nil
+}
+
+// Add returns a + b.
+func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	a, b, err := ev.alignLevels(a, b)
+	if err != nil {
+		return nil, err
+	}
+	ctx := ev.params.RingCtx
+	level := a.Level()
+	out := &Ciphertext{NoiseBits: math.Max(a.NoiseBits, b.NoiseBits) + 1}
+	for i := 0; i < max(len(a.C), len(b.C)); i++ {
+		c := ctx.NewPoly(level)
+		switch {
+		case i < len(a.C) && i < len(b.C):
+			ctx.Add(a.C[i], b.C[i], c)
+		case i < len(a.C):
+			c = a.C[i].Copy()
+		default:
+			c = b.C[i].Copy()
+		}
+		out.C = append(out.C, c)
+	}
+	return out, ev.manage(out)
+}
+
+// Sub returns a - b.
+func (ev *Evaluator) Sub(a, b *Ciphertext) (*Ciphertext, error) {
+	nb, err := ev.Neg(b)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Add(a, nb)
+}
+
+// Neg returns -a.
+func (ev *Evaluator) Neg(a *Ciphertext) (*Ciphertext, error) {
+	ctx := ev.params.RingCtx
+	out := &Ciphertext{NoiseBits: a.NoiseBits}
+	for _, c := range a.C {
+		n := ctx.NewPoly(a.Level())
+		ctx.Neg(c, n)
+		out.C = append(out.C, n)
+	}
+	return out, nil
+}
+
+// AddPlain returns a + pt.
+func (ev *Evaluator) AddPlain(a *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	ctx := ev.params.RingCtx
+	out := a.Copy()
+	ctx.Add(out.C[0], pt.lift(ctx, a.Level()), out.C[0])
+	out.NoiseBits = a.NoiseBits + 1
+	return out, ev.manage(out)
+}
+
+// MulPlain returns a · pt (slot-wise).
+func (ev *Evaluator) MulPlain(a *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	ctx := ev.params.RingCtx
+	p := pt.lift(ctx, a.Level())
+	out := &Ciphertext{
+		NoiseBits: a.NoiseBits + float64(bitsOf(ev.params.T)) + float64(ev.params.LogN)/2 + 1,
+	}
+	for _, c := range a.C {
+		m := ctx.NewPoly(a.Level())
+		ctx.MulCoeffs(c, p, m)
+		out.C = append(out.C, m)
+	}
+	return out, ev.manage(out)
+}
+
+// MulScalar returns a · c for a scalar c < T (the same value in every
+// slot). Scalars embed as constant polynomials, so no encoding is needed.
+func (ev *Evaluator) MulScalar(a *Ciphertext, c uint64) (*Ciphertext, error) {
+	ctx := ev.params.RingCtx
+	out := &Ciphertext{NoiseBits: a.NoiseBits + float64(bitsOf(c)) + 1}
+	for _, p := range a.C {
+		m := ctx.NewPoly(a.Level())
+		ctx.MulScalar(p, c, m)
+		out.C = append(out.C, m)
+	}
+	return out, ev.manage(out)
+}
+
+// Mul returns a·b, relinearized and modulus-switched: it consumes one
+// level.
+func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
+	if ev.keys == nil || ev.keys.Relin == nil {
+		return nil, fmt.Errorf("bgv: Mul requires a relinearization key")
+	}
+	if len(a.C) != 2 || len(b.C) != 2 {
+		return nil, fmt.Errorf("bgv: Mul requires degree-1 ciphertexts")
+	}
+	a, b, err := ev.alignLevels(a, b)
+	if err != nil {
+		return nil, err
+	}
+	// BGV discipline: switch down first so the tensor noise (product of
+	// the operand noises) stays small.
+	floor := ev.msFloorBits()
+	for a.Level() > 0 && a.NoiseBits >= floor+float64(ev.params.PrimeBits) {
+		a = a.Copy()
+		if err := ev.ModSwitch(a); err != nil {
+			return nil, err
+		}
+	}
+	for b.Level() > a.Level() {
+		b = b.Copy()
+		if err := ev.ModSwitch(b); err != nil {
+			return nil, err
+		}
+	}
+	ctx := ev.params.RingCtx
+	level := a.Level()
+	if level == 0 {
+		return nil, errNotEnoughLevels
+	}
+
+	d0 := ctx.NewPoly(level)
+	ctx.MulCoeffs(a.C[0], b.C[0], d0)
+	d1 := ctx.NewPoly(level)
+	tmp := ctx.NewPoly(level)
+	ctx.MulCoeffs(a.C[0], b.C[1], d1)
+	ctx.MulCoeffs(a.C[1], b.C[0], tmp)
+	ctx.Add(d1, tmp, d1)
+	d2 := ctx.NewPoly(level)
+	ctx.MulCoeffs(a.C[1], b.C[1], d2)
+
+	ctx.INTT(d2)
+	acc0, acc1 := ev.keySwitch(d2, ev.keys.Relin, level)
+	ctx.Add(d0, acc0, d0)
+	ctx.Add(d1, acc1, d1)
+
+	out := &Ciphertext{C: []*ring.Poly{d0, d1}}
+	tensor := a.NoiseBits + b.NoiseBits + float64(ev.params.LogN) + 1
+	out.NoiseBits = math.Max(tensor, ev.ksNoiseBits(level)) + 1
+	if err := ev.ModSwitch(out); err != nil {
+		return nil, err
+	}
+	return out, ev.manage(out)
+}
+
+// keySwitch computes Σ_k digit_k ⊙ key_k for a coefficient-domain
+// polynomial d, returning NTT-domain accumulators (b-side, a-side).
+func (ev *Evaluator) keySwitch(d *ring.Poly, key *SwitchingKey, level int) (*ring.Poly, *ring.Poly) {
+	ctx := ev.params.RingCtx
+	digits := ctx.DecomposeBase2w(d, ev.params.DigitBits)
+	acc0 := ctx.NewPoly(level)
+	acc0.IsNTT = true
+	acc1 := ctx.NewPoly(level)
+	acc1.IsNTT = true
+	for k, dig := range digits {
+		ctx.MulCoeffsAdd(dig, restrict(key.B[k], level), acc0)
+		ctx.MulCoeffsAdd(dig, restrict(key.A[k], level), acc1)
+	}
+	return acc0, acc1
+}
+
+// ModSwitch drops one prime from ct's modulus chain in place, reducing
+// the noise by roughly PrimeBits.
+func (ev *Evaluator) ModSwitch(ct *Ciphertext) error {
+	if ct.Level() == 0 {
+		return errNotEnoughLevels
+	}
+	ctx := ev.params.RingCtx
+	for _, c := range ct.C {
+		ctx.ModSwitchDown(c)
+	}
+	ct.NoiseBits = math.Max(ct.NoiseBits-float64(ev.params.PrimeBits), ev.msFloorBits())
+	return nil
+}
+
+// DropToLevel switches ct down to the given level in place.
+func (ev *Evaluator) DropToLevel(ct *Ciphertext, level int) error {
+	for ct.Level() > level {
+		if err := ev.ModSwitch(ct); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rotate returns ct with slots rotated left by step: out[i] = in[i+step].
+// If no Galois key exists for the exact step, the rotation is composed
+// from available power-of-two steps.
+func (ev *Evaluator) Rotate(ct *Ciphertext, step int) (*Ciphertext, error) {
+	if ev.keys == nil {
+		return nil, fmt.Errorf("bgv: Rotate requires Galois keys")
+	}
+	slots := ev.params.Slots()
+	s := ((step % slots) + slots) % slots
+	if s == 0 {
+		return ct.Copy(), nil
+	}
+	if elt := ev.params.GaloisElt(s); ev.keys.Galois[elt] != nil {
+		return ev.applyGalois(ct, elt)
+	}
+	// Compose from power-of-two hops.
+	out := ct
+	for bit := 0; s != 0; bit++ {
+		if s&1 == 1 {
+			hop := 1 << bit
+			elt := ev.params.GaloisElt(hop)
+			key := ev.keys.Galois[elt]
+			if key == nil {
+				return nil, fmt.Errorf("bgv: no Galois key for step %d (needed to compose rotation by %d)", hop, step)
+			}
+			var err error
+			out, err = ev.applyGalois(out, elt)
+			if err != nil {
+				return nil, err
+			}
+		}
+		s >>= 1
+	}
+	return out, nil
+}
+
+// applyGalois applies the automorphism x -> x^elt and key-switches back
+// to the original secret.
+func (ev *Evaluator) applyGalois(ct *Ciphertext, elt uint64) (*Ciphertext, error) {
+	key := ev.keys.Galois[elt]
+	if key == nil {
+		return nil, fmt.Errorf("bgv: no Galois key for element %d", elt)
+	}
+	if len(ct.C) != 2 {
+		return nil, fmt.Errorf("bgv: rotation requires a degree-1 ciphertext")
+	}
+	ctx := ev.params.RingCtx
+	level := ct.Level()
+	// A key switch adds ~ksNoiseBits of absolute noise; refuse to rotate
+	// when the current modulus cannot absorb it.
+	if float64(ev.params.QBits(level)) < ev.ksNoiseBits(level)+float64(bitsOf(ev.params.T))+4 {
+		return nil, fmt.Errorf("bgv: rotation at level %d lacks key-switch headroom: %w", level, errNotEnoughLevels)
+	}
+
+	c0 := ct.C[0].Copy()
+	ctx.INTT(c0)
+	sc0 := ctx.NewPoly(level)
+	ctx.Automorphism(c0, elt, sc0)
+	ctx.NTT(sc0)
+
+	c1 := ct.C[1].Copy()
+	ctx.INTT(c1)
+	sc1 := ctx.NewPoly(level)
+	ctx.Automorphism(c1, elt, sc1)
+
+	acc0, acc1 := ev.keySwitch(sc1, key, level)
+	ctx.Add(sc0, acc0, sc0)
+
+	out := &Ciphertext{
+		C:         []*ring.Poly{sc0, acc1},
+		NoiseBits: math.Max(ct.NoiseBits, ev.ksNoiseBits(level)) + 1,
+	}
+	return out, ev.manage(out)
+}

@@ -1,0 +1,164 @@
+package bgv
+
+import (
+	"fmt"
+
+	"copse/internal/ring"
+)
+
+// SecretKey is a ternary RLWE secret, stored in NTT domain at the top
+// level.
+type SecretKey struct {
+	S *ring.Poly
+}
+
+// PublicKey is an RLWE encryption of zero: B = -(A·s + t·e).
+type PublicKey struct {
+	B, A *ring.Poly
+}
+
+// SwitchingKey re-encrypts a "foreign" secret (s², or an automorphism
+// image of s) under s, one entry per base-2^w gadget digit:
+// B[k] = -(A[k]·s + t·e_k) + 2^{kw}·target. Keys are generated at the top
+// level; at lower levels the unused prime residues are simply ignored,
+// which is sound because the gadget digits are level-independent.
+type SwitchingKey struct {
+	B, A []*ring.Poly
+}
+
+// EvaluationKeys bundles everything the evaluator (Sally) needs: the
+// relinearization key and one switching key per Galois element used for
+// rotations.
+type EvaluationKeys struct {
+	Relin  *SwitchingKey
+	Galois map[uint64]*SwitchingKey
+}
+
+// KeyGenerator produces key material. It is not safe for concurrent use.
+type KeyGenerator struct {
+	params  *Parameters
+	sampler *ring.Sampler
+}
+
+// NewKeyGenerator returns a generator seeded from the system entropy
+// source.
+func NewKeyGenerator(params *Parameters) *KeyGenerator {
+	return &KeyGenerator{params: params, sampler: ring.NewSampler(params.RingCtx)}
+}
+
+// NewSeededKeyGenerator returns a deterministic generator for tests and
+// reproducible experiments.
+func NewSeededKeyGenerator(params *Parameters, seed uint64) *KeyGenerator {
+	return &KeyGenerator{params: params, sampler: ring.NewSeededSampler(params.RingCtx, seed)}
+}
+
+// GenSecretKey samples a fresh ternary secret.
+func (kg *KeyGenerator) GenSecretKey() *SecretKey {
+	ctx := kg.params.RingCtx
+	s := kg.sampler.TernaryPoly(kg.params.MaxLevel())
+	ctx.NTT(s)
+	return &SecretKey{S: s}
+}
+
+// GenPublicKey returns a public encryption key for sk.
+func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
+	ctx := kg.params.RingCtx
+	level := kg.params.MaxLevel()
+	a := kg.sampler.UniformPoly(level, true)
+	e := kg.sampler.ErrorPoly(level)
+	ctx.MulScalar(e, kg.params.T, e)
+	ctx.NTT(e)
+	b := ctx.NewPoly(level)
+	ctx.MulCoeffs(a, sk.S, b)
+	ctx.Add(b, e, b)
+	ctx.Neg(b, b)
+	return &PublicKey{B: b, A: a}
+}
+
+// genSwitchingKey builds a key switching key from `target` (NTT domain,
+// top level) to sk.
+func (kg *KeyGenerator) genSwitchingKey(target *ring.Poly, sk *SecretKey) *SwitchingKey {
+	ctx := kg.params.RingCtx
+	level := kg.params.MaxLevel()
+	w := kg.params.DigitBits
+	numDigits := ctx.NumDigits(level, w)
+	swk := &SwitchingKey{}
+	scaled := ctx.NewPoly(level)
+	factors := make([]uint64, level+1)
+	for k := 0; k < numDigits; k++ {
+		a := kg.sampler.UniformPoly(level, true)
+		e := kg.sampler.ErrorPoly(level)
+		ctx.MulScalar(e, kg.params.T, e)
+		ctx.NTT(e)
+		b := ctx.NewPoly(level)
+		ctx.MulCoeffs(a, sk.S, b)
+		ctx.Add(b, e, b)
+		ctx.Neg(b, b)
+		// b += 2^{kw} * target, with the gadget factor reduced per prime.
+		for i := 0; i <= level; i++ {
+			factors[i] = ring.PowMod(2, uint64(k*w), ctx.Moduli[i].Q)
+		}
+		ctx.MulScalarVec(target, factors, scaled)
+		ctx.Add(b, scaled, b)
+		swk.B = append(swk.B, b)
+		swk.A = append(swk.A, a)
+	}
+	return swk
+}
+
+// GenRelinKey builds the relinearization key (switching s² to s).
+func (kg *KeyGenerator) GenRelinKey(sk *SecretKey) *SwitchingKey {
+	ctx := kg.params.RingCtx
+	s2 := ctx.NewPoly(kg.params.MaxLevel())
+	ctx.MulCoeffs(sk.S, sk.S, s2)
+	return kg.genSwitchingKey(s2, sk)
+}
+
+// GenGaloisKey builds the switching key for the Galois element g
+// (switching σ_g(s) to s).
+func (kg *KeyGenerator) GenGaloisKey(sk *SecretKey, g uint64) *SwitchingKey {
+	ctx := kg.params.RingCtx
+	sCoeff := sk.S.Copy()
+	ctx.INTT(sCoeff)
+	sg := ctx.NewPoly(kg.params.MaxLevel())
+	ctx.Automorphism(sCoeff, g, sg)
+	ctx.NTT(sg)
+	return kg.genSwitchingKey(sg, sk)
+}
+
+// GenEvaluationKeys builds the relinearization key plus Galois keys for
+// the given rotation steps. Step 0 is ignored.
+func (kg *KeyGenerator) GenEvaluationKeys(sk *SecretKey, steps []int) (*EvaluationKeys, error) {
+	ek := &EvaluationKeys{Galois: make(map[uint64]*SwitchingKey)}
+	ek.Relin = kg.GenRelinKey(sk)
+	for _, s := range steps {
+		if s%kg.params.Slots() == 0 {
+			continue
+		}
+		g := kg.params.GaloisElt(s)
+		if _, ok := ek.Galois[g]; ok {
+			continue
+		}
+		ek.Galois[g] = kg.GenGaloisKey(sk, g)
+	}
+	return ek, nil
+}
+
+// PowerOfTwoSteps returns the rotation steps ±1, ±2, ±4, ... up to
+// slots/2, from which any rotation can be composed.
+func PowerOfTwoSteps(slots int) []int {
+	var steps []int
+	for s := 1; s < slots; s <<= 1 {
+		steps = append(steps, s, -s)
+	}
+	return steps
+}
+
+// restrict returns a view of p at the given (lower or equal) level,
+// sharing the underlying residues.
+func restrict(p *ring.Poly, level int) *ring.Poly {
+	if p.Level() < level {
+		panic(fmt.Sprintf("bgv: cannot restrict level-%d poly to level %d", p.Level(), level))
+	}
+	return &ring.Poly{Coeffs: p.Coeffs[:level+1], IsNTT: p.IsNTT}
+}

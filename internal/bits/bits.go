@@ -1,0 +1,99 @@
+// Package bits implements the fixed-point, bit-transposed data
+// representation of the paper's §4.1.2: a vector of k values with
+// precision p becomes p bitvectors of length k, bitvector i holding bit i
+// (MSB first) of every element. The transposed layout is what lets the
+// comparison step operate on all decision nodes in parallel.
+package bits
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transpose packs vals into precision bit-planes, MSB first:
+// out[i][j] = bit (precision-1-i) of vals[j].
+func Transpose(vals []uint64, precision int) ([][]uint64, error) {
+	if precision < 1 || precision > 63 {
+		return nil, fmt.Errorf("bits: precision %d out of range [1,63]", precision)
+	}
+	limit := uint64(1) << uint(precision)
+	out := make([][]uint64, precision)
+	for i := range out {
+		out[i] = make([]uint64, len(vals))
+	}
+	for j, v := range vals {
+		if v >= limit {
+			return nil, fmt.Errorf("bits: value %d at index %d exceeds %d-bit precision", v, j, precision)
+		}
+		for i := 0; i < precision; i++ {
+			out[i][j] = (v >> uint(precision-1-i)) & 1
+		}
+	}
+	return out, nil
+}
+
+// FromPlanes inverts Transpose.
+func FromPlanes(planes [][]uint64) []uint64 {
+	if len(planes) == 0 {
+		return nil
+	}
+	p := len(planes)
+	out := make([]uint64, len(planes[0]))
+	for j := range out {
+		var v uint64
+		for i := 0; i < p; i++ {
+			v = v<<1 | (planes[i][j] & 1)
+		}
+		out[j] = v
+	}
+	return out
+}
+
+// Quantizer maps real-valued features and thresholds onto the p-bit
+// fixed-point grid the secure comparison operates on. Model owner and
+// data owner must share the same quantizer (its parameters are public,
+// like the feature names).
+type Quantizer struct {
+	Min, Max  float64
+	Precision int
+}
+
+// NewQuantizer builds a quantizer over [min, max] with p-bit output.
+func NewQuantizer(min, max float64, precision int) (*Quantizer, error) {
+	if precision < 1 || precision > 32 {
+		return nil, fmt.Errorf("bits: precision %d out of range [1,32]", precision)
+	}
+	if !(min < max) {
+		return nil, fmt.Errorf("bits: invalid range [%g, %g]", min, max)
+	}
+	return &Quantizer{Min: min, Max: max, Precision: precision}, nil
+}
+
+// Quantize maps x into [0, 2^p-1], clamping out-of-range inputs.
+func (q *Quantizer) Quantize(x float64) uint64 {
+	levels := float64(uint64(1) << uint(q.Precision))
+	scaled := (x - q.Min) / (q.Max - q.Min) * (levels - 1)
+	if math.IsNaN(scaled) || scaled < 0 {
+		return 0
+	}
+	if scaled > levels-1 {
+		return uint64(levels - 1)
+	}
+	return uint64(math.Round(scaled))
+}
+
+// Dequantize maps a grid point back to the middle of its cell (for
+// diagnostics and tests).
+func (q *Quantizer) Dequantize(v uint64) float64 {
+	levels := float64(uint64(1) << uint(q.Precision))
+	return q.Min + float64(v)/(levels-1)*(q.Max-q.Min)
+}
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

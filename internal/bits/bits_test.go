@@ -1,0 +1,125 @@
+package bits
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransposeRoundTrip(t *testing.T) {
+	f := func(seed uint64, pRaw uint8, nRaw uint8) bool {
+		p := int(pRaw%16) + 1
+		n := int(nRaw%20) + 1
+		r := rand.New(rand.NewPCG(seed, 1))
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = r.Uint64N(1 << uint(p))
+		}
+		planes, err := Transpose(vals, p)
+		if err != nil {
+			return false
+		}
+		if len(planes) != p {
+			return false
+		}
+		back := FromPlanes(planes)
+		for i := range vals {
+			if back[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposeMSBFirst(t *testing.T) {
+	planes, err := Transpose([]uint64{0b101}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planes[0][0] != 1 || planes[1][0] != 0 || planes[2][0] != 1 {
+		t.Errorf("planes = %v, want [1 0 1] (MSB first)", planes)
+	}
+}
+
+func TestTransposeErrors(t *testing.T) {
+	if _, err := Transpose([]uint64{4}, 2); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+	if _, err := Transpose([]uint64{1}, 0); err == nil {
+		t.Error("zero precision accepted")
+	}
+	if _, err := Transpose([]uint64{1}, 64); err == nil {
+		t.Error("precision 64 accepted")
+	}
+}
+
+func TestFromPlanesEmpty(t *testing.T) {
+	if got := FromPlanes(nil); got != nil {
+		t.Errorf("FromPlanes(nil) = %v", got)
+	}
+}
+
+func TestQuantizer(t *testing.T) {
+	q, err := NewQuantizer(0, 100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Quantize(0); got != 0 {
+		t.Errorf("Quantize(0) = %d", got)
+	}
+	if got := q.Quantize(100); got != 255 {
+		t.Errorf("Quantize(100) = %d", got)
+	}
+	if got := q.Quantize(-5); got != 0 {
+		t.Errorf("Quantize(-5) = %d, want clamp to 0", got)
+	}
+	if got := q.Quantize(200); got != 255 {
+		t.Errorf("Quantize(200) = %d, want clamp to 255", got)
+	}
+	// Monotonicity property.
+	f := func(a, b float64) bool {
+		if a != a || b != b { // NaN
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return q.Quantize(a) <= q.Quantize(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Round trip stays within one grid cell.
+	for _, x := range []float64{0, 12.5, 50, 99.9} {
+		v := q.Quantize(x)
+		back := q.Dequantize(v)
+		if diff := back - x; diff > 0.5 || diff < -0.5 {
+			t.Errorf("Dequantize(Quantize(%g)) = %g, off by %g", x, back, diff)
+		}
+	}
+}
+
+func TestQuantizerErrors(t *testing.T) {
+	if _, err := NewQuantizer(1, 1, 8); err == nil {
+		t.Error("degenerate range accepted")
+	}
+	if _, err := NewQuantizer(0, 1, 0); err == nil {
+		t.Error("zero precision accepted")
+	}
+	if _, err := NewQuantizer(0, 1, 40); err == nil {
+		t.Error("precision 40 accepted")
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 15: 16, 16: 16, 17: 32, 1000: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

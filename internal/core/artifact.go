@@ -1,0 +1,48 @@
+package core
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Artifact serialization: the compiler's output (a Compiled model) can be
+// written to disk and shipped to the party that will encrypt and serve
+// it — the analogue of the paper's generated C++ being compiled and
+// linked against the runtime (§5).
+
+const artifactMagic = "COPSEv1\n"
+
+// WriteArtifact serializes c.
+func WriteArtifact(w io.Writer, c *Compiled) error {
+	if _, err := io.WriteString(w, artifactMagic); err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(w)
+	if err := gob.NewEncoder(zw).Encode(c); err != nil {
+		return fmt.Errorf("core: encoding artifact: %w", err)
+	}
+	return zw.Close()
+}
+
+// ReadArtifact deserializes a compiled model.
+func ReadArtifact(r io.Reader) (*Compiled, error) {
+	magic := make([]byte, len(artifactMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("core: reading artifact header: %w", err)
+	}
+	if string(magic) != artifactMagic {
+		return nil, fmt.Errorf("core: not a COPSE artifact (bad magic %q)", magic)
+	}
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	c := &Compiled{}
+	if err := gob.NewDecoder(zr).Decode(c); err != nil {
+		return nil, fmt.Errorf("core: decoding artifact: %w", err)
+	}
+	return c, nil
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"copse/internal/he"
+	"copse/internal/matrix"
+	"copse/internal/seccomp"
+)
+
+// ModelOperands is a compiled model loaded onto a backend: every
+// component is an operand, either encrypted (Maurice keeps the model
+// secret from Sally) or plaintext (Maurice *is* Sally, Figure 9's fast
+// configuration).
+type ModelOperands struct {
+	Meta       Meta
+	Thresholds []he.Operand // p bit planes, slot-periodic with period QPad
+	Reshuffle  *matrix.Diagonals
+	Levels     []*matrix.Diagonals
+	Masks      []he.Operand
+	Encrypted  bool
+}
+
+// Prepare loads c onto backend b. With encrypt=true all model components
+// are encrypted; otherwise they are encoded plaintexts.
+func Prepare(b he.Backend, c *Compiled, encrypt bool) (*ModelOperands, error) {
+	if c.Meta.Slots != b.Slots() {
+		return nil, fmt.Errorf("core: model staged for %d slots but backend has %d", c.Meta.Slots, b.Slots())
+	}
+	m := &ModelOperands{Meta: c.Meta, Encrypted: encrypt}
+
+	for _, plane := range c.ThresholdBits {
+		periodic := replicatePlain(plane, c.Meta.QPad, b.Slots())
+		op, err := makeOperand(b, periodic, encrypt)
+		if err != nil {
+			return nil, err
+		}
+		m.Thresholds = append(m.Thresholds, op)
+	}
+
+	var err error
+	m.Reshuffle, err = matrix.PrepareDiagonals(b, c.Reshuffle, c.Meta.QPad, encrypt)
+	if err != nil {
+		return nil, err
+	}
+	for _, lm := range c.Levels {
+		d, err := matrix.PrepareDiagonals(b, lm, c.Meta.BPad, encrypt)
+		if err != nil {
+			return nil, err
+		}
+		m.Levels = append(m.Levels, d)
+	}
+	for _, mask := range c.Masks {
+		padded := make([]uint64, b.Slots())
+		copy(padded, mask)
+		op, err := makeOperand(b, padded, encrypt)
+		if err != nil {
+			return nil, err
+		}
+		m.Masks = append(m.Masks, op)
+	}
+	return m, nil
+}
+
+func makeOperand(b he.Backend, vals []uint64, encrypt bool) (he.Operand, error) {
+	if encrypt {
+		ct, err := b.Encrypt(vals)
+		if err != nil {
+			return he.Operand{}, err
+		}
+		return he.Cipher(ct), nil
+	}
+	return he.NewPlain(b, vals)
+}
+
+// replicatePlain lays vals (logical width `period`, zero-padded) out
+// periodically across all slots.
+func replicatePlain(vals []uint64, period, slots int) []uint64 {
+	out := make([]uint64, slots)
+	for i := range out {
+		if i%period < len(vals) {
+			out[i] = vals[i%period]
+		}
+	}
+	return out
+}
+
+// Engine runs Algorithm 1. The zero value is not usable; construct with
+// a backend.
+type Engine struct {
+	Backend he.Backend
+	// Workers is the number of goroutines used inside each stage.
+	// 1 (or 0) means single-threaded — the paper's sequential runs.
+	Workers int
+	// SkipZeroDiagonals enables the plaintext-model optimization of
+	// skipping all-zero matrix diagonals. It is ignored for encrypted
+	// models, where skipping would leak structure (§7.1).
+	SkipZeroDiagonals bool
+	// ReuseRotations hoists the rotations of the branch vector out of
+	// the per-level matrix products, computing them once (a COPSE-Go
+	// ablation; the paper's Table 1b counts them per level).
+	ReuseRotations bool
+}
+
+// Trace records the per-stage timing and operation counts that
+// Figure 10's breakdowns report.
+type Trace struct {
+	Compare, Reshuffle, Levels, Accumulate time.Duration
+	Total                                  time.Duration
+	CompareOps, ReshuffleOps               he.OpCounts
+	LevelOps, AccumulateOps                he.OpCounts
+}
+
+// Classify evaluates the model on an encrypted query, returning the
+// result operand (the N-hot leaf bitvector of §4.1.2) and a stage trace.
+func (e *Engine) Classify(m *ModelOperands, q *Query) (he.Operand, *Trace, error) {
+	if len(q.Bits) != len(m.Thresholds) {
+		return he.Operand{}, nil, fmt.Errorf("core: query has %d bit planes, model wants %d", len(q.Bits), len(m.Thresholds))
+	}
+	workers := max(e.Workers, 1)
+	skipZero := e.SkipZeroDiagonals && !m.Encrypted
+	trace := &Trace{}
+	start := time.Now()
+	base := e.Backend.Counts()
+
+	// Step 1: comparison — all decision nodes at once (§3.3).
+	decisions, err := seccomp.CompareGT(e.Backend, q.Bits, m.Thresholds)
+	if err != nil {
+		return he.Operand{}, nil, fmt.Errorf("core: comparison step: %w", err)
+	}
+	trace.Compare = time.Since(start)
+	snap := e.Backend.Counts()
+	trace.CompareOps = snap.Minus(base)
+	base = snap
+
+	// Step 2: reshuffle into branch preorder and drop sentinels, then
+	// restore the periodic layout for the level products.
+	mark := time.Now()
+	branchVec, err := matrix.MatVecParallel(e.Backend, m.Reshuffle, decisions, skipZero, workers)
+	if err != nil {
+		return he.Operand{}, nil, fmt.Errorf("core: reshuffle step: %w", err)
+	}
+	branchVec, err = matrix.Replicate(e.Backend, branchVec, m.Meta.BPad)
+	if err != nil {
+		return he.Operand{}, nil, fmt.Errorf("core: reshuffle replication: %w", err)
+	}
+	trace.Reshuffle = time.Since(mark)
+	snap = e.Backend.Counts()
+	trace.ReshuffleOps = snap.Minus(base)
+	base = snap
+
+	// Step 3: level processing — every level independently (§3.3), each
+	// a matrix product plus the mask XOR.
+	mark = time.Now()
+	var rotations []he.Operand
+	if e.ReuseRotations {
+		rotations = make([]he.Operand, m.Meta.BPad)
+		rotations[0] = branchVec
+		err := matrix.ParallelFor(m.Meta.BPad-1, workers, func(i int) error {
+			rot, err := he.Rotate(e.Backend, branchVec, i+1)
+			if err != nil {
+				return err
+			}
+			rotations[i+1] = rot
+			return nil
+		})
+		if err != nil {
+			return he.Operand{}, nil, fmt.Errorf("core: rotation hoisting: %w", err)
+		}
+	}
+	lvlResults := make([]he.Operand, len(m.Levels))
+	levelWorkers := 1
+	diagWorkers := workers
+	if len(m.Levels) > 1 && workers > 1 {
+		levelWorkers = min(workers, len(m.Levels))
+		diagWorkers = max(workers/levelWorkers, 1)
+	}
+	err = matrix.ParallelFor(len(m.Levels), levelWorkers, func(l int) error {
+		var lvlDecisions he.Operand
+		var err error
+		if e.ReuseRotations {
+			lvlDecisions, err = matVecWithRotations(e.Backend, m.Levels[l], rotations, skipZero)
+		} else {
+			lvlDecisions, err = matrix.MatVecParallel(e.Backend, m.Levels[l], branchVec, skipZero, diagWorkers)
+		}
+		if err != nil {
+			return err
+		}
+		res, err := he.Xor(e.Backend, lvlDecisions, m.Masks[l])
+		if err != nil {
+			return err
+		}
+		lvlResults[l] = res
+		return nil
+	})
+	if err != nil {
+		return he.Operand{}, nil, fmt.Errorf("core: level processing: %w", err)
+	}
+	trace.Levels = time.Since(mark)
+	snap = e.Backend.Counts()
+	trace.LevelOps = snap.Minus(base)
+	base = snap
+
+	// Step 4: accumulate all level vectors into the final label mask.
+	mark = time.Now()
+	labels, err := mulAllParallel(e.Backend, lvlResults, workers)
+	if err != nil {
+		return he.Operand{}, nil, fmt.Errorf("core: accumulation step: %w", err)
+	}
+	trace.Accumulate = time.Since(mark)
+	snap = e.Backend.Counts()
+	trace.AccumulateOps = snap.Minus(base)
+	trace.Total = time.Since(start)
+	return labels, trace, nil
+}
+
+// matVecWithRotations is MatVec over pre-rotated copies of the vector.
+func matVecWithRotations(b he.Backend, d *matrix.Diagonals, rotations []he.Operand, skipZero bool) (he.Operand, error) {
+	var acc he.Operand
+	accSet := false
+	for i := 0; i < d.Period; i++ {
+		if skipZero && d.Zero[i] {
+			continue
+		}
+		term, err := he.Mul(b, d.Ops[i], rotations[i])
+		if err != nil {
+			return he.Operand{}, err
+		}
+		if !accSet {
+			acc, accSet = term, true
+			continue
+		}
+		acc, err = he.Add(b, acc, term)
+		if err != nil {
+			return he.Operand{}, err
+		}
+	}
+	if !accSet {
+		return he.NewPlain(b, make([]uint64, b.Slots()))
+	}
+	return acc, nil
+}
+
+// mulAllParallel is he.MulAll with each tree round's pair products
+// computed concurrently.
+func mulAllParallel(b he.Backend, ops []he.Operand, workers int) (he.Operand, error) {
+	if len(ops) == 0 {
+		return he.Operand{}, fmt.Errorf("core: no level results to accumulate")
+	}
+	for len(ops) > 1 {
+		pairs := len(ops) / 2
+		next := make([]he.Operand, pairs)
+		err := matrix.ParallelFor(pairs, workers, func(i int) error {
+			p, err := he.Mul(b, ops[2*i], ops[2*i+1])
+			if err != nil {
+				return err
+			}
+			next[i] = p
+			return nil
+		})
+		if err != nil {
+			return he.Operand{}, err
+		}
+		if len(ops)%2 == 1 {
+			next = append(next, ops[len(ops)-1])
+		}
+		ops = next
+	}
+	return ops[0], nil
+}

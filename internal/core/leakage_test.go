@@ -1,0 +1,141 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"copse/internal/he/heclear"
+)
+
+// TestTable3LeakageTwoParty transcribes and checks the paper's Table 3.
+func TestTable3LeakageTwoParty(t *testing.T) {
+	type row struct {
+		scenario Scenario
+		party    Party
+		want     Leakage
+	}
+	rows := []row{
+		// S, M = D: revealed to S: q, b, d.
+		{ScenarioOffload, PartyServer, Leakage{Q: true, B: true, D: true}},
+		{ScenarioOffload, PartyModelOwner, Leakage{}},
+		{ScenarioOffload, PartyDataOwner, Leakage{}},
+		// S = M, D: revealed to D: K, b.
+		{ScenarioServerModel, PartyServer, Leakage{}},
+		{ScenarioServerModel, PartyModelOwner, Leakage{}},
+		{ScenarioServerModel, PartyDataOwner, Leakage{K: true, B: true}},
+		// S = D, M: revealed to S: q, b, K, d; to D: q, b, K.
+		{ScenarioClientEval, PartyServer, Leakage{Q: true, B: true, K: true, D: true}},
+		{ScenarioClientEval, PartyModelOwner, Leakage{}},
+		{ScenarioClientEval, PartyDataOwner, Leakage{Q: true, B: true, K: true}},
+	}
+	for _, r := range rows {
+		if got := Revealed(r.scenario, r.party); got != r.want {
+			t.Errorf("Revealed(%d, %d) = %+v, want %+v", r.scenario, r.party, got, r.want)
+		}
+	}
+}
+
+// TestTable4LeakageThreeParty transcribes and checks the paper's Table 4.
+func TestTable4LeakageThreeParty(t *testing.T) {
+	// No collusion.
+	if got := Revealed(ScenarioThreeParty, PartyServer); got != (Leakage{Q: true, B: true, D: true, K: true}) {
+		t.Errorf("three-party S view: %+v", got)
+	}
+	if got := Revealed(ScenarioThreeParty, PartyModelOwner); got != (Leakage{}) {
+		t.Errorf("three-party M view: %+v", got)
+	}
+	if got := Revealed(ScenarioThreeParty, PartyDataOwner); got != (Leakage{K: true, B: true}) {
+		t.Errorf("three-party D view: %+v", got)
+	}
+	// Collusion with M: S and M learn everything, D still only K, b.
+	for _, p := range []Party{PartyServer, PartyModelOwner} {
+		if got := Revealed(ScenarioColludeSM, p); !got.Everything {
+			t.Errorf("collude-SM party %d should learn everything: %+v", p, got)
+		}
+	}
+	if got := Revealed(ScenarioColludeSM, PartyDataOwner); got.Everything {
+		t.Errorf("collude-SM D should not learn everything: %+v", got)
+	}
+	// Collusion with D: S and D learn everything, M nothing.
+	for _, p := range []Party{PartyServer, PartyDataOwner} {
+		if got := Revealed(ScenarioColludeSD, p); !got.Everything {
+			t.Errorf("collude-SD party %d should learn everything: %+v", p, got)
+		}
+	}
+	if got := Revealed(ScenarioColludeSD, PartyModelOwner); got != (Leakage{}) {
+		t.Errorf("collude-SD M view: %+v", got)
+	}
+}
+
+// TestInferServerView shows the leakage is real: the quantities of
+// Table 3 are recoverable from ciphertext collection shapes alone.
+func TestInferServerView(t *testing.T) {
+	b := heclear.New(64, 65537)
+	c := compileFigure1(t)
+	m, err := Prepare(b, c, true) // fully encrypted model
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := InferServerView(m)
+	if view.QPad != c.Meta.QPad {
+		t.Errorf("inferred q̂ = %d, want %d", view.QPad, c.Meta.QPad)
+	}
+	if view.BPad != c.Meta.BPad {
+		t.Errorf("inferred b̂ = %d, want %d", view.BPad, c.Meta.BPad)
+	}
+	if view.D != c.Meta.D {
+		t.Errorf("inferred d = %d, want %d", view.D, c.Meta.D)
+	}
+	if view.P != c.Meta.Precision {
+		t.Errorf("inferred p = %d, want %d", view.P, c.Meta.Precision)
+	}
+	dv := InferDataOwnerView(&c.Meta)
+	if dv.K != 3 || dv.NumLeaves != 6 {
+		t.Errorf("data owner view: %+v", dv)
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	c := compileFigure1(t)
+	var buf bytes.Buffer
+	if err := WriteArtifact(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Meta.String() != c.Meta.String() {
+		t.Errorf("meta changed: %s vs %s", back.Meta.String(), c.Meta.String())
+	}
+	for i := 0; i < c.Reshuffle.Rows; i++ {
+		for j := 0; j < c.Reshuffle.Cols; j++ {
+			if back.Reshuffle.At(i, j) != c.Reshuffle.At(i, j) {
+				t.Fatalf("reshuffle[%d][%d] changed", i, j)
+			}
+		}
+	}
+	if len(back.Levels) != len(c.Levels) || len(back.Masks) != len(c.Masks) {
+		t.Fatal("levels/masks dropped")
+	}
+	// The round-tripped artifact must still classify correctly.
+	b := heclear.New(64, 65537)
+	m, err := Prepare(b, back, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Backend: b}
+	got := classifySecure(t, e, m, []uint64{0, 5}, true)
+	if got[0] != 4 {
+		t.Errorf("restored artifact Classify(0,5) = %v, want L4", got)
+	}
+}
+
+func TestArtifactBadInput(t *testing.T) {
+	if _, err := ReadArtifact(bytes.NewReader([]byte("not an artifact"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadArtifact(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}

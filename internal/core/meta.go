@@ -1,0 +1,61 @@
+// Package core implements the paper's primary contribution: the COPSE
+// staging compiler (§5), which restructures a decision forest into the
+// vectorizable primitives of §4.2 (padded threshold vector, reshuffling
+// matrix, level matrices, level masks), and the vectorized evaluation
+// engine running Algorithm 1 over any he.Backend.
+package core
+
+import "fmt"
+
+// Meta carries the public and structural parameters of a compiled model.
+// Which fields are revealed to which party depends on the scenario; see
+// leakage.go (paper §7.1).
+type Meta struct {
+	NumFeatures int
+	Precision   int // p: fixed-point bits
+	NumTrees    int
+
+	K    int // maximum feature multiplicity (revealed to the data owner)
+	Q    int // quantized branching: K · NumFeatures
+	QPad int // Q padded to a power of two (threshold-vector period)
+	B    int // total branches
+	BPad int // B padded to a power of two (branch-vector period)
+	D    int // number of levels (max node level)
+
+	NumLeaves  int      // label slots in the result bitvector
+	LabelNames []string // public label names
+	// Codebook maps each leaf slot to its label index — the map the
+	// paper's §7.2.2 discusses revealing to Diane.
+	Codebook []int
+	// TreeLeafOffsets[i] is the first leaf slot of tree i (plus a final
+	// sentinel). This is Maurice-private: revealing it would expose the
+	// boundaries between trees.
+	TreeLeafOffsets []int
+
+	// Slots is the packing width the model was staged for.
+	Slots int
+	// RotationSteps are the Galois rotations the evaluation needs; the
+	// model owner generates exactly these keys.
+	RotationSteps []int
+
+	// Circuit-shape estimates (ciphertext-ciphertext multiplicative
+	// depth) used to choose encryption parameters — the staging
+	// compiler's parameter selection (§5).
+	CtDepthCipherModel int
+	CtDepthPlainModel  int
+	RecommendedLevels  int
+}
+
+// log2Ceil returns ceil(log2(n)) for n ≥ 1.
+func log2Ceil(n int) int {
+	d := 0
+	for 1<<d < n {
+		d++
+	}
+	return d
+}
+
+func (m *Meta) String() string {
+	return fmt.Sprintf("forest{trees=%d features=%d p=%d K=%d q=%d b=%d d=%d leaves=%d}",
+		m.NumTrees, m.NumFeatures, m.Precision, m.K, m.Q, m.B, m.D, m.NumLeaves)
+}

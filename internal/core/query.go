@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"copse/internal/bits"
+	"copse/internal/he"
+)
+
+// Query is a prepared feature vector: p MSB-first bit planes in the
+// slot-periodic layout matching the model's padded threshold vector.
+type Query struct {
+	Bits []he.Operand
+}
+
+// PrepareQuery performs Diane's side of Step 0 (§3.3): replicate each
+// quantized feature K times (so the feature vector and the padded
+// threshold vector are in one-to-one correspondence), lay the result out
+// periodically, bit-transpose it, and encrypt each bit plane. With
+// encrypt=false the planes stay plaintext (the D=S configuration, where
+// the evaluator owns the features).
+func PrepareQuery(b he.Backend, meta *Meta, features []uint64, encrypt bool) (*Query, error) {
+	if len(features) != meta.NumFeatures {
+		return nil, fmt.Errorf("core: got %d features, model wants %d", len(features), meta.NumFeatures)
+	}
+	limit := uint64(1) << uint(meta.Precision)
+	replicated := make([]uint64, meta.Q)
+	for f, v := range features {
+		if v >= limit {
+			return nil, fmt.Errorf("core: feature %d value %d exceeds %d-bit precision", f, v, meta.Precision)
+		}
+		for j := 0; j < meta.K; j++ {
+			replicated[f*meta.K+j] = v
+		}
+	}
+	planes, err := bits.Transpose(replicated, meta.Precision)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for _, plane := range planes {
+		padded := make([]uint64, meta.QPad)
+		copy(padded, plane)
+		periodic := replicatePlain(padded, meta.QPad, b.Slots())
+		op, err := makeOperand(b, periodic, encrypt)
+		if err != nil {
+			return nil, err
+		}
+		q.Bits = append(q.Bits, op)
+	}
+	return q, nil
+}
+
+// Result is a decoded classification: the raw leaf bitvector plus its
+// interpretations.
+type Result struct {
+	// LeafBits is the N-hot bitvector over leaf slots (§4.1.2).
+	LeafBits []uint64
+	// Votes counts, per label index, how many set leaf slots map to it
+	// through the codebook — what Diane can compute (§7.2.2).
+	Votes []int
+	// PerTree gives each tree's chosen label index; deriving it needs
+	// the tree boundaries, which only the model owner knows.
+	PerTree []int
+}
+
+// DecodeResult interprets the decrypted label-mask slots.
+func DecodeResult(meta *Meta, slots []uint64) (*Result, error) {
+	if len(slots) < meta.NumLeaves {
+		return nil, fmt.Errorf("core: result has %d slots, model has %d leaves", len(slots), meta.NumLeaves)
+	}
+	r := &Result{
+		LeafBits: append([]uint64(nil), slots[:meta.NumLeaves]...),
+		Votes:    make([]int, len(meta.LabelNames)),
+	}
+	for i, bit := range r.LeafBits {
+		if bit > 1 {
+			return nil, fmt.Errorf("core: leaf slot %d holds %d, not a bit", i, bit)
+		}
+		if bit == 1 {
+			r.Votes[meta.Codebook[i]]++
+		}
+	}
+	for t := 0; t < meta.NumTrees; t++ {
+		lo, hi := meta.TreeLeafOffsets[t], meta.TreeLeafOffsets[t+1]
+		chosen := -1
+		for i := lo; i < hi; i++ {
+			if r.LeafBits[i] == 1 {
+				if chosen >= 0 {
+					return nil, fmt.Errorf("core: tree %d selected more than one leaf", t)
+				}
+				chosen = meta.Codebook[i]
+			}
+		}
+		if chosen < 0 {
+			return nil, fmt.Errorf("core: tree %d selected no leaf", t)
+		}
+		r.PerTree = append(r.PerTree, chosen)
+	}
+	return r, nil
+}
+
+// Plurality returns the label index with the most votes (ties break low).
+func (r *Result) Plurality() int {
+	best := 0
+	for i, v := range r.Votes {
+		if v > r.Votes[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"copse/internal/bits"
+	"copse/internal/he"
+	"copse/internal/matrix"
+)
+
+// Result shuffling (paper §7.2.2). Returning the raw leaf bitvector
+// reveals the order of the labels in the forest's trees; the paper
+// proposes — but does not implement — having the server apply a random
+// permutation to the result vector (a plaintext-matrix × ciphertext-
+// vector product) and permute the codebook identically, optionally
+// padding both with random extra labels so leaf-per-label counts are
+// hidden too. This file implements that extension.
+
+// ShuffledCodebook is the public decoding table for a shuffled result.
+type ShuffledCodebook struct {
+	// Slots maps each result slot to a label index. Real leaves and
+	// padding slots are indistinguishable to the data owner.
+	Slots []int
+	// NumTrees lets the data owner sanity-check the vote count.
+	NumTrees int
+}
+
+// ShuffleResult permutes the leaf slots of an inference result and
+// returns the permuted operand along with the matching codebook. padTo
+// (≥ NumLeaves, ≤ slots) adds indistinguishable padding slots carrying
+// random labels; 0 means NumLeaves (no padding). The permutation is
+// drawn fresh from seed for each call; servers should use a different
+// seed per query.
+func ShuffleResult(b he.Backend, meta *Meta, result he.Operand, padTo int, seed uint64) (he.Operand, *ShuffledCodebook, error) {
+	n := meta.NumLeaves
+	if padTo == 0 {
+		padTo = n
+	}
+	if padTo < n || padTo > b.Slots() {
+		return he.Operand{}, nil, fmt.Errorf("core: shuffle padding %d out of range [%d, %d]", padTo, n, b.Slots())
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x5f17))
+	perm := rng.Perm(padTo)
+
+	// Permutation matrix P: slot j of the result lands in slot perm[j].
+	nPad := bits.NextPow2(n)
+	p := matrix.NewBool(padTo, nPad)
+	for j := 0; j < n; j++ {
+		p.Set(perm[j], j, 1)
+	}
+	diag, err := matrix.PrepareDiagonals(b, p, nPad, false)
+	if err != nil {
+		return he.Operand{}, nil, err
+	}
+	replicated, err := matrix.Replicate(b, result, nPad)
+	if err != nil {
+		return he.Operand{}, nil, err
+	}
+	// The permutation is server-local plaintext: zero diagonals can be
+	// skipped without leaking anything about the model.
+	shuffled, err := matrix.MatVec(b, diag, replicated, true)
+	if err != nil {
+		return he.Operand{}, nil, err
+	}
+
+	cb := &ShuffledCodebook{Slots: make([]int, padTo), NumTrees: meta.NumTrees}
+	for i := range cb.Slots {
+		cb.Slots[i] = rng.IntN(len(meta.LabelNames)) // padding: random labels
+	}
+	for j := 0; j < n; j++ {
+		cb.Slots[perm[j]] = meta.Codebook[j]
+	}
+	return shuffled, cb, nil
+}
+
+// DecodeShuffled tallies votes from a shuffled result. Per-tree labels
+// are unrecoverable by design (the tree boundaries are hidden); only the
+// label vote counts — what the data owner legitimately learns — remain.
+func DecodeShuffled(cb *ShuffledCodebook, numLabels int, slots []uint64) (*Result, error) {
+	if len(slots) < len(cb.Slots) {
+		return nil, fmt.Errorf("core: result has %d slots, codebook has %d", len(slots), len(cb.Slots))
+	}
+	r := &Result{Votes: make([]int, numLabels)}
+	total := 0
+	for i, label := range cb.Slots {
+		bit := slots[i]
+		if bit > 1 {
+			return nil, fmt.Errorf("core: slot %d holds %d, not a bit", i, bit)
+		}
+		if bit == 1 {
+			if label < 0 || label >= numLabels {
+				return nil, fmt.Errorf("core: codebook slot %d label %d out of range", i, label)
+			}
+			r.Votes[label]++
+			total++
+		}
+	}
+	if total != cb.NumTrees {
+		return nil, fmt.Errorf("core: %d leaves selected, want one per tree (%d)", total, cb.NumTrees)
+	}
+	return r, nil
+}

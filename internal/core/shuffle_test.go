@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+
+	"copse/internal/he"
+	"copse/internal/he/heclear"
+	"copse/internal/model"
+)
+
+// TestShuffleResultPreservesVotes: shuffling must keep exactly the vote
+// counts while moving the set bits.
+func TestShuffleResultPreservesVotes(t *testing.T) {
+	b := heclear.New(64, 65537)
+	forest := model.Figure1()
+	c := compileFigure1(t)
+	m, err := Prepare(b, c, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Backend: b}
+
+	feats := []uint64{0, 5} // classifies as L4
+	q, err := PrepareQuery(b, &m.Meta, feats, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := e.Classify(m, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, padTo := range []int{0, 10, 32} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			shuffled, cb, err := ShuffleResult(b, &m.Meta, out, padTo, seed)
+			if err != nil {
+				t.Fatalf("padTo=%d seed=%d: %v", padTo, seed, err)
+			}
+			slots, err := he.Reveal(b, shuffled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := DecodeShuffled(cb, len(forest.Labels), slots)
+			if err != nil {
+				t.Fatalf("padTo=%d seed=%d: %v", padTo, seed, err)
+			}
+			if res.Votes[4] != 1 {
+				t.Errorf("padTo=%d seed=%d: votes %v, want one vote for L4", padTo, seed, res.Votes)
+			}
+			total := 0
+			for _, v := range res.Votes {
+				total += v
+			}
+			if total != 1 {
+				t.Errorf("padTo=%d seed=%d: %d total votes, want 1", padTo, seed, total)
+			}
+			wantLen := padTo
+			if padTo == 0 {
+				wantLen = m.Meta.NumLeaves
+			}
+			if len(cb.Slots) != wantLen {
+				t.Errorf("codebook has %d slots, want %d", len(cb.Slots), wantLen)
+			}
+		}
+	}
+}
+
+// TestShuffleActuallyPermutes: different seeds must move the hot slot.
+func TestShuffleActuallyPermutes(t *testing.T) {
+	b := heclear.New(64, 65537)
+	c := compileFigure1(t)
+	m, err := Prepare(b, c, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Backend: b}
+	q, err := PrepareQuery(b, &m.Meta, []uint64{0, 5}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := e.Classify(m, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := func(seed uint64) int {
+		shuffled, _, err := ShuffleResult(b, &m.Meta, out, 32, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots, err := he.Reveal(b, shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range slots {
+			if v == 1 {
+				return i
+			}
+		}
+		t.Fatal("no hot slot after shuffle")
+		return -1
+	}
+	positions := map[int]bool{}
+	for seed := uint64(1); seed <= 8; seed++ {
+		positions[hot(seed)] = true
+	}
+	if len(positions) < 3 {
+		t.Errorf("hot slot landed in only %d positions over 8 seeds", len(positions))
+	}
+}
+
+func TestShuffleErrors(t *testing.T) {
+	b := heclear.New(64, 65537)
+	c := compileFigure1(t)
+	m, err := Prepare(b, c, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := he.NewPlain(b, make([]uint64, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ShuffleResult(b, &m.Meta, zero, 3, 1); err == nil {
+		t.Error("padding below leaf count accepted")
+	}
+	if _, _, err := ShuffleResult(b, &m.Meta, zero, 999, 1); err == nil {
+		t.Error("padding beyond slots accepted")
+	}
+	cb := &ShuffledCodebook{Slots: []int{0, 1}, NumTrees: 1}
+	if _, err := DecodeShuffled(cb, 2, []uint64{1}); err == nil {
+		t.Error("short slot vector accepted")
+	}
+	if _, err := DecodeShuffled(cb, 2, []uint64{7, 0}); err == nil {
+		t.Error("non-bit accepted")
+	}
+	if _, err := DecodeShuffled(cb, 2, []uint64{1, 1}); err == nil {
+		t.Error("two votes for one tree accepted")
+	}
+	if _, err := DecodeShuffled(cb, 2, []uint64{0, 0}); err == nil {
+		t.Error("zero votes accepted")
+	}
+}
+
+// TestConcurrentClassify: one system, many goroutines classifying at
+// once — the evaluator, plaintext caches, and counters must be
+// race-free (run under -race in CI).
+func TestConcurrentClassify(t *testing.T) {
+	b := heclear.New(64, 65537)
+	forest := model.Figure1()
+	c := compileFigure1(t)
+	m, err := Prepare(b, c, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Backend: b, Workers: 2}
+	inputs := [][]uint64{{0, 5}, {0, 0}, {6, 0}, {3, 2}, {0, 9}, {15, 15}, {8, 8}, {1, 7}}
+	errCh := make(chan error, len(inputs))
+	for _, feats := range inputs {
+		go func(feats []uint64) {
+			q, err := PrepareQuery(b, &m.Meta, feats, true)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			out, _, err := e.Classify(m, q)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			slots, err := he.Reveal(b, out)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			res, err := DecodeResult(&m.Meta, slots)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			want := forest.Classify(feats)
+			if res.PerTree[0] != want[0] {
+				errCh <- errMismatch(feats, res.PerTree[0], want[0])
+				return
+			}
+			errCh <- nil
+		}(feats)
+	}
+	for range inputs {
+		if err := <-errCh; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+type mismatchError struct {
+	feats     []uint64
+	got, want int
+}
+
+func errMismatch(feats []uint64, got, want int) error {
+	return &mismatchError{feats, got, want}
+}
+
+func (e *mismatchError) Error() string {
+	return "concurrent classify mismatch"
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"copse"
+)
+
+// Fig6 reproduces Figure 6: single-threaded COPSE vs the Aloufi et al.
+// baseline across the full model suite, reporting the median inference
+// time of each and the speedup. The paper reports 5–7× with a geometric
+// mean near 6×.
+func Fig6(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	cases, err := AllCases(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figure 6: COPSE vs Aloufi et al., both single-threaded",
+		Header: []string{"model", "copse(ms)", "baseline(ms)", "speedup"},
+	}
+	var microRatios, rwRatios []float64
+	for _, cs := range cases {
+		cr, err := newCopseRunner(cs, cfg, 1, copse.ScenarioOffload)
+		if err != nil {
+			return nil, err
+		}
+		copseTimes, _, err := cr.run(cfg.Queries, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		br, err := newBaselineRunner(cs, cfg, 1)
+		if err != nil {
+			return nil, err
+		}
+		baseTimes, err := br.run(cfg.Queries, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cm, bm := median(copseTimes), median(baseTimes)
+		ratio := float64(bm) / float64(cm)
+		if cs.RealWorld {
+			rwRatios = append(rwRatios, ratio)
+		} else {
+			microRatios = append(microRatios, ratio)
+		}
+		t.Rows = append(t.Rows, []string{cs.Name, ms(cm), ms(bm), speedup(bm, cm)})
+	}
+	if len(microRatios) > 0 {
+		t.Rows = append(t.Rows, []string{"geomean micro", "", "", fmt.Sprintf("%.2fx", geomean(microRatios))})
+	}
+	if len(rwRatios) > 0 {
+		t.Rows = append(t.Rows, []string{"geomean real-world", "", "", fmt.Sprintf("%.2fx", geomean(rwRatios))})
+	}
+	t.Notes = append(t.Notes, "paper: 5-7x speedups, geomean ~6x (Fig 6)")
+	return t, nil
+}
+
+// Fig7 reproduces Figure 7: multithreaded COPSE vs single-threaded
+// COPSE. The paper reports ~2.5× on micro models and ~5× on the larger
+// real-world models.
+func Fig7(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	cases, err := AllCases(cfg)
+	if err != nil {
+		return nil, err
+	}
+	workers := defaultWorkers(cfg)
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 7: COPSE multithreaded (%d workers) vs single-threaded", workers),
+		Header: []string{"model", "1-thread(ms)", "multi(ms)", "speedup"},
+	}
+	var microRatios, rwRatios []float64
+	for _, cs := range cases {
+		single, err := medianCopseTime(cs, cfg, 1, copse.ScenarioOffload)
+		if err != nil {
+			return nil, err
+		}
+		multi, err := medianCopseTime(cs, cfg, workers, copse.ScenarioOffload)
+		if err != nil {
+			return nil, err
+		}
+		ratio := float64(single) / float64(multi)
+		if cs.RealWorld {
+			rwRatios = append(rwRatios, ratio)
+		} else {
+			microRatios = append(microRatios, ratio)
+		}
+		t.Rows = append(t.Rows, []string{cs.Name, ms(single), ms(multi), speedup(single, multi)})
+	}
+	if len(microRatios) > 0 {
+		t.Rows = append(t.Rows, []string{"geomean micro", "", "", fmt.Sprintf("%.2fx", geomean(microRatios))})
+	}
+	if len(rwRatios) > 0 {
+		t.Rows = append(t.Rows, []string{"geomean real-world", "", "", fmt.Sprintf("%.2fx", geomean(rwRatios))})
+	}
+	t.Notes = append(t.Notes, "paper: ~2.5x on micro models, ~5x on real-world models (Fig 7)")
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: COPSE vs the baseline with both
+// multithreaded. The paper's speedups here are smaller than Figure 6's
+// because packing already consumed parallel work COPSE would otherwise
+// give to threads.
+func Fig8(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	cases, err := AllCases(cfg)
+	if err != nil {
+		return nil, err
+	}
+	workers := defaultWorkers(cfg)
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 8: COPSE vs Aloufi et al., both multithreaded (%d workers)", workers),
+		Header: []string{"model", "copse(ms)", "baseline(ms)", "speedup"},
+	}
+	var ratios []float64
+	for _, cs := range cases {
+		cm, err := medianCopseTime(cs, cfg, workers, copse.ScenarioOffload)
+		if err != nil {
+			return nil, err
+		}
+		br, err := newBaselineRunner(cs, cfg, workers)
+		if err != nil {
+			return nil, err
+		}
+		baseTimes, err := br.run(cfg.Queries, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		bm := median(baseTimes)
+		ratios = append(ratios, float64(bm)/float64(cm))
+		t.Rows = append(t.Rows, []string{cs.Name, ms(cm), ms(bm), speedup(bm, cm)})
+	}
+	t.Rows = append(t.Rows, []string{"geomean", "", "", fmt.Sprintf("%.2fx", geomean(ratios))})
+	t.Notes = append(t.Notes,
+		"paper: smaller speedups than Fig 6 — ciphertext packing already consumed parallel work (Fig 8)")
+	return t, nil
+}
+
+// Fig9 reproduces Figure 9: inference on plaintext models (server owns
+// the model, M=S) vs encrypted models (M=D). The paper reports ~1.4×.
+func Fig9(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	cases, err := AllCases(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figure 9: plaintext model (M=S) vs encrypted model (M=D), single-threaded",
+		Header: []string{"model", "plain-model(ms)", "enc-model(ms)", "speedup"},
+	}
+	var ratios []float64
+	for _, cs := range cases {
+		encrypted, err := medianCopseTime(cs, cfg, 1, copse.ScenarioOffload)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := medianCopseTime(cs, cfg, 1, copse.ScenarioServerModel)
+		if err != nil {
+			return nil, err
+		}
+		ratios = append(ratios, float64(encrypted)/float64(plain))
+		t.Rows = append(t.Rows, []string{cs.Name, ms(plain), ms(encrypted), speedup(encrypted, plain)})
+	}
+	t.Rows = append(t.Rows, []string{"geomean", "", "", fmt.Sprintf("%.2fx", geomean(ratios))})
+	t.Notes = append(t.Notes, "paper: ~1.4x from plaintext models (Fig 9)")
+	return t, nil
+}
+
+func medianCopseTime(cs Case, cfg Config, workers int, scenario copse.Scenario) (time.Duration, error) {
+	r, err := newCopseRunner(cs, cfg, workers, scenario)
+	if err != nil {
+		return 0, err
+	}
+	times, _, err := r.run(cfg.Queries, cfg.Seed)
+	if err != nil {
+		return 0, err
+	}
+	return median(times), nil
+}
+
+// Fig10 reproduces the Figure 10 stage breakdowns: per-stage median
+// times for a group of models differing in one parameter.
+func Fig10(cfg Config, which string) (*Table, error) {
+	cfg = cfg.withDefaults()
+	var names []string
+	var title string
+	switch which {
+	case "a":
+		names, title = []string{"depth4", "depth5", "depth6"}, "Figure 10a: run time vs max depth"
+	case "b":
+		names, title = []string{"width55", "width78", "width677"}, "Figure 10b: run time vs branches"
+	case "c":
+		names, title = []string{"prec8", "prec16"}, "Figure 10c: run time vs precision"
+	default:
+		return nil, fmt.Errorf("experiments: unknown Fig10 variant %q", which)
+	}
+	micro, err := MicroCases()
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]Case{}
+	for _, cs := range micro {
+		byName[cs.Name] = cs
+	}
+	t := &Table{
+		Title:  title,
+		Header: []string{"model", "compare(ms)", "reshuffle(ms)", "levels(ms)", "accumulate(ms)", "total(ms)"},
+	}
+	for _, name := range names {
+		cs, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("experiments: no micro case %q", name)
+		}
+		r, err := newCopseRunner(cs, cfg, 1, copse.ScenarioOffload)
+		if err != nil {
+			return nil, err
+		}
+		_, traces, err := r.run(cfg.Queries, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var compare, reshuffle, levels, accumulate, total []time.Duration
+		for _, tr := range traces {
+			compare = append(compare, tr.Compare)
+			reshuffle = append(reshuffle, tr.Reshuffle)
+			levels = append(levels, tr.Levels)
+			accumulate = append(accumulate, tr.Accumulate)
+			total = append(total, tr.Total)
+		}
+		t.Rows = append(t.Rows, []string{
+			name, ms(median(compare)), ms(median(reshuffle)),
+			ms(median(levels)), ms(median(accumulate)), ms(median(total)),
+		})
+	}
+	switch which {
+	case "a":
+		t.Notes = append(t.Notes, "paper: compare/reshuffle flat in depth; level time grows ~linearly; accumulation logarithmic (Fig 10a)")
+	case "b":
+		t.Notes = append(t.Notes, "paper: compare flat in branches; reshuffle and level time grow ~linearly (Fig 10b)")
+	case "c":
+		t.Notes = append(t.Notes, "paper: only compare time grows (superlinearly) with precision (Fig 10c)")
+	}
+	return t, nil
+}

@@ -1,0 +1,151 @@
+// Package he defines the homomorphic-evaluation interface that the COPSE
+// runtime targets, together with an operand algebra that lets the same
+// algorithm code run over any mix of encrypted and plaintext data (the
+// party configurations of the paper's §7). Implementations live in
+// he/heclear (exact, noise-free reference) and he/hebgv (the BGV scheme).
+package he
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Ciphertext is an opaque packed ciphertext: a vector of Slots() values
+// in Z_t on which the backend evaluates element-wise operations. Depth
+// reports the ciphertext-ciphertext multiplicative depth accumulated so
+// far (the paper's complexity metric, Table 1/2).
+type Ciphertext interface {
+	Depth() int
+}
+
+// Plain is an opaque encoded plaintext vector. Pre-encoding lets
+// backends cache expensive embeddings (the staging compiler encodes every
+// plaintext model component exactly once).
+type Plain interface{}
+
+// Backend evaluates element-wise arithmetic over packed vectors mod the
+// plaintext modulus. All operations are functional (inputs are never
+// mutated) and safe for concurrent use.
+type Backend interface {
+	// Name identifies the backend ("clear", "bgv").
+	Name() string
+	// Slots is the packing width.
+	Slots() int
+	// PlainModulus is t; bits are encoded as {0,1} ⊂ Z_t.
+	PlainModulus() uint64
+
+	// Encrypt packs and encrypts up to Slots() values.
+	Encrypt(vals []uint64) (Ciphertext, error)
+	// Decrypt recovers all Slots() values. It fails on backends
+	// constructed without the secret key.
+	Decrypt(ct Ciphertext) ([]uint64, error)
+	// EncodePlain prepares a plaintext vector for repeated use.
+	EncodePlain(vals []uint64) (Plain, error)
+
+	Add(a, b Ciphertext) (Ciphertext, error)
+	Sub(a, b Ciphertext) (Ciphertext, error)
+	Neg(a Ciphertext) (Ciphertext, error)
+	AddPlain(a Ciphertext, p Plain) (Ciphertext, error)
+	MulPlain(a Ciphertext, p Plain) (Ciphertext, error)
+	Mul(a, b Ciphertext) (Ciphertext, error)
+	// Rotate rotates slots left by k: out[i] = in[(i+k) mod Slots()].
+	Rotate(a Ciphertext, k int) (Ciphertext, error)
+
+	// Counts returns a snapshot of the operation counters.
+	Counts() OpCounts
+	// ResetCounts zeroes the counters.
+	ResetCounts()
+}
+
+// OpCounts tallies primitive FHE operations in the categories of the
+// paper's Table 1: Encrypt, Rotate, Add (ciphertext-ciphertext additions,
+// including subtractions and negations), ConstAdd (plaintext additions),
+// Mul (ciphertext-ciphertext multiplications — the only depth-consuming
+// op) and ConstMul (plaintext multiplications, an artifact of encoding
+// GF(2) in Z_t; see DESIGN.md §3).
+type OpCounts struct {
+	Encrypt  int64
+	Rotate   int64
+	Add      int64
+	ConstAdd int64
+	Mul      int64
+	ConstMul int64
+	MaxDepth int64
+}
+
+// Minus returns c - o field-wise (MaxDepth keeps c's value); useful for
+// measuring a single phase.
+func (c OpCounts) Minus(o OpCounts) OpCounts {
+	return OpCounts{
+		Encrypt:  c.Encrypt - o.Encrypt,
+		Rotate:   c.Rotate - o.Rotate,
+		Add:      c.Add - o.Add,
+		ConstAdd: c.ConstAdd - o.ConstAdd,
+		Mul:      c.Mul - o.Mul,
+		ConstMul: c.ConstMul - o.ConstMul,
+		MaxDepth: c.MaxDepth,
+	}
+}
+
+func (c OpCounts) String() string {
+	return fmt.Sprintf("enc=%d rot=%d add=%d cadd=%d mul=%d cmul=%d depth=%d",
+		c.Encrypt, c.Rotate, c.Add, c.ConstAdd, c.Mul, c.ConstMul, c.MaxDepth)
+}
+
+// Counter is an embeddable atomic operation counter for backends.
+type Counter struct {
+	encrypt, rotate, add, constAdd, mul, constMul atomic.Int64
+	maxDepth                                      atomic.Int64
+}
+
+// CountEncrypt records one encryption.
+func (c *Counter) CountEncrypt() { c.encrypt.Add(1) }
+
+// CountRotate records one rotation.
+func (c *Counter) CountRotate() { c.rotate.Add(1) }
+
+// CountAdd records one ciphertext addition.
+func (c *Counter) CountAdd() { c.add.Add(1) }
+
+// CountConstAdd records one plaintext addition.
+func (c *Counter) CountConstAdd() { c.constAdd.Add(1) }
+
+// CountMul records one ciphertext multiplication.
+func (c *Counter) CountMul() { c.mul.Add(1) }
+
+// CountConstMul records one plaintext multiplication.
+func (c *Counter) CountConstMul() { c.constMul.Add(1) }
+
+// NoteDepth records an observed multiplicative depth.
+func (c *Counter) NoteDepth(d int) {
+	for {
+		cur := c.maxDepth.Load()
+		if int64(d) <= cur || c.maxDepth.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Counts snapshots the counters.
+func (c *Counter) Counts() OpCounts {
+	return OpCounts{
+		Encrypt:  c.encrypt.Load(),
+		Rotate:   c.rotate.Load(),
+		Add:      c.add.Load(),
+		ConstAdd: c.constAdd.Load(),
+		Mul:      c.mul.Load(),
+		ConstMul: c.constMul.Load(),
+		MaxDepth: c.maxDepth.Load(),
+	}
+}
+
+// ResetCounts zeroes all counters.
+func (c *Counter) ResetCounts() {
+	c.encrypt.Store(0)
+	c.rotate.Store(0)
+	c.add.Store(0)
+	c.constAdd.Store(0)
+	c.mul.Store(0)
+	c.constMul.Store(0)
+	c.maxDepth.Store(0)
+}

@@ -1,0 +1,286 @@
+// Package hebgv adapts the BGV scheme (internal/bgv) to the he.Backend
+// interface used by the COPSE runtime. It plays the role HElib plays in
+// the paper: packed ciphertexts, Galois rotations, and automatic noise
+// management via modulus switching.
+package hebgv
+
+import (
+	"fmt"
+	"sync"
+
+	"copse/internal/bgv"
+	"copse/internal/he"
+)
+
+// Backend is the BGV-backed he.Backend.
+type Backend struct {
+	he.Counter
+
+	params    *bgv.Parameters
+	encoder   *bgv.Encoder
+	encryptor *bgv.Encryptor
+	evaluator *bgv.Evaluator
+	decryptor *bgv.Decryptor // nil when constructed without the secret key
+
+	encMu sync.Mutex // the encryptor owns a sampler and is not concurrency-safe
+}
+
+// Config controls backend construction.
+type Config struct {
+	// Params is the BGV parameter set.
+	Params bgv.Params
+	// RotationSteps lists the slot-rotation amounts needed by the
+	// workload (the COPSE compiler computes these for a model). Galois
+	// keys are generated for each step plus all power-of-two steps, so
+	// uncovered rotations can still be composed.
+	RotationSteps []int
+	// PowerOfTwoOnly skips the per-step keys and generates only the
+	// power-of-two ladder (smaller keys, slower rotations).
+	PowerOfTwoOnly bool
+	// Seed, when non-zero, makes key generation and encryption
+	// deterministic (tests and reproducible experiments only).
+	Seed uint64
+}
+
+// New generates keys and returns a backend holding both the public and
+// secret material (the two-party configurations of the paper share one
+// key pair between model and data owner).
+func New(cfg Config) (*Backend, error) {
+	params, err := bgv.NewParameters(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	var kg *bgv.KeyGenerator
+	if cfg.Seed != 0 {
+		kg = bgv.NewSeededKeyGenerator(params, cfg.Seed)
+	} else {
+		kg = bgv.NewKeyGenerator(params)
+	}
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	steps := bgv.PowerOfTwoSteps(params.Slots())
+	if !cfg.PowerOfTwoOnly {
+		steps = append(steps, cfg.RotationSteps...)
+	}
+	keys, err := kg.GenEvaluationKeys(sk, steps)
+	if err != nil {
+		return nil, err
+	}
+	encoder, err := bgv.NewEncoder(params)
+	if err != nil {
+		return nil, err
+	}
+	var encryptor *bgv.Encryptor
+	if cfg.Seed != 0 {
+		encryptor = bgv.NewSeededEncryptor(params, pk, cfg.Seed+1)
+	} else {
+		encryptor = bgv.NewEncryptor(params, pk)
+	}
+	return &Backend{
+		params:    params,
+		encoder:   encoder,
+		encryptor: encryptor,
+		evaluator: bgv.NewEvaluator(params, keys),
+		decryptor: bgv.NewDecryptor(params, sk),
+	}, nil
+}
+
+type ciphertext struct {
+	ct    *bgv.Ciphertext
+	depth int
+}
+
+func (c *ciphertext) Depth() int { return c.depth }
+
+// Level exposes the BGV level for diagnostics.
+func (c *ciphertext) Level() int { return c.ct.Level() }
+
+// Name implements he.Backend.
+func (b *Backend) Name() string { return "bgv" }
+
+// Slots implements he.Backend.
+func (b *Backend) Slots() int { return b.params.Slots() }
+
+// PlainModulus implements he.Backend.
+func (b *Backend) PlainModulus() uint64 { return b.params.T }
+
+// Parameters exposes the underlying BGV parameters.
+func (b *Backend) Parameters() *bgv.Parameters { return b.params }
+
+// NoiseBudget reports the measured remaining noise budget of ct in bits.
+func (b *Backend) NoiseBudget(ct he.Ciphertext) (int, error) {
+	c, err := b.cast(ct)
+	if err != nil {
+		return 0, err
+	}
+	if b.decryptor == nil {
+		return 0, fmt.Errorf("hebgv: no secret key")
+	}
+	return b.decryptor.NoiseBudget(c.ct), nil
+}
+
+func (b *Backend) cast(ct he.Ciphertext) (*ciphertext, error) {
+	c, ok := ct.(*ciphertext)
+	if !ok {
+		return nil, fmt.Errorf("hebgv: foreign ciphertext %T", ct)
+	}
+	return c, nil
+}
+
+func (b *Backend) castPlain(p he.Plain) (*bgv.Plaintext, error) {
+	pp, ok := p.(*bgv.Plaintext)
+	if !ok {
+		return nil, fmt.Errorf("hebgv: foreign plaintext %T", p)
+	}
+	return pp, nil
+}
+
+// Encrypt implements he.Backend.
+func (b *Backend) Encrypt(vals []uint64) (he.Ciphertext, error) {
+	pt, err := b.encoder.Encode(vals)
+	if err != nil {
+		return nil, err
+	}
+	b.encMu.Lock()
+	ct := b.encryptor.Encrypt(pt)
+	b.encMu.Unlock()
+	b.CountEncrypt()
+	return &ciphertext{ct: ct}, nil
+}
+
+// Decrypt implements he.Backend.
+func (b *Backend) Decrypt(ct he.Ciphertext) ([]uint64, error) {
+	c, err := b.cast(ct)
+	if err != nil {
+		return nil, err
+	}
+	if b.decryptor == nil {
+		return nil, fmt.Errorf("hebgv: no secret key")
+	}
+	return b.encoder.Decode(b.decryptor.Decrypt(c.ct)), nil
+}
+
+// EncodePlain implements he.Backend.
+func (b *Backend) EncodePlain(vals []uint64) (he.Plain, error) {
+	return b.encoder.Encode(vals)
+}
+
+// Add implements he.Backend.
+func (b *Backend) Add(x, y he.Ciphertext) (he.Ciphertext, error) {
+	cx, err := b.cast(x)
+	if err != nil {
+		return nil, err
+	}
+	cy, err := b.cast(y)
+	if err != nil {
+		return nil, err
+	}
+	out, err := b.evaluator.Add(cx.ct, cy.ct)
+	if err != nil {
+		return nil, err
+	}
+	b.CountAdd()
+	return &ciphertext{ct: out, depth: max(cx.depth, cy.depth)}, nil
+}
+
+// Sub implements he.Backend.
+func (b *Backend) Sub(x, y he.Ciphertext) (he.Ciphertext, error) {
+	cx, err := b.cast(x)
+	if err != nil {
+		return nil, err
+	}
+	cy, err := b.cast(y)
+	if err != nil {
+		return nil, err
+	}
+	out, err := b.evaluator.Sub(cx.ct, cy.ct)
+	if err != nil {
+		return nil, err
+	}
+	b.CountAdd()
+	return &ciphertext{ct: out, depth: max(cx.depth, cy.depth)}, nil
+}
+
+// Neg implements he.Backend.
+func (b *Backend) Neg(x he.Ciphertext) (he.Ciphertext, error) {
+	cx, err := b.cast(x)
+	if err != nil {
+		return nil, err
+	}
+	out, err := b.evaluator.Neg(cx.ct)
+	if err != nil {
+		return nil, err
+	}
+	b.CountAdd()
+	return &ciphertext{ct: out, depth: cx.depth}, nil
+}
+
+// AddPlain implements he.Backend.
+func (b *Backend) AddPlain(x he.Ciphertext, p he.Plain) (he.Ciphertext, error) {
+	cx, err := b.cast(x)
+	if err != nil {
+		return nil, err
+	}
+	pp, err := b.castPlain(p)
+	if err != nil {
+		return nil, err
+	}
+	out, err := b.evaluator.AddPlain(cx.ct, pp)
+	if err != nil {
+		return nil, err
+	}
+	b.CountConstAdd()
+	return &ciphertext{ct: out, depth: cx.depth}, nil
+}
+
+// MulPlain implements he.Backend.
+func (b *Backend) MulPlain(x he.Ciphertext, p he.Plain) (he.Ciphertext, error) {
+	cx, err := b.cast(x)
+	if err != nil {
+		return nil, err
+	}
+	pp, err := b.castPlain(p)
+	if err != nil {
+		return nil, err
+	}
+	out, err := b.evaluator.MulPlain(cx.ct, pp)
+	if err != nil {
+		return nil, err
+	}
+	b.CountConstMul()
+	return &ciphertext{ct: out, depth: cx.depth}, nil
+}
+
+// Mul implements he.Backend.
+func (b *Backend) Mul(x, y he.Ciphertext) (he.Ciphertext, error) {
+	cx, err := b.cast(x)
+	if err != nil {
+		return nil, err
+	}
+	cy, err := b.cast(y)
+	if err != nil {
+		return nil, err
+	}
+	out, err := b.evaluator.Mul(cx.ct, cy.ct)
+	if err != nil {
+		return nil, err
+	}
+	b.CountMul()
+	d := max(cx.depth, cy.depth) + 1
+	b.NoteDepth(d)
+	return &ciphertext{ct: out, depth: d}, nil
+}
+
+// Rotate implements he.Backend.
+func (b *Backend) Rotate(x he.Ciphertext, k int) (he.Ciphertext, error) {
+	cx, err := b.cast(x)
+	if err != nil {
+		return nil, err
+	}
+	out, err := b.evaluator.Rotate(cx.ct, k)
+	if err != nil {
+		return nil, err
+	}
+	b.CountRotate()
+	return &ciphertext{ct: out, depth: cx.depth}, nil
+}

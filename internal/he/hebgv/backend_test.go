@@ -1,0 +1,193 @@
+package hebgv
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"copse/internal/bgv"
+	"copse/internal/he"
+	"copse/internal/he/heclear"
+)
+
+func newBackend(t *testing.T, levels int, steps []int) *Backend {
+	t.Helper()
+	b, err := New(Config{Params: bgv.TestParams(levels), RotationSteps: steps, Seed: 7})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return b
+}
+
+func TestInterfaceCompliance(t *testing.T) {
+	var _ he.Backend = (*Backend)(nil)
+	var _ he.Backend = (*heclear.Backend)(nil)
+}
+
+// TestCrossBackendEquivalence runs the same random dataflow over the BGV
+// backend and the clear backend and requires identical results. This is
+// the conformance test that lets all higher-level COPSE properties be
+// verified cheaply on the clear backend.
+func TestCrossBackendEquivalence(t *testing.T) {
+	bg := newBackend(t, 6, []int{1, 3})
+	cl := heclear.New(bg.Slots(), bg.PlainModulus())
+	r := rand.New(rand.NewPCG(11, 13))
+
+	n := bg.Slots()
+	mkBits := func() []uint64 {
+		v := make([]uint64, n)
+		for i := range v {
+			v[i] = uint64(r.IntN(2))
+		}
+		return v
+	}
+
+	va, vb, vm := mkBits(), mkBits(), mkBits()
+	encBoth := func(v []uint64) (he.Ciphertext, he.Ciphertext) {
+		cb, err := bg.Encrypt(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, err := cl.Encrypt(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cb, cc
+	}
+	ab, ac := encBoth(va)
+	bb, bc := encBoth(vb)
+	pmB, err := bg.EncodePlain(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmC, err := cl.EncodePlain(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type step struct {
+		name string
+		bgv  func() (he.Ciphertext, error)
+		clr  func() (he.Ciphertext, error)
+	}
+	var curB, curC he.Ciphertext = ab, ac
+	steps := []step{
+		{"mul", func() (he.Ciphertext, error) { return bg.Mul(curB, bb) }, func() (he.Ciphertext, error) { return cl.Mul(curC, bc) }},
+		{"addplain", func() (he.Ciphertext, error) { return bg.AddPlain(curB, pmB) }, func() (he.Ciphertext, error) { return cl.AddPlain(curC, pmC) }},
+		{"rotate3", func() (he.Ciphertext, error) { return bg.Rotate(curB, 3) }, func() (he.Ciphertext, error) { return cl.Rotate(curC, 3) }},
+		{"mulplain", func() (he.Ciphertext, error) { return bg.MulPlain(curB, pmB) }, func() (he.Ciphertext, error) { return cl.MulPlain(curC, pmC) }},
+		{"sub", func() (he.Ciphertext, error) { return bg.Sub(curB, bb) }, func() (he.Ciphertext, error) { return cl.Sub(curC, bc) }},
+		{"add", func() (he.Ciphertext, error) { return bg.Add(curB, bb) }, func() (he.Ciphertext, error) { return cl.Add(curC, bc) }},
+		{"neg", func() (he.Ciphertext, error) { return bg.Neg(curB) }, func() (he.Ciphertext, error) { return cl.Neg(curC) }},
+		{"mul2", func() (he.Ciphertext, error) { return bg.Mul(curB, curB) }, func() (he.Ciphertext, error) { return cl.Mul(curC, curC) }},
+	}
+	for _, s := range steps {
+		nb, err := s.bgv()
+		if err != nil {
+			t.Fatalf("%s on bgv: %v", s.name, err)
+		}
+		nc, err := s.clr()
+		if err != nil {
+			t.Fatalf("%s on clear: %v", s.name, err)
+		}
+		curB, curC = nb, nc
+		gb, err := bg.Decrypt(curB)
+		if err != nil {
+			t.Fatalf("%s decrypt: %v", s.name, err)
+		}
+		gc, err := cl.Decrypt(curC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range gb {
+			if gb[i] != gc[i] {
+				t.Fatalf("%s: backends disagree at slot %d: bgv=%d clear=%d", s.name, i, gb[i], gc[i])
+			}
+		}
+	}
+}
+
+// TestXorViaOperandsOnBGV exercises the operand algebra end-to-end on
+// real ciphertexts.
+func TestXorViaOperandsOnBGV(t *testing.T) {
+	b := newBackend(t, 4, nil)
+	x := []uint64{0, 1, 0, 1}
+	m := []uint64{0, 0, 1, 1}
+	ct, err := b.Encrypt(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctm, err := b.Encrypt(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := he.NewPlain(b, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctXor, err := he.Xor(b, he.Cipher(ct), he.Cipher(ctm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptXor, err := he.Xor(b, he.Cipher(ct), pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 1, 1, 0}
+	for name, op := range map[string]he.Operand{"cipher-cipher": ctXor, "cipher-plain": ptXor} {
+		got, err := he.Reveal(b, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s xor slot %d: got %d want %d", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNoiseBudgetExposed(t *testing.T) {
+	b := newBackend(t, 3, nil)
+	ct, err := b.Encrypt([]uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget, err := b.NoiseBudget(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget <= 0 {
+		t.Errorf("fresh budget %d", budget)
+	}
+	prod, err := b.Mul(ct, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget2, err := b.NoiseBudget(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget2 <= 0 {
+		t.Errorf("post-mul budget %d", budget2)
+	}
+}
+
+func TestCountsOnBGV(t *testing.T) {
+	b := newBackend(t, 3, []int{1})
+	ct, _ := b.Encrypt([]uint64{1})
+	b.ResetCounts()
+	if _, err := b.Mul(ct, ct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Rotate(ct, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := b.Counts()
+	if c.Mul != 1 || c.Rotate != 1 {
+		t.Errorf("counts: %v", c)
+	}
+	if c.MaxDepth != 1 {
+		t.Errorf("depth: %d", c.MaxDepth)
+	}
+}

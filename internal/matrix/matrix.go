@@ -1,0 +1,318 @@
+// Package matrix implements the boolean matrices and the Halevi–Shoup
+// generalized-diagonal matrix/vector kernel of the paper's §4.1.2: a
+// matrix is stored as its wrapped diagonals so that M·v becomes
+// Σ_i d_i ⊙ rot(v, i) — a constant multiplicative depth of 1 regardless
+// of the matrix size.
+package matrix
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"copse/internal/bits"
+	"copse/internal/he"
+)
+
+// Bool is a dense 0/1 matrix.
+type Bool struct {
+	Rows, Cols int
+	data       []uint64
+}
+
+// NewBool allocates a zero rows×cols matrix.
+func NewBool(rows, cols int) *Bool {
+	return &Bool{Rows: rows, Cols: cols, data: make([]uint64, rows*cols)}
+}
+
+// At returns entry (i, j).
+func (m *Bool) At(i, j int) uint64 { return m.data[i*m.Cols+j] }
+
+// GobEncode implements gob.GobEncoder (the entries are unexported).
+func (m *Bool) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for _, v := range []any{m.Rows, m.Cols, m.data} {
+		if err := enc.Encode(v); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Bool) GobDecode(p []byte) error {
+	dec := gob.NewDecoder(bytes.NewReader(p))
+	if err := dec.Decode(&m.Rows); err != nil {
+		return err
+	}
+	if err := dec.Decode(&m.Cols); err != nil {
+		return err
+	}
+	if err := dec.Decode(&m.data); err != nil {
+		return err
+	}
+	if len(m.data) != m.Rows*m.Cols {
+		return fmt.Errorf("matrix: corrupt gob payload: %d entries for %dx%d", len(m.data), m.Rows, m.Cols)
+	}
+	return nil
+}
+
+// Set writes entry (i, j).
+func (m *Bool) Set(i, j int, v uint64) { m.data[i*m.Cols+j] = v & 1 }
+
+// MulVec computes M·v over plain integers (mod nothing; inputs are 0/1),
+// the reference for the homomorphic kernel.
+func (m *Bool) MulVec(v []uint64) ([]uint64, error) {
+	if len(v) != m.Cols {
+		return nil, fmt.Errorf("matrix: vector length %d != %d columns", len(v), m.Cols)
+	}
+	out := make([]uint64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s uint64
+		for j := 0; j < m.Cols; j++ {
+			s += m.At(i, j) * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Diagonals returns the generalized diagonals of m, padded to `period`
+// columns (period must be a power of two ≥ Cols so that slot-row
+// rotations implement the wrapped indexing — see DESIGN.md §6). Diagonal
+// i has length Rows with d_i[r] = M[r][(r+i) mod period], where columns
+// ≥ Cols read as zero.
+func (m *Bool) Diagonals(period int) ([][]uint64, error) {
+	if period < m.Cols {
+		return nil, fmt.Errorf("matrix: period %d below %d columns", period, m.Cols)
+	}
+	if period&(period-1) != 0 {
+		return nil, fmt.Errorf("matrix: period %d is not a power of two", period)
+	}
+	out := make([][]uint64, period)
+	for i := range out {
+		d := make([]uint64, m.Rows)
+		for r := 0; r < m.Rows; r++ {
+			c := (r + i) % period
+			if c < m.Cols {
+				d[r] = m.At(r, c)
+			}
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// Diagonals is a matrix prepared for homomorphic multiplication: one
+// operand per rotation amount. With a plaintext model the operands are
+// plain and all-zero diagonals may be skipped; with an encrypted model
+// every diagonal is a ciphertext and all must be processed (skipping
+// would leak the branching structure — paper §7.1).
+type Diagonals struct {
+	Rows   int
+	Period int
+	Ops    []he.Operand
+	Zero   []bool // plaintext-known zero diagonals
+}
+
+// PrepareDiagonals builds the operand form of m. If encrypt is true the
+// diagonals are encrypted; otherwise they are encoded plaintexts.
+func PrepareDiagonals(b he.Backend, m *Bool, period int, encrypt bool) (*Diagonals, error) {
+	if m.Rows > b.Slots() || period > b.Slots() {
+		return nil, fmt.Errorf("matrix: %dx%d (period %d) exceeds %d slots", m.Rows, m.Cols, period, b.Slots())
+	}
+	raw, err := m.Diagonals(period)
+	if err != nil {
+		return nil, err
+	}
+	d := &Diagonals{Rows: m.Rows, Period: period, Zero: make([]bool, period)}
+	for i, vec := range raw {
+		allZero := true
+		for _, v := range vec {
+			if v != 0 {
+				allZero = false
+				break
+			}
+		}
+		d.Zero[i] = allZero
+		if encrypt {
+			ct, err := b.Encrypt(vec)
+			if err != nil {
+				return nil, err
+			}
+			d.Ops = append(d.Ops, he.Cipher(ct))
+		} else {
+			op, err := he.NewPlain(b, vec)
+			if err != nil {
+				return nil, err
+			}
+			d.Ops = append(d.Ops, op)
+		}
+	}
+	return d, nil
+}
+
+// MatVec computes M·v homomorphically: Σ_i d_i ⊙ rot(v, i). The vector
+// operand must be slot-periodic with period d.Period (see Replicate).
+// When skipZero is true, plaintext-known zero diagonals are skipped —
+// only safe for plaintext models. The result holds M·v in slots
+// [0, Rows) and zeros elsewhere.
+func MatVec(b he.Backend, d *Diagonals, v he.Operand, skipZero bool) (he.Operand, error) {
+	var acc he.Operand
+	accSet := false
+	for i := 0; i < d.Period; i++ {
+		if skipZero && d.Zero[i] {
+			continue
+		}
+		rot := v
+		if i != 0 {
+			var err error
+			rot, err = he.Rotate(b, v, i)
+			if err != nil {
+				return he.Operand{}, err
+			}
+		}
+		term, err := he.Mul(b, d.Ops[i], rot)
+		if err != nil {
+			return he.Operand{}, err
+		}
+		if !accSet {
+			acc, accSet = term, true
+			continue
+		}
+		acc, err = he.Add(b, acc, term)
+		if err != nil {
+			return he.Operand{}, err
+		}
+	}
+	if !accSet {
+		return he.NewPlain(b, make([]uint64, b.Slots()))
+	}
+	return acc, nil
+}
+
+// MatVecParallel is MatVec with the per-diagonal terms computed by
+// `workers` goroutines. Results are summed in index order, so the output
+// is identical to MatVec.
+func MatVecParallel(b he.Backend, d *Diagonals, v he.Operand, skipZero bool, workers int) (he.Operand, error) {
+	if workers <= 1 {
+		return MatVec(b, d, v, skipZero)
+	}
+	terms := make([]*he.Operand, d.Period)
+	err := ParallelFor(d.Period, workers, func(i int) error {
+		if skipZero && d.Zero[i] {
+			return nil
+		}
+		rot := v
+		if i != 0 {
+			var err error
+			rot, err = he.Rotate(b, v, i)
+			if err != nil {
+				return err
+			}
+		}
+		term, err := he.Mul(b, d.Ops[i], rot)
+		if err != nil {
+			return err
+		}
+		terms[i] = &term
+		return nil
+	})
+	if err != nil {
+		return he.Operand{}, err
+	}
+	var acc he.Operand
+	accSet := false
+	for _, term := range terms {
+		if term == nil {
+			continue
+		}
+		if !accSet {
+			acc, accSet = *term, true
+			continue
+		}
+		acc, err = he.Add(b, acc, *term)
+		if err != nil {
+			return he.Operand{}, err
+		}
+	}
+	if !accSet {
+		return he.NewPlain(b, make([]uint64, b.Slots()))
+	}
+	return acc, nil
+}
+
+// Replicate spreads a vector living in slots [0, width) — with zeros
+// elsewhere — periodically across all slots by rotate-and-add doubling.
+// width must be a power of two dividing the slot count. This restores
+// the periodic layout MatVec requires between pipeline stages.
+func Replicate(b he.Backend, v he.Operand, width int) (he.Operand, error) {
+	slots := b.Slots()
+	if width <= 0 || width&(width-1) != 0 || slots%width != 0 {
+		return he.Operand{}, fmt.Errorf("matrix: replication width %d must be a power of two dividing %d slots", width, slots)
+	}
+	out := v
+	for p := width; p < slots; p <<= 1 {
+		rot, err := he.Rotate(b, out, -p)
+		if err != nil {
+			return he.Operand{}, err
+		}
+		out, err = he.Add(b, out, rot)
+		if err != nil {
+			return he.Operand{}, err
+		}
+	}
+	return out, nil
+}
+
+// Pad returns v zero-padded to the next power of two at least min.
+func Pad(v []uint64, min int) []uint64 {
+	n := bits.NextPow2(max(len(v), min))
+	out := make([]uint64, n)
+	copy(out, v)
+	return out
+}
+
+// ParallelFor runs fn(0..n-1) on `workers` goroutines and returns the
+// first error encountered.
+func ParallelFor(n, workers int, fn func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	work := make(chan int)
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			var firstErr error
+			for i := range work {
+				if firstErr != nil {
+					continue
+				}
+				if err := fn(i); err != nil {
+					firstErr = err
+				}
+			}
+			errs <- firstErr
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,31 @@
+package model
+
+// Figure1 reconstructs the running example of the paper's Figure 1: a
+// single tree over features x (index 0) and y (index 1) with labels
+// L0..L5 and branches d0..d4 in preorder,
+//
+//	        d0: y>3
+//	       /       \
+//	   d1: x>2    d4: y>7
+//	   /     \     /    \
+//	 d2:y>1 d3:x>5 L4    L5
+//	 /  \   /  \
+//	L0  L1 L2  L3
+//
+// so that κ_x = 2 (d1, d3), κ_y = 3 (d0, d2, d4), K = 3, b = 5, q = 6,
+// and the input (x, y) = (0, 5) classifies as L4, exactly as the paper
+// walks through in §3.
+func Figure1() *Forest {
+	leaf := func(l int) *Node { return &Node{Leaf: true, Label: l} }
+	d2 := &Node{Feature: 1, Threshold: 1, Left: leaf(0), Right: leaf(1)}
+	d3 := &Node{Feature: 0, Threshold: 5, Left: leaf(2), Right: leaf(3)}
+	d1 := &Node{Feature: 0, Threshold: 2, Left: d2, Right: d3}
+	d4 := &Node{Feature: 1, Threshold: 7, Left: leaf(4), Right: leaf(5)}
+	d0 := &Node{Feature: 1, Threshold: 3, Left: d1, Right: d4}
+	return &Forest{
+		Labels:      []string{"L0", "L1", "L2", "L3", "L4", "L5"},
+		NumFeatures: 2,
+		Precision:   4,
+		Trees:       []*Tree{{Root: d0}},
+	}
+}

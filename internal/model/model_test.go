@@ -1,0 +1,212 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1Statistics(t *testing.T) {
+	f := Figure1()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := f.Branches(); got != 5 {
+		t.Errorf("b = %d, want 5", got)
+	}
+	if got := f.Leaves(); got != 6 {
+		t.Errorf("leaves = %d, want 6", got)
+	}
+	k := f.Multiplicities()
+	if k[0] != 2 || k[1] != 3 {
+		t.Errorf("multiplicities = %v, want [2 3]", k)
+	}
+	if got := f.MaxMultiplicity(); got != 3 {
+		t.Errorf("K = %d, want 3", got)
+	}
+	if got := f.QuantizedBranching(); got != 6 {
+		t.Errorf("q = %d, want 6", got)
+	}
+	if got := f.Depth(); got != 3 {
+		t.Errorf("d = %d, want 3", got)
+	}
+}
+
+// TestFigure1Classification reproduces the paper's walkthrough:
+// (x, y) = (0, 5) classifies as L4.
+func TestFigure1Classification(t *testing.T) {
+	f := Figure1()
+	votes := f.Classify([]uint64{0, 5})
+	if len(votes) != 1 || votes[0] != 4 {
+		t.Errorf("Classify(0,5) = %v, want [4]", votes)
+	}
+	cases := map[[2]uint64]int{
+		{0, 0}: 0, // y≤3 false, x≤2 false, y≤1 false -> L0
+		{0, 2}: 1, // y=2>1 -> L1
+		{6, 0}: 2, // x=6>2, x>5 false? x=6>5 -> L3
+		{3, 2}: 2, // x=3>2, x≤5 -> L2
+		{0, 9}: 5, // y>3, y>7 -> L5
+		{0, 5}: 4,
+	}
+	// fix case {6,0}: x=6 > 5 so it is L3.
+	cases[[2]uint64{6, 0}] = 3
+	for in, want := range cases {
+		got := f.Classify(in[:])
+		if got[0] != want {
+			t.Errorf("Classify(%v) = L%d, want L%d", in, got[0], want)
+		}
+	}
+}
+
+func TestNodeLevels(t *testing.T) {
+	f := Figure1()
+	root := f.Trees[0].Root // d0
+	if got := root.Level(); got != 3 {
+		t.Errorf("level(d0) = %d, want 3", got)
+	}
+	if got := root.Left.Level(); got != 2 { // d1
+		t.Errorf("level(d1) = %d, want 2", got)
+	}
+	if got := root.Right.Level(); got != 1 { // d4
+		t.Errorf("level(d4) = %d, want 1", got)
+	}
+	if got := root.Left.Left.Level(); got != 1 { // d2
+		t.Errorf("level(d2) = %d, want 1", got)
+	}
+	if got := root.Right.Left.Level(); got != 0 { // L4
+		t.Errorf("level(L4) = %d, want 0", got)
+	}
+}
+
+func TestWalkPreorder(t *testing.T) {
+	f := Figure1()
+	var branches []uint64
+	var leaves []int
+	f.Walk(func(_ int, n *Node) {
+		if n.Leaf {
+			leaves = append(leaves, n.Label)
+		} else {
+			branches = append(branches, n.Threshold)
+		}
+	})
+	wantThresholds := []uint64{3, 2, 1, 5, 7} // d0 d1 d2 d3 d4
+	if len(branches) != len(wantThresholds) {
+		t.Fatalf("branch count %d, want %d", len(branches), len(wantThresholds))
+	}
+	for i := range wantThresholds {
+		if branches[i] != wantThresholds[i] {
+			t.Errorf("branch %d threshold %d, want %d", i, branches[i], wantThresholds[i])
+		}
+	}
+	wantLeaves := []int{0, 1, 2, 3, 4, 5}
+	for i := range wantLeaves {
+		if leaves[i] != wantLeaves[i] {
+			t.Errorf("leaf %d = L%d, want L%d", i, leaves[i], wantLeaves[i])
+		}
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	f := Figure1()
+	text, err := FormatString(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("ParseString: %v\ninput:\n%s", err, text)
+	}
+	text2, err := FormatString(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != text2 {
+		t.Errorf("round trip not stable:\n%s\nvs\n%s", text, text2)
+	}
+	// Same classifications.
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			a := f.Classify([]uint64{x, y})
+			b := back.Classify([]uint64{x, y})
+			if a[0] != b[0] {
+				t.Fatalf("(%d,%d): %d vs %d", x, y, a[0], b[0])
+			}
+		}
+	}
+}
+
+func TestParseGolden(t *testing.T) {
+	const text = `
+# a two-tree forest
+labels approve deny
+features 3
+precision 8
+
+tree (0 130 (1 77 0 1) 1)
+tree (2 40 0 (0 99 1 0))
+`
+	f, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Trees) != 2 || f.NumFeatures != 3 || f.Precision != 8 {
+		t.Errorf("parsed header wrong: %+v", f)
+	}
+	if f.Labels[0] != "approve" || f.Labels[1] != "deny" {
+		t.Errorf("labels = %v", f.Labels)
+	}
+	if got := f.Classify([]uint64{131, 0, 0}); got[0] != 1 {
+		t.Errorf("tree 0 with f0=131 -> %d, want 1", got[0])
+	}
+	if got := f.Classify([]uint64{0, 0, 0}); got[0] != 0 {
+		t.Errorf("tree 0 with f0=0 -> %d, want 0", got[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"bogus directive",
+		"labels a b\nfeatures x\nprecision 8\ntree 0",
+		"labels a b\nfeatures 1\nprecision 8\ntree (0 5 0",      // truncated
+		"labels a b\nfeatures 1\nprecision 8\ntree (0 5 0 1) 7", // trailing
+		"labels a b\nfeatures 1\nprecision 8\ntree (9 5 0 1)",   // bad feature
+		"labels a b\nfeatures 1\nprecision 8\ntree (0 999 0 1)", // threshold > 2^8
+		"labels a b\nfeatures 1\nprecision 8\ntree (0 5 0 9)",   // bad label
+		"labels a b\nfeatures 1\nprecision 8",                   // no trees
+		"labels a b\nfeatures 1\nprecision 99\ntree (0 5 0 1)",  // bad precision
+	}
+	for i, text := range bad {
+		if _, err := ParseString(text); err == nil {
+			t.Errorf("case %d: bad input accepted:\n%s", i, text)
+		}
+	}
+}
+
+func TestPlurality(t *testing.T) {
+	if got := Plurality([]int{0, 1, 1, 2}, 3); got != 1 {
+		t.Errorf("Plurality = %d, want 1", got)
+	}
+	if got := Plurality([]int{2, 0, 2, 0}, 3); got != 0 {
+		t.Errorf("tie should break low: got %d", got)
+	}
+	if got := Plurality(nil, 3); got != 0 {
+		t.Errorf("empty votes: got %d", got)
+	}
+}
+
+func TestValidateCatchesBrokenTrees(t *testing.T) {
+	f := Figure1()
+	f.Trees[0].Root.Left.Right = nil
+	if err := f.Validate(); err == nil {
+		t.Error("missing child accepted")
+	}
+	if err := (&Forest{Labels: []string{"a"}, NumFeatures: 1, Precision: 8}).Validate(); err == nil {
+		t.Error("empty forest accepted")
+	}
+}
+
+func TestFormatRejectsInvalid(t *testing.T) {
+	var sb strings.Builder
+	if err := Format(&sb, &Forest{}); err == nil {
+		t.Error("Format accepted an invalid forest")
+	}
+}

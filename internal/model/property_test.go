@@ -1,0 +1,111 @@
+package model
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// randomForest builds an arbitrary valid forest directly (independent of
+// the synth generator, to avoid testing the serializer against only one
+// shape distribution).
+func randomForest(r *rand.Rand) *Forest {
+	numFeatures := 1 + r.IntN(5)
+	numLabels := 1 + r.IntN(6)
+	precision := 1 + r.IntN(16)
+	f := &Forest{NumFeatures: numFeatures, Precision: precision}
+	for i := 0; i < numLabels; i++ {
+		f.Labels = append(f.Labels, "L"+string(rune('a'+i)))
+	}
+	var grow func(depth int) *Node
+	grow = func(depth int) *Node {
+		if depth >= 6 || r.IntN(3) == 0 {
+			return &Node{Leaf: true, Label: r.IntN(numLabels)}
+		}
+		return &Node{
+			Feature:   r.IntN(numFeatures),
+			Threshold: r.Uint64N(1 << uint(precision)),
+			Left:      grow(depth + 1),
+			Right:     grow(depth + 1),
+		}
+	}
+	for t := 0; t < 1+r.IntN(4); t++ {
+		f.Trees = append(f.Trees, &Tree{Root: grow(0)})
+	}
+	return f
+}
+
+// TestSerializationRoundTripProperty: Format∘Parse is the identity on
+// arbitrary forests, both structurally and behaviorally.
+func TestSerializationRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 0x5e71a1))
+		forest := randomForest(r)
+		text, err := FormatString(forest)
+		if err != nil {
+			return false
+		}
+		back, err := ParseString(text)
+		if err != nil {
+			return false
+		}
+		text2, err := FormatString(back)
+		if err != nil || text != text2 {
+			return false
+		}
+		// Behavioral equality on random inputs.
+		for trial := 0; trial < 5; trial++ {
+			feats := make([]uint64, forest.NumFeatures)
+			for i := range feats {
+				feats[i] = r.Uint64N(1 << uint(forest.Precision))
+			}
+			a := forest.Classify(feats)
+			b := back.Classify(feats)
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStatisticsConsistency: structural invariants relating the §4.1.1
+// quantities on arbitrary forests.
+func TestStatisticsConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 0x57a7))
+		forest := randomForest(r)
+		b := forest.Branches()
+		leaves := forest.Leaves()
+		// In a forest of binary trees, leaves = branches + #trees.
+		if leaves != b+len(forest.Trees) {
+			return false
+		}
+		// Branching equals the sum of multiplicities.
+		sum := 0
+		for _, k := range forest.Multiplicities() {
+			sum += k
+		}
+		if sum != b {
+			return false
+		}
+		// Quantized branching dominates branching.
+		if forest.QuantizedBranching() < b && b > 0 {
+			return false
+		}
+		// Depth is the max root level.
+		d := 0
+		for _, tr := range forest.Trees {
+			d = max(d, tr.Root.Level())
+		}
+		return d == forest.Depth()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,232 @@
+package ring
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// crtLevel holds the constants for reconstructing integers from their RNS
+// residues at one level of the prime chain.
+type crtLevel struct {
+	bigQ  *big.Int   // product of active primes
+	halfQ *big.Int   // bigQ / 2, for centering
+	qiHat []*big.Int // bigQ / q_i
+	inv   []uint64   // (bigQ/q_i)^{-1} mod q_i
+}
+
+func (ctx *Context) buildCRT() {
+	ctx.crt = make([]*crtLevel, len(ctx.Moduli))
+	for level := range ctx.Moduli {
+		cl := &crtLevel{bigQ: big.NewInt(1)}
+		for i := 0; i <= level; i++ {
+			cl.bigQ = new(big.Int).Mul(cl.bigQ, new(big.Int).SetUint64(ctx.Moduli[i].Q))
+		}
+		cl.halfQ = new(big.Int).Rsh(cl.bigQ, 1)
+		for i := 0; i <= level; i++ {
+			q := ctx.Moduli[i].Q
+			hat := new(big.Int).Div(cl.bigQ, new(big.Int).SetUint64(q))
+			cl.qiHat = append(cl.qiHat, hat)
+			hatModQ := new(big.Int).Mod(hat, new(big.Int).SetUint64(q)).Uint64()
+			cl.inv = append(cl.inv, InvMod(hatModQ, q))
+		}
+		ctx.crt[level] = cl
+	}
+}
+
+// BigQ returns the full modulus at the given level.
+func (ctx *Context) BigQ(level int) *big.Int { return ctx.crt[level].bigQ }
+
+// reconstructCoeff writes the CRT reconstruction of residues res (one per
+// active prime) into out, reduced into [0, Q).
+func (cl *crtLevel) reconstructCoeff(res []uint64, moduli []*Modulus, out, scratch *big.Int) {
+	out.SetUint64(0)
+	for i, r := range res {
+		v := MulMod(r, cl.inv[i], moduli[i].Q)
+		scratch.SetUint64(v)
+		scratch.Mul(scratch, cl.qiHat[i])
+		out.Add(out, scratch)
+	}
+	out.Mod(out, cl.bigQ)
+}
+
+// ToCenteredMod reconstructs each coefficient of p (coefficient domain),
+// centers it in (-Q/2, Q/2], and reduces modulo m. This is the final step
+// of BGV decryption.
+func (ctx *Context) ToCenteredMod(p *Poly, m uint64) []uint64 {
+	if p.IsNTT {
+		panic("ring: ToCenteredMod requires coefficient-domain input")
+	}
+	cl := ctx.crt[p.Level()]
+	out := make([]uint64, ctx.N)
+	acc := new(big.Int)
+	scratch := new(big.Int)
+	mBig := new(big.Int).SetUint64(m)
+	res := make([]uint64, p.Level()+1)
+	for j := 0; j < ctx.N; j++ {
+		for i := range res {
+			res[i] = p.Coeffs[i][j]
+		}
+		cl.reconstructCoeff(res, ctx.Moduli, acc, scratch)
+		if acc.Cmp(cl.halfQ) > 0 {
+			acc.Sub(acc, cl.bigQ)
+		}
+		acc.Mod(acc, mBig) // big.Int Mod is Euclidean: result in [0, m)
+		out[j] = acc.Uint64()
+	}
+	return out
+}
+
+// MaxCenteredBits returns the bit length of the largest centered
+// coefficient of p. It is used to measure ciphertext noise.
+func (ctx *Context) MaxCenteredBits(p *Poly) int {
+	if p.IsNTT {
+		panic("ring: MaxCenteredBits requires coefficient-domain input")
+	}
+	cl := ctx.crt[p.Level()]
+	acc := new(big.Int)
+	scratch := new(big.Int)
+	res := make([]uint64, p.Level()+1)
+	maxBits := 0
+	for j := 0; j < ctx.N; j++ {
+		for i := range res {
+			res[i] = p.Coeffs[i][j]
+		}
+		cl.reconstructCoeff(res, ctx.Moduli, acc, scratch)
+		if acc.Cmp(cl.halfQ) > 0 {
+			acc.Sub(acc, cl.bigQ)
+			acc.Neg(acc)
+		}
+		if bl := acc.BitLen(); bl > maxBits {
+			maxBits = bl
+		}
+	}
+	return maxBits
+}
+
+// DecomposeBase2w decomposes a coefficient-domain polynomial into base-2^w
+// digit polynomials: p = Σ_k digits[k] · 2^{kw}, with every digit
+// coefficient in [0, 2^w). The digits are returned in NTT domain, ready
+// for key switching. Because the digits are level-independent, a single
+// key-switching key (generated at the top level) serves every level.
+func (ctx *Context) DecomposeBase2w(p *Poly, w int) []*Poly {
+	if p.IsNTT {
+		panic("ring: DecomposeBase2w requires coefficient-domain input")
+	}
+	level := p.Level()
+	cl := ctx.crt[level]
+	numDigits := (cl.bigQ.BitLen() + w - 1) / w
+	digits := make([]*Poly, numDigits)
+	for k := range digits {
+		digits[k] = ctx.NewPoly(level)
+	}
+	acc := new(big.Int)
+	scratch := new(big.Int)
+	res := make([]uint64, level+1)
+	for j := 0; j < ctx.N; j++ {
+		for i := range res {
+			res[i] = p.Coeffs[i][j]
+		}
+		cl.reconstructCoeff(res, ctx.Moduli, acc, scratch)
+		words := acc.Bits()
+		for k := 0; k < numDigits; k++ {
+			d := extractBits(words, k*w, w)
+			for i := 0; i <= level; i++ {
+				q := ctx.Moduli[i].Q
+				if d < q {
+					digits[k].Coeffs[i][j] = d
+				} else {
+					digits[k].Coeffs[i][j] = d % q
+				}
+			}
+		}
+	}
+	for k := range digits {
+		ctx.NTT(digits[k])
+	}
+	return digits
+}
+
+// NumDigits returns the number of base-2^w digits needed at the given
+// level.
+func (ctx *Context) NumDigits(level, w int) int {
+	return (ctx.crt[level].bigQ.BitLen() + w - 1) / w
+}
+
+// extractBits reads `width` bits starting at bit offset `start` from a
+// little-endian big.Word slice. width must be at most 63.
+func extractBits(words []big.Word, start, width int) uint64 {
+	const ws = bits.UintSize
+	wordIdx := start / ws
+	bitIdx := start % ws
+	if wordIdx >= len(words) {
+		return 0
+	}
+	v := uint64(words[wordIdx]) >> uint(bitIdx)
+	got := ws - bitIdx
+	for got < width {
+		wordIdx++
+		if wordIdx >= len(words) {
+			break
+		}
+		v |= uint64(words[wordIdx]) << uint(got)
+		got += ws
+	}
+	return v & (uint64(1)<<uint(width) - 1)
+}
+
+// ModSwitchDown performs the exact BGV modulus switch, dropping the top
+// prime q_l: it replaces c by (c - δ)/q_l where δ ≡ c (mod q_l) and
+// δ ≡ 0 (mod t), with δ centered so the added noise is minimal. Because
+// every prime is ≡ 1 mod t, the plaintext is preserved without scaling.
+// The input must be in NTT domain and at level ≥ 1.
+func (ctx *Context) ModSwitchDown(p *Poly) {
+	if !p.IsNTT {
+		panic("ring: ModSwitchDown requires NTT-domain input")
+	}
+	l := p.Level()
+	if l < 1 {
+		panic("ring: ModSwitchDown at level 0")
+	}
+	ql := ctx.Moduli[l].Q
+	t := ctx.T
+
+	// Recover the dropped component in coefficient domain.
+	top := make([]uint64, ctx.N)
+	copy(top, p.Coeffs[l])
+	ctx.Moduli[l].INTT(top)
+
+	// v = centered([c * t^{-1}]_{q_l}); δ = t * v.
+	tInv := InvMod(t%ql, ql)
+	half := ql >> 1
+	vs := make([]int64, ctx.N)
+	for j := range vs {
+		v := MulMod(top[j], tInv, ql)
+		if v > half {
+			vs[j] = int64(v) - int64(ql)
+		} else {
+			vs[j] = int64(v)
+		}
+	}
+
+	delta := make([]uint64, ctx.N)
+	for i := 0; i < l; i++ {
+		qi := ctx.Moduli[i].Q
+		invQl := InvMod(ql%qi, qi)
+		invQlS := ShoupPrecomp(invQl, qi)
+		for j, v := range vs {
+			var d uint64
+			if v >= 0 {
+				d = MulMod(uint64(v)%qi, t%qi, qi)
+			} else {
+				d = NegMod(MulMod(uint64(-v)%qi, t%qi, qi), qi)
+			}
+			delta[j] = d
+		}
+		ctx.Moduli[i].NTT(delta)
+		pi := p.Coeffs[i]
+		for j := range pi {
+			pi[j] = MulModShoup(SubMod(pi[j], delta[j], qi), invQl, invQlS, qi)
+		}
+	}
+	p.Coeffs = p.Coeffs[:l]
+}

@@ -1,0 +1,53 @@
+package ring
+
+// NTT transforms a in place from coefficient to evaluation (NTT) domain.
+// The output is in bit-reversed order, following the standard iterative
+// Cooley-Tukey decimation-in-time negacyclic transform. len(a) must equal
+// the modulus transform size.
+func (m *Modulus) NTT(a []uint64) {
+	n := m.N
+	q := m.Q
+	t := n
+	for grp := 1; grp < n; grp <<= 1 {
+		t >>= 1
+		for i := 0; i < grp; i++ {
+			j1 := 2 * i * t
+			j2 := j1 + t
+			w := m.psiRev[grp+i]
+			ws := m.psiRevS[grp+i]
+			for j := j1; j < j2; j++ {
+				u := a[j]
+				v := MulModShoup(a[j+t], w, ws, q)
+				a[j] = AddMod(u, v, q)
+				a[j+t] = SubMod(u, v, q)
+			}
+		}
+	}
+}
+
+// INTT transforms a in place from NTT (bit-reversed) back to coefficient
+// domain, including the 1/N scaling. It is the exact inverse of NTT.
+func (m *Modulus) INTT(a []uint64) {
+	n := m.N
+	q := m.Q
+	t := 1
+	for grp := n >> 1; grp >= 1; grp >>= 1 {
+		j1 := 0
+		for i := 0; i < grp; i++ {
+			j2 := j1 + t
+			w := m.psiInvRev[grp+i]
+			ws := m.psiInvRevS[grp+i]
+			for j := j1; j < j2; j++ {
+				u := a[j]
+				v := a[j+t]
+				a[j] = AddMod(u, v, q)
+				a[j+t] = MulModShoup(SubMod(u, v, q), w, ws, q)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for i := range a {
+		a[i] = MulModShoup(a[i], m.nInv, m.nInvS, q)
+	}
+}

@@ -1,0 +1,237 @@
+package ring
+
+import "fmt"
+
+// Poly is a polynomial in Z_Q[x]/(x^N+1) stored in RNS form: Coeffs[i][j]
+// is coefficient j reduced modulo the i-th prime of the chain. A Poly
+// "lives" at a level: level ℓ means primes 0..ℓ are active, so
+// len(Coeffs) == ℓ+1. IsNTT records whether the coefficients are in
+// evaluation (NTT) domain.
+type Poly struct {
+	Coeffs [][]uint64
+	IsNTT  bool
+}
+
+// Level returns the level of p (number of active primes minus one).
+func (p *Poly) Level() int { return len(p.Coeffs) - 1 }
+
+// N returns the ring degree.
+func (p *Poly) N() int { return len(p.Coeffs[0]) }
+
+// Copy returns a deep copy of p.
+func (p *Poly) Copy() *Poly {
+	out := &Poly{Coeffs: make([][]uint64, len(p.Coeffs)), IsNTT: p.IsNTT}
+	for i := range p.Coeffs {
+		out.Coeffs[i] = make([]uint64, len(p.Coeffs[i]))
+		copy(out.Coeffs[i], p.Coeffs[i])
+	}
+	return out
+}
+
+// DropLevel removes the top prime's residues, lowering the level by one.
+// It does not rescale; callers wanting BGV modulus switching should use
+// the scheme-level operation.
+func (p *Poly) DropLevel() {
+	p.Coeffs = p.Coeffs[:len(p.Coeffs)-1]
+}
+
+// Context bundles a ring degree, a chain of NTT-friendly primes and the
+// plaintext modulus, along with the precomputation needed for CRT
+// reconstruction at every level.
+type Context struct {
+	N      int
+	LogN   int
+	Moduli []*Modulus // prime chain q_0 .. q_L
+	T      uint64     // plaintext modulus
+
+	crt []*crtLevel // per-level CRT reconstruction tables
+}
+
+// NewContext creates a ring context for degree n = 2^logN with the given
+// prime chain and plaintext modulus. Every prime must be ≡ 1 mod 2n (for
+// the NTT) and ≡ 1 mod t (so BGV modulus switching does not scale the
+// plaintext).
+func NewContext(logN int, primes []uint64, t uint64) (*Context, error) {
+	if logN < 4 || logN > 16 {
+		return nil, fmt.Errorf("ring: logN %d out of range [4,16]", logN)
+	}
+	n := 1 << logN
+	ctx := &Context{N: n, LogN: logN, T: t}
+	for _, q := range primes {
+		if q%t != 1 {
+			return nil, fmt.Errorf("ring: prime %d is not congruent to 1 mod t=%d", q, t)
+		}
+		m, err := NewModulus(q, n)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Moduli = append(ctx.Moduli, m)
+	}
+	if len(ctx.Moduli) == 0 {
+		return nil, fmt.Errorf("ring: empty prime chain")
+	}
+	ctx.buildCRT()
+	return ctx, nil
+}
+
+// MaxLevel returns the highest level supported by the chain.
+func (ctx *Context) MaxLevel() int { return len(ctx.Moduli) - 1 }
+
+// NewPoly allocates a zero polynomial at the given level.
+func (ctx *Context) NewPoly(level int) *Poly {
+	p := &Poly{Coeffs: make([][]uint64, level+1)}
+	for i := range p.Coeffs {
+		p.Coeffs[i] = make([]uint64, ctx.N)
+	}
+	return p
+}
+
+// NTT converts p to evaluation domain in place.
+func (ctx *Context) NTT(p *Poly) {
+	if p.IsNTT {
+		panic("ring: NTT of a poly already in NTT domain")
+	}
+	for i := range p.Coeffs {
+		ctx.Moduli[i].NTT(p.Coeffs[i])
+	}
+	p.IsNTT = true
+}
+
+// INTT converts p to coefficient domain in place.
+func (ctx *Context) INTT(p *Poly) {
+	if !p.IsNTT {
+		panic("ring: INTT of a poly already in coefficient domain")
+	}
+	for i := range p.Coeffs {
+		ctx.Moduli[i].INTT(p.Coeffs[i])
+	}
+	p.IsNTT = false
+}
+
+// Add sets out = a + b. All three must share a level and domain.
+func (ctx *Context) Add(a, b, out *Poly) {
+	for i := range out.Coeffs {
+		q := ctx.Moduli[i].Q
+		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = AddMod(ai[j], bi[j], q)
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// Sub sets out = a - b.
+func (ctx *Context) Sub(a, b, out *Poly) {
+	for i := range out.Coeffs {
+		q := ctx.Moduli[i].Q
+		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = SubMod(ai[j], bi[j], q)
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// Neg sets out = -a.
+func (ctx *Context) Neg(a, out *Poly) {
+	for i := range out.Coeffs {
+		q := ctx.Moduli[i].Q
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = NegMod(ai[j], q)
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// MulCoeffs sets out = a ⊙ b (pointwise). Both inputs must be in NTT
+// domain, where the pointwise product realizes negacyclic convolution.
+func (ctx *Context) MulCoeffs(a, b, out *Poly) {
+	if !a.IsNTT || !b.IsNTT {
+		panic("ring: MulCoeffs requires NTT-domain operands")
+	}
+	for i := range out.Coeffs {
+		q := ctx.Moduli[i].Q
+		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = MulMod(ai[j], bi[j], q)
+		}
+	}
+	out.IsNTT = true
+}
+
+// MulCoeffsAdd sets out += a ⊙ b (pointwise, NTT domain).
+func (ctx *Context) MulCoeffsAdd(a, b, out *Poly) {
+	if !a.IsNTT || !b.IsNTT {
+		panic("ring: MulCoeffsAdd requires NTT-domain operands")
+	}
+	for i := range out.Coeffs {
+		q := ctx.Moduli[i].Q
+		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = AddMod(oi[j], MulMod(ai[j], bi[j], q), q)
+		}
+	}
+	out.IsNTT = true
+}
+
+// MulScalar sets out = a * c for a word-sized scalar c.
+func (ctx *Context) MulScalar(a *Poly, c uint64, out *Poly) {
+	for i := range out.Coeffs {
+		q := ctx.Moduli[i].Q
+		cq := c % q
+		cs := ShoupPrecomp(cq, q)
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = MulModShoup(ai[j], cq, cs, q)
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// Automorphism applies the Galois map x -> x^g (g odd) to a
+// coefficient-domain polynomial: out_k = ±a_j where j*g ≡ k (mod 2N) and
+// the sign accounts for x^N = -1.
+func (ctx *Context) Automorphism(a *Poly, g uint64, out *Poly) {
+	if a.IsNTT {
+		panic("ring: Automorphism requires coefficient-domain input")
+	}
+	if a == out {
+		panic("ring: Automorphism cannot run in place")
+	}
+	n := uint64(ctx.N)
+	mask := 2*n - 1
+	for i := range out.Coeffs {
+		q := ctx.Moduli[i].Q
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := uint64(0); j < n; j++ {
+			k := (j * g) & mask
+			if k < n {
+				oi[k] = ai[j]
+			} else {
+				oi[k-n] = NegMod(ai[j], q)
+			}
+		}
+	}
+	out.IsNTT = false
+}
+
+// SetLift fills p (coefficient domain) with the given small signed
+// coefficients, reducing each into every active prime.
+func (ctx *Context) SetLift(coeffs []int64, p *Poly) {
+	for i := range p.Coeffs {
+		q := ctx.Moduli[i].Q
+		pi := p.Coeffs[i]
+		for j, c := range coeffs {
+			if c >= 0 {
+				pi[j] = uint64(c) % q
+			} else {
+				pi[j] = q - (uint64(-c) % q)
+				if pi[j] == q {
+					pi[j] = 0
+				}
+			}
+		}
+	}
+	p.IsNTT = false
+}

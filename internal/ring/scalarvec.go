@@ -1,0 +1,16 @@
+package ring
+
+// MulScalarVec sets out = a * c where c gives one scalar per active prime
+// (already reduced modulo that prime). It is used for gadget factors
+// 2^{kw} mod q_i that exceed 64 bits as integers.
+func (ctx *Context) MulScalarVec(a *Poly, c []uint64, out *Poly) {
+	for i := range out.Coeffs {
+		q := ctx.Moduli[i].Q
+		cs := ShoupPrecomp(c[i], q)
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = MulModShoup(ai[j], c[i], cs, q)
+		}
+	}
+	out.IsNTT = a.IsNTT
+}

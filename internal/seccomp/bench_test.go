@@ -1,0 +1,51 @@
+package seccomp
+
+import (
+	"fmt"
+	"testing"
+
+	"copse/internal/bits"
+	"copse/internal/he"
+	"copse/internal/he/heclear"
+)
+
+// BenchmarkCompareGT shows the comparison step's cost scaling with
+// precision (superlinear, Figure 10c) and its independence from the
+// packed width (the heart of COPSE's Step 1).
+func BenchmarkCompareGT(b *testing.B) {
+	backend := heclear.New(1024, 65537)
+	for _, p := range []int{4, 8, 16} {
+		x := make([]uint64, 1024)
+		y := make([]uint64, 1024)
+		for i := range x {
+			x[i] = uint64(i) % (1 << uint(p))
+			y[i] = uint64(1023-i) % (1 << uint(p))
+		}
+		xo := planes(b, backend, x, p)
+		yo := planes(b, backend, y, p)
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := CompareGT(backend, xo, yo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func planes(b *testing.B, backend he.Backend, vals []uint64, p int) []he.Operand {
+	b.Helper()
+	pl, err := bits.Transpose(vals, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := make([]he.Operand, p)
+	for i := range pl {
+		ct, err := backend.Encrypt(pl[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops[i] = he.Cipher(ct)
+	}
+	return ops
+}

@@ -1,0 +1,249 @@
+package seccomp
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"copse/internal/bgv"
+	"copse/internal/bits"
+	"copse/internal/he"
+	"copse/internal/he/hebgv"
+	"copse/internal/he/heclear"
+)
+
+// bitPlaneOperands transposes vals into MSB-first bit planes and wraps
+// each plane as a cipher or plain operand.
+func bitPlaneOperands(t *testing.T, b he.Backend, vals []uint64, p int, cipher bool) []he.Operand {
+	t.Helper()
+	planes, err := bits.Transpose(vals, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]he.Operand, p)
+	for i, plane := range planes {
+		if cipher {
+			ct, err := b.Encrypt(plane)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ops[i] = he.Cipher(ct)
+		} else {
+			ops[i], err = he.NewPlain(b, plane)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return ops
+}
+
+// TestCompareGTAllCombos: [x > y] over every cipher/plain combination
+// and a range of precisions, against the plain comparison.
+func TestCompareGTAllCombos(t *testing.T) {
+	b := heclear.New(64, 65537)
+	r := rand.New(rand.NewPCG(1, 1))
+	for _, p := range []int{1, 2, 3, 4, 8, 16} {
+		for _, xc := range []bool{true, false} {
+			for _, yc := range []bool{true, false} {
+				n := 64
+				x := make([]uint64, n)
+				y := make([]uint64, n)
+				for i := range x {
+					x[i] = r.Uint64N(1 << uint(p))
+					y[i] = r.Uint64N(1 << uint(p))
+				}
+				// Force some equal pairs (boundary case: equal means NOT greater).
+				x[0], y[0] = 5%(1<<uint(p)), 5%(1<<uint(p))
+				xOps := bitPlaneOperands(t, b, x, p, xc)
+				yOps := bitPlaneOperands(t, b, y, p, yc)
+				res, err := CompareGT(b, xOps, yOps)
+				if err != nil {
+					t.Fatalf("p=%d cipher=(%v,%v): %v", p, xc, yc, err)
+				}
+				got, err := he.Reveal(b, res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range x {
+					want := uint64(0)
+					if x[i] > y[i] {
+						want = 1
+					}
+					if got[i] != want {
+						t.Fatalf("p=%d cipher=(%v,%v) slot %d: %d>%d got %d want %d",
+							p, xc, yc, i, x[i], y[i], got[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompareGTQuick is the property form over random precisions/values.
+func TestCompareGTQuick(t *testing.T) {
+	b := heclear.New(32, 65537)
+	f := func(seed uint64, pRaw uint8) bool {
+		p := int(pRaw%12) + 1
+		r := rand.New(rand.NewPCG(seed, 9))
+		x := make([]uint64, 32)
+		y := make([]uint64, 32)
+		for i := range x {
+			x[i] = r.Uint64N(1 << uint(p))
+			y[i] = r.Uint64N(1 << uint(p))
+		}
+		xOps := bitPlaneOperands(t, b, x, p, true)
+		yOps := bitPlaneOperands(t, b, y, p, true)
+		res, err := CompareGT(b, xOps, yOps)
+		if err != nil {
+			return false
+		}
+		got, err := he.Reveal(b, res)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			want := uint64(0)
+			if x[i] > y[i] {
+				want = 1
+			}
+			if got[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompareDepthLogarithmic: the circuit depth must grow like log p,
+// not linearly (the property that makes the comparison step scalable —
+// paper Table 1a).
+func TestCompareDepthLogarithmic(t *testing.T) {
+	b := heclear.New(16, 65537)
+	depthFor := func(p int) int {
+		x := make([]uint64, 8)
+		y := make([]uint64, 8)
+		for i := range x {
+			x[i] = uint64(i) % (1 << uint(p))
+			y[i] = uint64(7-i) % (1 << uint(p))
+		}
+		res, err := CompareGT(b, bitPlaneOperands(t, b, x, p, true), bitPlaneOperands(t, b, y, p, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Ct.Depth()
+	}
+	d8 := depthFor(8)
+	d16 := depthFor(16)
+	if d8 > 6 {
+		t.Errorf("depth at p=8 is %d, want ≤ 6 (≈ log2 p + 2)", d8)
+	}
+	if d16-d8 > 1 {
+		t.Errorf("doubling precision added %d depth (8→16: %d→%d); want ≤ 1", d16-d8, d8, d16)
+	}
+}
+
+// TestCompareMulCountSuperlinear: ciphertext multiplications should grow
+// like p log p (Figure 10c's superlinear comparison cost).
+func TestCompareMulCountSuperlinear(t *testing.T) {
+	b := heclear.New(16, 65537)
+	mulsFor := func(p int) int64 {
+		x := make([]uint64, 8)
+		y := make([]uint64, 8)
+		xo := bitPlaneOperands(t, b, x, p, true)
+		yo := bitPlaneOperands(t, b, y, p, true)
+		b.ResetCounts()
+		if _, err := CompareGT(b, xo, yo); err != nil {
+			t.Fatal(err)
+		}
+		return b.Counts().Mul
+	}
+	m4, m8, m16 := mulsFor(4), mulsFor(8), mulsFor(16)
+	if !(m4 < m8 && m8 < m16) {
+		t.Fatalf("multiplication counts not increasing: %d, %d, %d", m4, m8, m16)
+	}
+	if m16 < 2*m8 {
+		t.Errorf("expected superlinear growth: muls(16)=%d < 2·muls(8)=%d", m16, 2*m8)
+	}
+}
+
+// TestCompareGTPlaintextSideIsCheap: with plaintext thresholds (the M=S
+// scenario), per-bit terms are affine and only prefix products multiply.
+func TestCompareGTPlaintextSideIsCheap(t *testing.T) {
+	b := heclear.New(16, 65537)
+	const p = 8
+	x := []uint64{200, 3, 77, 255}
+	y := []uint64{100, 30, 77, 0}
+	xOps := bitPlaneOperands(t, b, x, p, false) // plaintext thresholds
+	yOps := bitPlaneOperands(t, b, y, p, true)
+	b.ResetCounts()
+	if _, err := CompareGT(b, xOps, yOps); err != nil {
+		t.Fatal(err)
+	}
+	cipherBoth := b.Counts()
+	// All-cipher version for comparison.
+	xc := bitPlaneOperands(t, b, x, p, true)
+	b.ResetCounts()
+	if _, err := CompareGT(b, xc, yOps); err != nil {
+		t.Fatal(err)
+	}
+	allCipher := b.Counts()
+	if cipherBoth.Mul >= allCipher.Mul {
+		t.Errorf("plaintext side did not reduce ct-ct muls: %d vs %d", cipherBoth.Mul, allCipher.Mul)
+	}
+}
+
+func TestCompareGTErrors(t *testing.T) {
+	b := heclear.New(8, 65537)
+	if _, err := CompareGT(b, nil, nil); err == nil {
+		t.Error("empty bit planes accepted")
+	}
+	x := bitPlaneOperands(t, b, []uint64{1}, 2, true)
+	y := bitPlaneOperands(t, b, []uint64{1}, 3, true)
+	if _, err := CompareGT(b, x, y); err == nil {
+		t.Error("mismatched precisions accepted")
+	}
+}
+
+// TestCompareGTOnBGV runs the comparison on real ciphertexts and checks
+// it against the clear backend (integration test).
+func TestCompareGTOnBGV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BGV integration test")
+	}
+	const p = 4
+	backend, err := hebgv.New(hebgv.Config{Params: bgv.TestParams(8), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewPCG(5, 5))
+	n := 32
+	x := make([]uint64, n)
+	y := make([]uint64, n)
+	for i := range x {
+		x[i] = r.Uint64N(1 << p)
+		y[i] = r.Uint64N(1 << p)
+	}
+	res, err := CompareGT(backend,
+		bitPlaneOperands(t, backend, x, p, true),
+		bitPlaneOperands(t, backend, y, p, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := he.Reveal(backend, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		want := uint64(0)
+		if x[i] > y[i] {
+			want = 1
+		}
+		if got[i] != want {
+			t.Fatalf("slot %d: %d>%d got %d want %d", i, x[i], y[i], got[i], want)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package synth
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Dataset is a labelled tabular dataset for forest training.
+type Dataset struct {
+	Name         string
+	FeatureNames []string
+	Labels       []string
+	X            [][]float64
+	Y            []int
+}
+
+// Income generates a synthetic stand-in for the census-income dataset
+// [15]: 8 numeric census-style features and a binary >50K label produced
+// by a noisy nonlinear rule, so trained forests have realistic structure
+// (deep trees, uneven feature multiplicities).
+func Income(n int, seed uint64) *Dataset {
+	r := rand.New(rand.NewPCG(seed, 0x1c0e))
+	d := &Dataset{
+		Name: "income",
+		FeatureNames: []string{
+			"age", "education_num", "hours_per_week", "capital_gain",
+			"capital_loss", "workclass", "occupation", "marital",
+		},
+		Labels: []string{"<=50K", ">50K"},
+	}
+	for i := 0; i < n; i++ {
+		age := 17 + r.Float64()*60
+		edu := float64(1 + r.IntN(16))
+		hours := 10 + r.Float64()*70
+		gain := 0.0
+		if r.Float64() < 0.15 {
+			gain = r.Float64() * 20000
+		}
+		loss := 0.0
+		if r.Float64() < 0.08 {
+			loss = r.Float64() * 3000
+		}
+		workclass := float64(r.IntN(7))
+		occupation := float64(r.IntN(14))
+		marital := float64(r.IntN(7))
+
+		score := 0.05*(age-38) + 0.5*(edu-9) + 0.06*(hours-40) +
+			gain/4000 - loss/2000 + 0.3*math.Sin(occupation) +
+			boolTo(marital < 2, 1.2, -0.4)
+		score += r.NormFloat64() * 1.1
+		label := 0
+		if score > 1.0 {
+			label = 1
+		}
+		d.X = append(d.X, []float64{age, edu, hours, gain, loss, workclass, occupation, marital})
+		d.Y = append(d.Y, label)
+	}
+	return d
+}
+
+// Soccer generates a synthetic stand-in for the soccer international
+// history dataset [16]: match-history features and a 3-class
+// home-win/draw/away-win label.
+func Soccer(n int, seed uint64) *Dataset {
+	r := rand.New(rand.NewPCG(seed, 0x50cc))
+	d := &Dataset{
+		Name: "soccer",
+		FeatureNames: []string{
+			"home_rank", "away_rank", "home_goals_avg", "away_goals_avg",
+			"home_form", "away_form", "h2h_balance", "neutral", "friendly",
+		},
+		Labels: []string{"home_win", "draw", "away_win"},
+	}
+	for i := 0; i < n; i++ {
+		homeRank := 1 + r.Float64()*199
+		awayRank := 1 + r.Float64()*199
+		homeGoals := r.Float64() * 3
+		awayGoals := r.Float64() * 3
+		homeForm := r.Float64() * 15
+		awayForm := r.Float64() * 15
+		h2h := r.NormFloat64() * 2
+		neutral := float64(r.IntN(2))
+		friendly := float64(r.IntN(2))
+
+		edge := 0.012*(awayRank-homeRank) + 0.5*(homeGoals-awayGoals) +
+			0.06*(homeForm-awayForm) + 0.15*h2h +
+			boolTo(neutral == 0, 0.45, 0)
+		edge += r.NormFloat64() * 0.9
+		var label int
+		switch {
+		case edge > 0.35:
+			label = 0
+		case edge < -0.35:
+			label = 2
+		default:
+			label = 1
+		}
+		d.X = append(d.X, []float64{homeRank, awayRank, homeGoals, awayGoals,
+			homeForm, awayForm, h2h, neutral, friendly})
+		d.Y = append(d.Y, label)
+	}
+	return d
+}
+
+func boolTo(cond bool, yes, no float64) float64 {
+	if cond {
+		return yes
+	}
+	return no
+}
+
+// Split partitions a dataset into train/test halves with the given
+// training fraction.
+func (d *Dataset) Split(trainFrac float64, seed uint64) (train, test *Dataset) {
+	r := rand.New(rand.NewPCG(seed, 0x5917))
+	perm := r.Perm(len(d.X))
+	cut := int(float64(len(d.X)) * trainFrac)
+	mk := func(idx []int) *Dataset {
+		out := &Dataset{Name: d.Name, FeatureNames: d.FeatureNames, Labels: d.Labels}
+		for _, i := range idx {
+			out.X = append(out.X, d.X[i])
+			out.Y = append(out.Y, d.Y[i])
+		}
+		return out
+	}
+	return mk(perm[:cut]), mk(perm[cut:])
+}

@@ -1,0 +1,177 @@
+// Package synth generates synthetic decision forests and datasets: the
+// randomly-generated microbenchmark models of the paper's Table 6, plus
+// stand-ins for the census-income and soccer datasets used for the
+// real-world benchmarks (see DESIGN.md §4 for the substitution rationale).
+package synth
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"copse/internal/model"
+)
+
+// ForestSpec describes a random forest to generate.
+type ForestSpec struct {
+	Name            string
+	NumFeatures     int
+	NumLabels       int
+	Precision       int
+	MaxDepth        int
+	BranchesPerTree []int // one entry per tree
+	Seed            uint64
+}
+
+// Generate builds a random forest with exactly the requested branch
+// counts and maximum depth: each tree starts as a full-depth spine (so
+// the depth target is met exactly) and then grows by expanding random
+// eligible leaves.
+func Generate(spec ForestSpec) (*model.Forest, error) {
+	if spec.MaxDepth < 1 {
+		return nil, fmt.Errorf("synth: max depth %d", spec.MaxDepth)
+	}
+	for ti, b := range spec.BranchesPerTree {
+		if b < spec.MaxDepth {
+			return nil, fmt.Errorf("synth: tree %d has %d branches, below max depth %d", ti, b, spec.MaxDepth)
+		}
+		if spec.MaxDepth < 63 && b > (1<<uint(spec.MaxDepth))-1 {
+			return nil, fmt.Errorf("synth: tree %d wants %d branches, but depth %d holds at most %d",
+				ti, b, spec.MaxDepth, (1<<uint(spec.MaxDepth))-1)
+		}
+	}
+	if spec.NumFeatures < 1 || spec.NumLabels < 1 {
+		return nil, fmt.Errorf("synth: need at least one feature and one label")
+	}
+	if spec.Precision < 1 || spec.Precision > 32 {
+		return nil, fmt.Errorf("synth: precision %d out of range", spec.Precision)
+	}
+	r := rand.New(rand.NewPCG(spec.Seed, 0x5eed))
+	f := &model.Forest{
+		NumFeatures: spec.NumFeatures,
+		Precision:   spec.Precision,
+	}
+	for i := 0; i < spec.NumLabels; i++ {
+		f.Labels = append(f.Labels, fmt.Sprintf("C%d", i))
+	}
+	for _, branches := range spec.BranchesPerTree {
+		f.Trees = append(f.Trees, &model.Tree{Root: growTree(r, spec, branches)})
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+type leafSlot struct {
+	node  *model.Node
+	depth int
+}
+
+func growTree(r *rand.Rand, spec ForestSpec, branches int) *model.Node {
+	randBranch := func() *model.Node {
+		return &model.Node{
+			Feature:   r.IntN(spec.NumFeatures),
+			Threshold: r.Uint64N(1 << uint(spec.Precision)),
+		}
+	}
+	randLeaf := func() *model.Node {
+		return &model.Node{Leaf: true, Label: r.IntN(spec.NumLabels)}
+	}
+
+	// Spine: a chain of MaxDepth branches guaranteeing the depth target.
+	root := randBranch()
+	cur := root
+	var leaves []leafSlot
+	for depth := 1; depth < spec.MaxDepth; depth++ {
+		next := randBranch()
+		if r.IntN(2) == 0 {
+			cur.Left, cur.Right = next, randLeaf()
+			leaves = append(leaves, leafSlot{cur.Right, depth + 1})
+		} else {
+			cur.Left, cur.Right = randLeaf(), next
+			leaves = append(leaves, leafSlot{cur.Left, depth + 1})
+		}
+		cur = next
+	}
+	cur.Left, cur.Right = randLeaf(), randLeaf()
+	leaves = append(leaves, leafSlot{cur.Left, spec.MaxDepth + 1}, leafSlot{cur.Right, spec.MaxDepth + 1})
+
+	// Expand random eligible leaves (those not already at max depth)
+	// until the branch budget is used.
+	for n := spec.MaxDepth; n < branches; n++ {
+		eligible := leaves[:0:0]
+		for _, l := range leaves {
+			if l.depth <= spec.MaxDepth {
+				eligible = append(eligible, l)
+			}
+		}
+		if len(eligible) == 0 {
+			break // depth cap reached everywhere; can't place more branches
+		}
+		pick := eligible[r.IntN(len(eligible))]
+		b := randBranch()
+		*pick.node = *b
+		pick.node.Left, pick.node.Right = randLeaf(), randLeaf()
+		// Replace the picked slot with the two new leaves.
+		replaced := leaves[:0]
+		for _, l := range leaves {
+			if l.node != pick.node {
+				replaced = append(replaced, l)
+			}
+		}
+		leaves = append(replaced,
+			leafSlot{pick.node.Left, pick.depth + 1},
+			leafSlot{pick.node.Right, pick.depth + 1})
+	}
+	return root
+}
+
+// Microbenchmark names the eight synthetic models of Table 6.
+type Microbenchmark struct {
+	Name string
+	Spec ForestSpec
+	// Table 6 columns for verification.
+	WantMaxDepth  int
+	WantPrecision int
+	WantTrees     int
+	WantBranches  int
+}
+
+// Microbenchmarks returns the paper's Table 6 model suite: depth4/5/6
+// vary the maximum depth, width55/78/677 vary the branch counts (the
+// name gives branches per tree), and prec8/16 vary the fixed-point
+// precision. Every forest has 2 features and 3 distinct labels.
+func Microbenchmarks() []Microbenchmark {
+	mk := func(name string, maxDepth, precision int, perTree []int, seed uint64) Microbenchmark {
+		total := 0
+		for _, b := range perTree {
+			total += b
+		}
+		return Microbenchmark{
+			Name: name,
+			Spec: ForestSpec{
+				Name:            name,
+				NumFeatures:     2,
+				NumLabels:       3,
+				Precision:       precision,
+				MaxDepth:        maxDepth,
+				BranchesPerTree: perTree,
+				Seed:            seed,
+			},
+			WantMaxDepth:  maxDepth,
+			WantPrecision: precision,
+			WantTrees:     len(perTree),
+			WantBranches:  total,
+		}
+	}
+	return []Microbenchmark{
+		mk("depth4", 4, 8, []int{7, 8}, 104),
+		mk("depth5", 5, 8, []int{7, 8}, 105),
+		mk("depth6", 6, 8, []int{7, 8}, 106),
+		mk("width55", 5, 8, []int{5, 5}, 155),
+		mk("width78", 5, 8, []int{7, 8}, 178),
+		mk("width677", 5, 8, []int{6, 7, 7}, 677),
+		mk("prec8", 5, 8, []int{7, 8}, 208),
+		mk("prec16", 5, 16, []int{7, 8}, 216),
+	}
+}

@@ -1,0 +1,141 @@
+package synth
+
+import (
+	"testing"
+
+	"copse/internal/model"
+)
+
+// TestMicrobenchmarksMatchTable6 verifies the generated suite hits the
+// paper's Table 6 specifications exactly.
+func TestMicrobenchmarksMatchTable6(t *testing.T) {
+	for _, mb := range Microbenchmarks() {
+		f, err := Generate(mb.Spec)
+		if err != nil {
+			t.Fatalf("%s: %v", mb.Name, err)
+		}
+		if got := f.Depth(); got != mb.WantMaxDepth {
+			t.Errorf("%s: depth %d, want %d", mb.Name, got, mb.WantMaxDepth)
+		}
+		if got := f.Branches(); got != mb.WantBranches {
+			t.Errorf("%s: branches %d, want %d", mb.Name, got, mb.WantBranches)
+		}
+		if got := len(f.Trees); got != mb.WantTrees {
+			t.Errorf("%s: trees %d, want %d", mb.Name, got, mb.WantTrees)
+		}
+		if f.Precision != mb.WantPrecision {
+			t.Errorf("%s: precision %d, want %d", mb.Name, f.Precision, mb.WantPrecision)
+		}
+		if f.NumFeatures != 2 || len(f.Labels) != 3 {
+			t.Errorf("%s: features=%d labels=%d, want 2/3", mb.Name, f.NumFeatures, len(f.Labels))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := ForestSpec{NumFeatures: 3, NumLabels: 2, Precision: 8, MaxDepth: 4, BranchesPerTree: []int{9, 12}, Seed: 42}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := model.FormatString(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := model.FormatString(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Error("same seed produced different forests")
+	}
+	spec.Seed = 43
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := model.FormatString(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa == sc {
+		t.Error("different seeds produced identical forests")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	bad := []ForestSpec{
+		{NumFeatures: 1, NumLabels: 2, Precision: 8, MaxDepth: 0, BranchesPerTree: []int{3}},
+		{NumFeatures: 1, NumLabels: 2, Precision: 8, MaxDepth: 5, BranchesPerTree: []int{3}},
+		{NumFeatures: 0, NumLabels: 2, Precision: 8, MaxDepth: 2, BranchesPerTree: []int{3}},
+		{NumFeatures: 1, NumLabels: 2, Precision: 99, MaxDepth: 2, BranchesPerTree: []int{3}},
+		{NumFeatures: 1, NumLabels: 2, Precision: 8, MaxDepth: 2, BranchesPerTree: []int{4}}, // over capacity
+	}
+	for i, spec := range bad {
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("case %d accepted: %+v", i, spec)
+		}
+	}
+}
+
+func TestGenerateValidForests(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		f, err := Generate(ForestSpec{
+			NumFeatures: 2, NumLabels: 3, Precision: 6,
+			MaxDepth: 3, BranchesPerTree: []int{5, 7}, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if f.Depth() != 3 || f.Branches() != 12 {
+			t.Errorf("seed %d: depth=%d branches=%d", seed, f.Depth(), f.Branches())
+		}
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	for _, d := range []*Dataset{Income(500, 1), Soccer(500, 1)} {
+		if len(d.X) != 500 || len(d.Y) != 500 {
+			t.Fatalf("%s: %d rows", d.Name, len(d.X))
+		}
+		seen := map[int]int{}
+		for i, row := range d.X {
+			if len(row) != len(d.FeatureNames) {
+				t.Fatalf("%s row %d: %d features, want %d", d.Name, i, len(row), len(d.FeatureNames))
+			}
+			if d.Y[i] < 0 || d.Y[i] >= len(d.Labels) {
+				t.Fatalf("%s row %d: label %d out of range", d.Name, i, d.Y[i])
+			}
+			seen[d.Y[i]]++
+		}
+		// Every class should appear (the generators are tuned for
+		// realistic class balance).
+		for li := range d.Labels {
+			if seen[li] == 0 {
+				t.Errorf("%s: label %q never appears", d.Name, d.Labels[li])
+			}
+		}
+		train, test := d.Split(0.8, 7)
+		if len(train.X) != 400 || len(test.X) != 100 {
+			t.Errorf("%s split: %d/%d", d.Name, len(train.X), len(test.X))
+		}
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	a, b := Income(50, 9), Income(50, 9)
+	for i := range a.X {
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatal("same seed produced different datasets")
+			}
+		}
+	}
+}

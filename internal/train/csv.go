@@ -1,0 +1,83 @@
+package train
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// LoadCSV reads a labelled dataset: a header row, float feature columns,
+// and the label as the final column (string labels are enumerated in
+// order of first appearance).
+func LoadCSV(r io.Reader) (x [][]float64, y []int, featureNames, labels []string, err error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("train: reading CSV header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, nil, nil, nil, fmt.Errorf("train: CSV needs at least one feature and a label column")
+	}
+	featureNames = header[:len(header)-1]
+	labelIdx := map[string]int{}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("train: CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, nil, nil, nil, fmt.Errorf("train: CSV line %d: %d columns, want %d", line, len(rec), len(header))
+		}
+		row := make([]float64, len(featureNames))
+		for i := range featureNames {
+			v, err := strconv.ParseFloat(rec[i], 64)
+			if err != nil {
+				return nil, nil, nil, nil, fmt.Errorf("train: CSV line %d column %q: %w", line, header[i], err)
+			}
+			row[i] = v
+		}
+		lbl := rec[len(rec)-1]
+		idx, ok := labelIdx[lbl]
+		if !ok {
+			idx = len(labels)
+			labelIdx[lbl] = idx
+			labels = append(labels, lbl)
+		}
+		x = append(x, row)
+		y = append(y, idx)
+	}
+	if len(x) == 0 {
+		return nil, nil, nil, nil, fmt.Errorf("train: CSV has no data rows")
+	}
+	return x, y, featureNames, labels, nil
+}
+
+// WriteCSV writes a labelled dataset in the format LoadCSV reads.
+func WriteCSV(w io.Writer, x [][]float64, y []int, featureNames, labels []string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append(append([]string{}, featureNames...), "label")); err != nil {
+		return err
+	}
+	for i, row := range x {
+		rec := make([]string, 0, len(row)+1)
+		for _, v := range row {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if y[i] < 0 || y[i] >= len(labels) {
+			return fmt.Errorf("train: row %d label %d out of range", i, y[i])
+		}
+		rec = append(rec, labels[y[i]])
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

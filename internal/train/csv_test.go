@@ -1,0 +1,78 @@
+package train
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"copse/internal/synth"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := synth.Income(50, 3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds.X, ds.Y, ds.FeatureNames, ds.Labels); err != nil {
+		t.Fatal(err)
+	}
+	x, y, names, labels, err := LoadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != len(ds.X) || len(names) != len(ds.FeatureNames) {
+		t.Fatalf("shape changed: %dx%d", len(x), len(names))
+	}
+	for i := range x {
+		for j := range x[i] {
+			if x[i][j] != ds.X[i][j] {
+				t.Fatalf("row %d col %d: %g vs %g", i, j, x[i][j], ds.X[i][j])
+			}
+		}
+		if labels[y[i]] != ds.Labels[ds.Y[i]] {
+			t.Fatalf("row %d label mismatch", i)
+		}
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"only_one_column\n1\n",
+		"a,label\nnot_a_number,x\n",
+		"a,label\n",               // no rows
+		"a,b,label\n1,2,x\n1,2\n", // ragged (csv catches)
+	}
+	for i, s := range bad {
+		if _, _, _, _, err := LoadCSV(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, s)
+		}
+	}
+}
+
+func TestLoadCSVTrainsEndToEnd(t *testing.T) {
+	const data = `f1,f2,label
+1,0,no
+2,0,no
+3,0,no
+8,0,yes
+9,0,yes
+10,0,yes
+`
+	x, y, names, labels, err := LoadCSV(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names[0] != "f1" || labels[0] != "no" || labels[1] != "yes" {
+		t.Fatalf("parsed: names=%v labels=%v", names, labels)
+	}
+	tr, err := Fit(x, y, labels, Config{NumTrees: 1, MaxDepth: 2, MinLeaf: 1, FeatureFraction: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := tr.Accuracy(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.99 {
+		t.Errorf("accuracy %g on separable CSV data", acc)
+	}
+}

@@ -1,0 +1,327 @@
+// Package train implements CART decision trees (Gini impurity) and
+// bagged random forests over tabular float data, plus the fixed-point
+// quantization that turns a trained float model into the integer
+// thresholds COPSE compiles. It replaces the paper's use of
+// scikit-learn's RandomForestClassifier (§8.1); the structural statistics
+// that drive COPSE's cost model (trees, depth, branches, multiplicities)
+// come out comparable.
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"copse/internal/bits"
+	"copse/internal/model"
+)
+
+// Config controls forest training.
+type Config struct {
+	// NumTrees is the forest size (the paper's -5/-15 suffixes).
+	NumTrees int
+	// MaxDepth bounds every tree's branch depth.
+	MaxDepth int
+	// MinLeaf is the minimum sample count in a leaf.
+	MinLeaf int
+	// FeatureFraction is the fraction of features considered per split;
+	// 0 means sqrt(F)/F, the random-forest default.
+	FeatureFraction float64
+	// MaxThresholds caps the candidate split points per feature per
+	// node; 0 means 32.
+	MaxThresholds int
+	// Precision is the fixed-point width of the quantized model.
+	Precision int
+	// Seed makes training deterministic.
+	Seed uint64
+}
+
+func (c *Config) withDefaults(numFeatures int) Config {
+	out := *c
+	if out.NumTrees == 0 {
+		out.NumTrees = 5
+	}
+	if out.MaxDepth == 0 {
+		out.MaxDepth = 8
+	}
+	if out.MinLeaf == 0 {
+		out.MinLeaf = 2
+	}
+	if out.FeatureFraction == 0 {
+		out.FeatureFraction = math.Sqrt(float64(numFeatures)) / float64(numFeatures)
+	}
+	if out.MaxThresholds == 0 {
+		out.MaxThresholds = 32
+	}
+	if out.Precision == 0 {
+		out.Precision = 8
+	}
+	return out
+}
+
+// Trained is a quantized random forest ready for COPSE compilation,
+// together with the per-feature quantizers the data owner uses to encode
+// queries (the quantizer parameters are public, like the feature names).
+type Trained struct {
+	Forest     *model.Forest
+	Quantizers []*bits.Quantizer
+}
+
+// Fit trains a random forest on X (rows of features) and Y (label
+// indices into labels).
+func Fit(x [][]float64, y []int, labels []string, cfg Config) (*Trained, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("train: %d rows vs %d labels", len(x), len(y))
+	}
+	numFeatures := len(x[0])
+	if numFeatures == 0 {
+		return nil, fmt.Errorf("train: rows have no features")
+	}
+	for i, yi := range y {
+		if yi < 0 || yi >= len(labels) {
+			return nil, fmt.Errorf("train: row %d label %d out of range", i, yi)
+		}
+	}
+	c := cfg.withDefaults(numFeatures)
+
+	// Per-feature quantizers over the observed range (slightly widened so
+	// boundary values do not clamp).
+	quantizers := make([]*bits.Quantizer, numFeatures)
+	for f := 0; f < numFeatures; f++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, row := range x {
+			lo = math.Min(lo, row[f])
+			hi = math.Max(hi, row[f])
+		}
+		if !(lo < hi) {
+			hi = lo + 1 // constant feature
+		}
+		span := hi - lo
+		q, err := bits.NewQuantizer(lo-0.001*span, hi+0.001*span, c.Precision)
+		if err != nil {
+			return nil, err
+		}
+		quantizers[f] = q
+	}
+
+	r := rand.New(rand.NewPCG(c.Seed, 0x7ea1))
+	forest := &model.Forest{
+		Labels:      append([]string(nil), labels...),
+		NumFeatures: numFeatures,
+		Precision:   c.Precision,
+	}
+	for ti := 0; ti < c.NumTrees; ti++ {
+		idx := make([]int, len(x))
+		for i := range idx {
+			idx[i] = r.IntN(len(x)) // bootstrap sample
+		}
+		tr := &treeBuilder{
+			x: x, y: y, cfg: c,
+			numLabels: len(labels),
+			rng:       rand.New(rand.NewPCG(c.Seed, uint64(ti)+1)),
+		}
+		rootF := tr.build(idx, 0)
+		root := quantizeNode(rootF, quantizers)
+		if root.Leaf {
+			// COPSE needs at least one branch per tree; degenerate
+			// trees get a trivial always-same-label split.
+			root = &model.Node{
+				Feature: 0, Threshold: 0,
+				Left:  &model.Node{Leaf: true, Label: root.Label},
+				Right: &model.Node{Leaf: true, Label: root.Label},
+			}
+		}
+		forest.Trees = append(forest.Trees, &model.Tree{Root: root})
+	}
+	if err := forest.Validate(); err != nil {
+		return nil, err
+	}
+	return &Trained{Forest: forest, Quantizers: quantizers}, nil
+}
+
+// floatNode is the pre-quantization tree node.
+type floatNode struct {
+	feature   int
+	threshold float64
+	left      *floatNode
+	right     *floatNode
+	leaf      bool
+	label     int
+}
+
+type treeBuilder struct {
+	x         [][]float64
+	y         []int
+	cfg       Config
+	numLabels int
+	rng       *rand.Rand
+}
+
+func (t *treeBuilder) build(idx []int, depth int) *floatNode {
+	counts := make([]int, t.numLabels)
+	for _, i := range idx {
+		counts[t.y[i]]++
+	}
+	majority, pure := argmaxPure(counts, len(idx))
+	if pure || depth >= t.cfg.MaxDepth || len(idx) < 2*t.cfg.MinLeaf {
+		return &floatNode{leaf: true, label: majority}
+	}
+
+	numFeatures := len(t.x[0])
+	k := max(1, int(math.Round(t.cfg.FeatureFraction*float64(numFeatures))))
+	features := t.rng.Perm(numFeatures)[:k]
+
+	bestGini := math.Inf(1)
+	bestFeature, bestThreshold := -1, 0.0
+	parentGini := gini(counts, len(idx))
+	for _, f := range features {
+		thresholds := t.candidateThresholds(idx, f)
+		for _, thr := range thresholds {
+			g, ok := t.splitGini(idx, f, thr)
+			if ok && g < bestGini {
+				bestGini, bestFeature, bestThreshold = g, f, thr
+			}
+		}
+	}
+	if bestFeature < 0 || bestGini >= parentGini-1e-12 {
+		return &floatNode{leaf: true, label: majority}
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if t.x[i][bestFeature] > bestThreshold {
+			rightIdx = append(rightIdx, i)
+		} else {
+			leftIdx = append(leftIdx, i)
+		}
+	}
+	return &floatNode{
+		feature:   bestFeature,
+		threshold: bestThreshold,
+		left:      t.build(leftIdx, depth+1),
+		right:     t.build(rightIdx, depth+1),
+	}
+}
+
+// candidateThresholds returns up to MaxThresholds split midpoints for
+// feature f over the sample.
+func (t *treeBuilder) candidateThresholds(idx []int, f int) []float64 {
+	vals := make([]float64, 0, len(idx))
+	for _, i := range idx {
+		vals = append(vals, t.x[i][f])
+	}
+	sort.Float64s(vals)
+	var mids []float64
+	for i := 1; i < len(vals); i++ {
+		if vals[i] != vals[i-1] {
+			mids = append(mids, (vals[i]+vals[i-1])/2)
+		}
+	}
+	if len(mids) <= t.cfg.MaxThresholds {
+		return mids
+	}
+	out := make([]float64, t.cfg.MaxThresholds)
+	for i := range out {
+		out[i] = mids[i*len(mids)/t.cfg.MaxThresholds]
+	}
+	return out
+}
+
+// splitGini returns the weighted Gini impurity of splitting at
+// (f, thr); ok is false when a side violates MinLeaf.
+func (t *treeBuilder) splitGini(idx []int, f int, thr float64) (float64, bool) {
+	leftCounts := make([]int, t.numLabels)
+	rightCounts := make([]int, t.numLabels)
+	nl, nr := 0, 0
+	for _, i := range idx {
+		if t.x[i][f] > thr {
+			rightCounts[t.y[i]]++
+			nr++
+		} else {
+			leftCounts[t.y[i]]++
+			nl++
+		}
+	}
+	if nl < t.cfg.MinLeaf || nr < t.cfg.MinLeaf {
+		return 0, false
+	}
+	n := float64(nl + nr)
+	return float64(nl)/n*gini(leftCounts, nl) + float64(nr)/n*gini(rightCounts, nr), true
+}
+
+func gini(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		g -= p * p
+	}
+	return g
+}
+
+func argmaxPure(counts []int, n int) (int, bool) {
+	best := 0
+	for i, c := range counts {
+		if c > counts[best] {
+			best = i
+		}
+	}
+	return best, counts[best] == n
+}
+
+func quantizeNode(n *floatNode, quantizers []*bits.Quantizer) *model.Node {
+	if n.leaf {
+		return &model.Node{Leaf: true, Label: n.label}
+	}
+	return &model.Node{
+		Feature:   n.feature,
+		Threshold: quantizers[n.feature].Quantize(n.threshold),
+		Left:      quantizeNode(n.left, quantizers),
+		Right:     quantizeNode(n.right, quantizers),
+	}
+}
+
+// QuantizeFeatures encodes a float feature vector on the model's
+// fixed-point grid (Diane's preprocessing).
+func (tr *Trained) QuantizeFeatures(x []float64) ([]uint64, error) {
+	if len(x) != len(tr.Quantizers) {
+		return nil, fmt.Errorf("train: %d features, model wants %d", len(x), len(tr.Quantizers))
+	}
+	out := make([]uint64, len(x))
+	for i, v := range x {
+		out[i] = tr.Quantizers[i].Quantize(v)
+	}
+	return out, nil
+}
+
+// Predict returns the plurality label for a float feature vector, using
+// the same quantized inference path the secure pipeline implements.
+func (tr *Trained) Predict(x []float64) (int, error) {
+	q, err := tr.QuantizeFeatures(x)
+	if err != nil {
+		return 0, err
+	}
+	votes := tr.Forest.Classify(q)
+	return model.Plurality(votes, len(tr.Forest.Labels)), nil
+}
+
+// Accuracy evaluates the forest on a labelled set.
+func (tr *Trained) Accuracy(x [][]float64, y []int) (float64, error) {
+	if len(x) == 0 {
+		return 0, fmt.Errorf("train: empty evaluation set")
+	}
+	correct := 0
+	for i := range x {
+		p, err := tr.Predict(x[i])
+		if err != nil {
+			return 0, err
+		}
+		if p == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x)), nil
+}

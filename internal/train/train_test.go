@@ -1,0 +1,157 @@
+package train
+
+import (
+	"testing"
+
+	"copse/internal/model"
+	"copse/internal/synth"
+)
+
+func TestFitOnSeparableData(t *testing.T) {
+	// Trivially separable: label = x0 > 5.
+	var x [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		v := float64(i % 11)
+		x = append(x, []float64{v, float64(i % 3)})
+		if v > 5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	tr, err := Fit(x, y, []string{"lo", "hi"}, Config{NumTrees: 3, MaxDepth: 4, Seed: 1, FeatureFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := tr.Accuracy(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.99 {
+		t.Errorf("accuracy on separable data = %.3f, want ≈ 1", acc)
+	}
+}
+
+func TestFitIncomeAndSoccer(t *testing.T) {
+	cases := []struct {
+		ds       *synth.Dataset
+		minAcc   float64
+		numTrees int
+	}{
+		{synth.Income(2000, 1), 0.70, 5},
+		{synth.Soccer(2000, 1), 0.55, 5},
+	}
+	for _, c := range cases {
+		trainSet, testSet := c.ds.Split(0.8, 2)
+		tr, err := Fit(trainSet.X, trainSet.Y, c.ds.Labels, Config{NumTrees: c.numTrees, MaxDepth: 8, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", c.ds.Name, err)
+		}
+		acc, err := tr.Accuracy(testSet.X, testSet.Y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Must beat the majority-class baseline.
+		counts := map[int]int{}
+		for _, yi := range testSet.Y {
+			counts[yi]++
+		}
+		maxCount := 0
+		for _, n := range counts {
+			maxCount = max(maxCount, n)
+		}
+		baseline := float64(maxCount) / float64(len(testSet.Y))
+		if acc <= baseline {
+			t.Errorf("%s: accuracy %.3f does not beat majority baseline %.3f", c.ds.Name, acc, baseline)
+		}
+		if acc < c.minAcc {
+			t.Errorf("%s: accuracy %.3f below floor %.3f", c.ds.Name, acc, c.minAcc)
+		}
+		if got := len(tr.Forest.Trees); got != c.numTrees {
+			t.Errorf("%s: %d trees, want %d", c.ds.Name, got, c.numTrees)
+		}
+		if err := tr.Forest.Validate(); err != nil {
+			t.Errorf("%s: invalid forest: %v", c.ds.Name, err)
+		}
+		if d := tr.Forest.Depth(); d > 8 {
+			t.Errorf("%s: depth %d exceeds MaxDepth", c.ds.Name, d)
+		}
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	ds := synth.Income(300, 5)
+	cfg := Config{NumTrees: 3, MaxDepth: 5, Seed: 11}
+	a, err := Fit(ds.X, ds.Y, ds.Labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(ds.X, ds.Y, ds.Labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := model.FormatString(a.Forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := model.FormatString(b.Forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Error("same seed produced different forests")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, []string{"a"}, Config{}); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := Fit([][]float64{{1}}, []int{0, 1}, []string{"a", "b"}, Config{}); err == nil {
+		t.Error("row/label mismatch accepted")
+	}
+	if _, err := Fit([][]float64{{1}}, []int{5}, []string{"a"}, Config{}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	if _, err := Fit([][]float64{{}}, []int{0}, []string{"a"}, Config{}); err == nil {
+		t.Error("featureless rows accepted")
+	}
+}
+
+func TestDegenerateDataStillCompilable(t *testing.T) {
+	// All rows identical: trees collapse to leaves, which Fit must
+	// expand into trivial branches so COPSE can compile them.
+	x := [][]float64{{1, 2}, {1, 2}, {1, 2}, {1, 2}}
+	y := []int{1, 1, 1, 1}
+	tr, err := Fit(x, y, []string{"a", "b"}, Config{NumTrees: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti, tree := range tr.Forest.Trees {
+		if tree.Root.Leaf {
+			t.Errorf("tree %d is a bare leaf", ti)
+		}
+	}
+	p, err := tr.Predict([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("Predict = %d, want 1", p)
+	}
+}
+
+func TestQuantizeFeaturesErrors(t *testing.T) {
+	ds := synth.Income(100, 7)
+	tr, err := Fit(ds.X, ds.Y, ds.Labels, Config{NumTrees: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.QuantizeFeatures([]float64{1}); err == nil {
+		t.Error("wrong feature count accepted")
+	}
+	if _, err := tr.Accuracy(nil, nil); err == nil {
+		t.Error("empty eval set accepted")
+	}
+}

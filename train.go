@@ -1,0 +1,19 @@
+package copse
+
+import "copse/internal/train"
+
+// Training types, re-exported from the train package (the library's
+// scikit-learn stand-in).
+type (
+	// TrainConfig controls random-forest training.
+	TrainConfig = train.Config
+	// TrainedModel is a quantized forest plus the public per-feature
+	// quantizers data owners use to encode queries.
+	TrainedModel = train.Trained
+)
+
+// Train fits a bagged CART random forest on float feature rows x with
+// label indices y, quantized to the fixed-point grid COPSE compiles.
+func Train(x [][]float64, y []int, labels []string, cfg TrainConfig) (*TrainedModel, error) {
+	return train.Fit(x, y, labels, cfg)
+}
