@@ -265,6 +265,47 @@ func BenchmarkTable6Generate(b *testing.B) {
 	}
 }
 
+// BenchmarkClassify: the BGV hot path end to end, across the rotation
+// optimizations — the gauge for the hoisting + BSGS line of work. Run
+// with -benchmem to see the allocation reduction from ring pooling.
+//
+//	naive       pre-optimization kernel: one rotation per diagonal, no
+//	            hoisting (the pre-BSGS baseline)
+//	bsgs        baby-step/giant-step kernel, hoisting disabled
+//	bsgs+hoist  the default configuration
+func BenchmarkClassify(b *testing.B) {
+	modes := []struct {
+		name            string
+		noBSGS, noHoist bool
+	}{
+		{"naive", true, true},
+		{"bsgs", false, true},
+		{"bsgs+hoist", false, false},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			compiled, err := copse.Compile(copse.ExampleForest(), copse.CompileOptions{Slots: 1024, NoBSGS: mode.noBSGS})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys, err := copse.NewSystem(compiled, copse.SystemConfig{
+				Backend: copse.BackendBGV, Scenario: copse.ScenarioOffload,
+				Security: copse.SecurityTest, Workers: runtime.GOMAXPROCS(0),
+				DisableHoisting: mode.noHoist, Seed: 4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.Backend().ResetCounts()
+			benchQueries(b, sys, copse.ExampleForest())
+			counts := sys.Backend().Counts()
+			iters := int64(b.N)
+			b.ReportMetric(float64(counts.Rotate/iters), "rotations/op")
+			b.ReportMetric(float64(counts.RotateHoisted/iters), "hoisted-rot/op")
+		})
+	}
+}
+
 // BenchmarkBGVInference: the quickstart model end to end on real BGV
 // ciphertexts — the repository's absolute-cost reference number.
 func BenchmarkBGVInference(b *testing.B) {

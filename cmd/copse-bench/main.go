@@ -31,6 +31,7 @@ func main() {
 	scale := flag.Float64("scale", 1, "real-world model scale (shrink for quick runs)")
 	opcase := flag.String("opcase", "width78", "model used for table1/table2 op counts")
 	models := flag.String("models", "", "comma-separated model filter (default: all)")
+	rotJSON := flag.String("rotjson", "", "also write machine-readable stage timings + op counts to this file (e.g. BENCH_rotations.json)")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -90,5 +91,23 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *rotJSON != "" {
+		report, err := experiments.RotationReport(cfg)
+		if err != nil {
+			log.Fatalf("rotation report: %v", err)
+		}
+		f, err := os.Create(*rotJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *rotJSON)
 	}
 }

@@ -160,8 +160,14 @@ type SystemConfig struct {
 	// Workers is the intra-query parallelism (the paper's
 	// multithreaded mode); 0 or 1 means single-threaded.
 	Workers int
-	// ReuseRotations enables the rotation-hoisting ablation (DESIGN.md §6).
+	// ReuseRotations enables the naive-kernel rotation-reuse ablation
+	// (DESIGN.md §6); it has no effect on BSGS-staged models, which
+	// always share the baby-step rotations across levels.
 	ReuseRotations bool
+	// DisableHoisting turns off hoisted key switching (the shared digit
+	// decomposition behind batched rotations). Hoisting is on by
+	// default; this is the ablation knob (DESIGN.md §6).
+	DisableHoisting bool
 	// Levels overrides the compiler's recommended BGV chain length.
 	Levels int
 	// Seed, when non-zero, makes key generation and encryption
@@ -258,6 +264,7 @@ func NewSystem(c *Compiled, cfg SystemConfig) (*System, error) {
 			Workers:           cfg.Workers,
 			SkipZeroDiagonals: !encryptModel,
 			ReuseRotations:    cfg.ReuseRotations,
+			DisableHoisting:   cfg.DisableHoisting,
 		},
 		model: operands,
 	}

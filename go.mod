@@ -1,0 +1,3 @@
+module copse
+
+go 1.24.0

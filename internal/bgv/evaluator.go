@@ -88,9 +88,10 @@ func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
 	level := a.Level()
 	out := &Ciphertext{NoiseBits: math.Max(a.NoiseBits, b.NoiseBits) + 1}
 	for i := 0; i < max(len(a.C), len(b.C)); i++ {
-		c := ctx.NewPoly(level)
+		var c *ring.Poly
 		switch {
 		case i < len(a.C) && i < len(b.C):
+			c = ctx.NewPoly(level)
 			ctx.Add(a.C[i], b.C[i], c)
 		case i < len(a.C):
 			c = a.C[i].Copy()
@@ -102,13 +103,30 @@ func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
 	return out, ev.manage(out)
 }
 
-// Sub returns a - b.
+// Sub returns a - b, subtracting coefficient-wise in one pass.
 func (ev *Evaluator) Sub(a, b *Ciphertext) (*Ciphertext, error) {
-	nb, err := ev.Neg(b)
+	a, b, err := ev.alignLevels(a, b)
 	if err != nil {
 		return nil, err
 	}
-	return ev.Add(a, nb)
+	ctx := ev.params.RingCtx
+	level := a.Level()
+	out := &Ciphertext{NoiseBits: math.Max(a.NoiseBits, b.NoiseBits) + 1}
+	for i := 0; i < max(len(a.C), len(b.C)); i++ {
+		var c *ring.Poly
+		switch {
+		case i < len(a.C) && i < len(b.C):
+			c = ctx.NewPoly(level)
+			ctx.Sub(a.C[i], b.C[i], c)
+		case i < len(a.C):
+			c = a.C[i].Copy()
+		default:
+			c = ctx.NewPoly(level)
+			ctx.Neg(b.C[i], c)
+		}
+		out.C = append(out.C, c)
+	}
+	return out, ev.manage(out)
 }
 
 // Neg returns -a.
@@ -160,12 +178,10 @@ func (ev *Evaluator) MulScalar(a *Ciphertext, c uint64) (*Ciphertext, error) {
 	return out, ev.manage(out)
 }
 
-// Mul returns a·b, relinearized and modulus-switched: it consumes one
-// level.
-func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
-	if ev.keys == nil || ev.keys.Relin == nil {
-		return nil, fmt.Errorf("bgv: Mul requires a relinearization key")
-	}
+// tensorProduct computes the degree-2 tensor (d0, d1, d2) of a·b after
+// the BGV switch-down discipline (drop levels first so the tensor noise,
+// the product of the operand noises, stays small).
+func (ev *Evaluator) tensorProduct(a, b *Ciphertext) (*Ciphertext, error) {
 	if len(a.C) != 2 || len(b.C) != 2 {
 		return nil, fmt.Errorf("bgv: Mul requires degree-1 ciphertexts")
 	}
@@ -173,8 +189,6 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 	if err != nil {
 		return nil, err
 	}
-	// BGV discipline: switch down first so the tensor noise (product of
-	// the operand noises) stays small.
 	floor := ev.msFloorBits()
 	for a.Level() > 0 && a.NoiseBits >= floor+float64(ev.params.PrimeBits) {
 		a = a.Copy()
@@ -197,21 +211,72 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 	d0 := ctx.NewPoly(level)
 	ctx.MulCoeffs(a.C[0], b.C[0], d0)
 	d1 := ctx.NewPoly(level)
-	tmp := ctx.NewPoly(level)
+	tmp := ctx.GetPoly(level)
 	ctx.MulCoeffs(a.C[0], b.C[1], d1)
 	ctx.MulCoeffs(a.C[1], b.C[0], tmp)
 	ctx.Add(d1, tmp, d1)
 	d2 := ctx.NewPoly(level)
 	ctx.MulCoeffs(a.C[1], b.C[1], d2)
+	ctx.PutPoly(tmp)
 
+	return &Ciphertext{
+		C:         []*ring.Poly{d0, d1, d2},
+		NoiseBits: a.NoiseBits + b.NoiseBits + float64(ev.params.LogN) + 1,
+	}, nil
+}
+
+// Mul returns a·b, relinearized and modulus-switched: it consumes one
+// level.
+func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
+	out, err := ev.MulNoRelin(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Relinearize(out)
+}
+
+// MulNoRelin returns the degree-2 product a·b without relinearizing.
+// Degree-2 ciphertexts support Add/Sub/Neg, so a sum of products can be
+// accumulated first and key-switched once with Relinearize — amortizing
+// the dominant digit-decomposition cost across the whole inner product
+// (lazy relinearization).
+func (ev *Evaluator) MulNoRelin(a, b *Ciphertext) (*Ciphertext, error) {
+	out, err := ev.tensorProduct(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return out, ev.manage(out)
+}
+
+// Relinearize reduces a degree-2 ciphertext back to degree 1 and
+// modulus-switches. Degree-1 inputs pass through unchanged.
+func (ev *Evaluator) Relinearize(ct *Ciphertext) (*Ciphertext, error) {
+	if len(ct.C) == 2 {
+		return ct, nil
+	}
+	if len(ct.C) != 3 {
+		return nil, fmt.Errorf("bgv: Relinearize requires a ciphertext of degree at most 2")
+	}
+	if ev.keys == nil || ev.keys.Relin == nil {
+		return nil, fmt.Errorf("bgv: Mul requires a relinearization key")
+	}
+	ctx := ev.params.RingCtx
+	level := ct.Level()
+
+	d2 := ctx.GetPoly(level)
+	ctx.CopyInto(ct.C[2], d2)
 	ctx.INTT(d2)
 	acc0, acc1 := ev.keySwitch(d2, ev.keys.Relin, level)
-	ctx.Add(d0, acc0, d0)
-	ctx.Add(d1, acc1, d1)
+	ctx.PutPoly(d2)
+	d0 := ctx.NewPoly(level)
+	ctx.Add(ct.C[0], acc0, d0)
+	d1 := ctx.NewPoly(level)
+	ctx.Add(ct.C[1], acc1, d1)
+	ctx.PutPoly(acc0)
+	ctx.PutPoly(acc1)
 
 	out := &Ciphertext{C: []*ring.Poly{d0, d1}}
-	tensor := a.NoiseBits + b.NoiseBits + float64(ev.params.LogN) + 1
-	out.NoiseBits = math.Max(tensor, ev.ksNoiseBits(level)) + 1
+	out.NoiseBits = math.Max(ct.NoiseBits, ev.ksNoiseBits(level)) + 1
 	if err := ev.ModSwitch(out); err != nil {
 		return nil, err
 	}
@@ -219,18 +284,21 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 }
 
 // keySwitch computes Σ_k digit_k ⊙ key_k for a coefficient-domain
-// polynomial d, returning NTT-domain accumulators (b-side, a-side).
+// polynomial d, returning NTT-domain accumulators (b-side, a-side). The
+// accumulators come from the ring pool; callers that consume them into a
+// longer-lived sum should PutPoly them afterwards.
 func (ev *Evaluator) keySwitch(d *ring.Poly, key *SwitchingKey, level int) (*ring.Poly, *ring.Poly) {
 	ctx := ev.params.RingCtx
 	digits := ctx.DecomposeBase2w(d, ev.params.DigitBits)
-	acc0 := ctx.NewPoly(level)
+	acc0 := ctx.GetPolyZero(level)
 	acc0.IsNTT = true
-	acc1 := ctx.NewPoly(level)
+	acc1 := ctx.GetPolyZero(level)
 	acc1.IsNTT = true
 	for k, dig := range digits {
-		ctx.MulCoeffsAdd(dig, restrict(key.B[k], level), acc0)
-		ctx.MulCoeffsAdd(dig, restrict(key.A[k], level), acc1)
+		ctx.MulCoeffsShoupAdd(dig, key.B[k], key.BS[k], acc0)
+		ctx.MulCoeffsShoupAdd(dig, key.A[k], key.AS[k], acc1)
 	}
+	ctx.PutPolys(digits)
 	return acc0, acc1
 }
 
@@ -297,38 +365,160 @@ func (ev *Evaluator) Rotate(ct *Ciphertext, step int) (*Ciphertext, error) {
 // applyGalois applies the automorphism x -> x^elt and key-switches back
 // to the original secret.
 func (ev *Evaluator) applyGalois(ct *Ciphertext, elt uint64) (*Ciphertext, error) {
-	key := ev.keys.Galois[elt]
-	if key == nil {
-		return nil, fmt.Errorf("bgv: no Galois key for element %d", elt)
-	}
-	if len(ct.C) != 2 {
-		return nil, fmt.Errorf("bgv: rotation requires a degree-1 ciphertext")
+	if err := ev.checkGalois(ct, elt); err != nil {
+		return nil, err
 	}
 	ctx := ev.params.RingCtx
 	level := ct.Level()
-	// A key switch adds ~ksNoiseBits of absolute noise; refuse to rotate
-	// when the current modulus cannot absorb it.
-	if float64(ev.params.QBits(level)) < ev.ksNoiseBits(level)+float64(bitsOf(ev.params.T))+4 {
-		return nil, fmt.Errorf("bgv: rotation at level %d lacks key-switch headroom: %w", level, errNotEnoughLevels)
-	}
+	c0, digits := ev.hoistPrep(ct, level)
+	out, err := ev.galoisFromDigits(ct, c0, digits, elt)
+	ctx.PutPoly(c0)
+	ctx.PutPolys(digits)
+	return out, err
+}
 
-	c0 := ct.C[0].Copy()
+// checkGalois validates ct and the headroom for one key switch. A key
+// switch adds ~ksNoiseBits of absolute noise; refuse to rotate when the
+// current modulus cannot absorb it.
+func (ev *Evaluator) checkGalois(ct *Ciphertext, elt uint64) error {
+	if ev.keys.Galois[elt] == nil {
+		return fmt.Errorf("bgv: no Galois key for element %d", elt)
+	}
+	if len(ct.C) != 2 {
+		return fmt.Errorf("bgv: rotation requires a degree-1 ciphertext")
+	}
+	level := ct.Level()
+	if float64(ev.params.QBits(level)) < ev.ksNoiseBits(level)+float64(bitsOf(ev.params.T))+4 {
+		return fmt.Errorf("bgv: rotation at level %d lacks key-switch headroom: %w", level, errNotEnoughLevels)
+	}
+	return nil
+}
+
+// hoistPrep computes the shared, rotation-independent half of a Galois
+// key switch: c0 in coefficient domain and the base-2^w digit
+// decomposition of c1 (also in coefficient domain). This is the dominant
+// cost of a rotation — one INTT pair plus a full CRT reconstruction per
+// coefficient — and it can be amortized across every rotation of the same
+// ciphertext. All returned polys belong to the ring pool.
+func (ev *Evaluator) hoistPrep(ct *Ciphertext, level int) (c0 *ring.Poly, digits []*ring.Poly) {
+	ctx := ev.params.RingCtx
+	c0 = ctx.GetPoly(level)
+	ctx.CopyInto(ct.C[0], c0)
 	ctx.INTT(c0)
-	sc0 := ctx.NewPoly(level)
+	c1 := ctx.GetPoly(level)
+	ctx.CopyInto(ct.C[1], c1)
+	ctx.INTT(c1)
+	digits = ctx.DecomposeBase2wCoeff(c1, ev.params.DigitBits)
+	ctx.PutPoly(c1)
+	return c0, digits
+}
+
+// galoisFromDigits finishes a rotation from the hoisted state: it applies
+// the automorphism to c0 and to each shared digit, then multiplies the
+// digits against the Galois key. Applying the automorphism after the
+// decomposition is sound because Σ_k σ(d_k)·2^{kw} = σ(c1) and the
+// automorphism permutes (and sign-flips) coefficients, preserving their
+// digit-sized magnitude.
+func (ev *Evaluator) galoisFromDigits(ct *Ciphertext, c0 *ring.Poly, digits []*ring.Poly, elt uint64) (*Ciphertext, error) {
+	key := ev.keys.Galois[elt]
+	ctx := ev.params.RingCtx
+	level := ct.Level()
+
+	sc0 := ctx.GetPoly(level)
 	ctx.Automorphism(c0, elt, sc0)
 	ctx.NTT(sc0)
 
-	c1 := ct.C[1].Copy()
-	ctx.INTT(c1)
-	sc1 := ctx.NewPoly(level)
-	ctx.Automorphism(c1, elt, sc1)
-
-	acc0, acc1 := ev.keySwitch(sc1, key, level)
+	acc0 := ctx.GetPolyZero(level)
+	acc0.IsNTT = true
+	acc1 := ctx.GetPolyZero(level)
+	acc1.IsNTT = true
+	tmp := ctx.GetPoly(level)
+	for k, dig := range digits {
+		ctx.Automorphism(dig, elt, tmp)
+		ctx.NTT(tmp)
+		ctx.MulCoeffsShoupAdd(tmp, key.B[k], key.BS[k], acc0)
+		ctx.MulCoeffsShoupAdd(tmp, key.A[k], key.AS[k], acc1)
+		tmp.IsNTT = false
+	}
+	ctx.PutPoly(tmp)
 	ctx.Add(sc0, acc0, sc0)
+	ctx.PutPoly(acc0)
 
 	out := &Ciphertext{
 		C:         []*ring.Poly{sc0, acc1},
 		NoiseBits: math.Max(ct.NoiseBits, ev.ksNoiseBits(level)) + 1,
 	}
 	return out, ev.manage(out)
+}
+
+// HoistableStep classifies a rotation step for op accounting: it
+// returns (false, false) for a no-op step (0 mod slots), (true, true)
+// when a direct Galois key exists so the step rides the hoisted path,
+// and (true, false) when the step must be composed from power-of-two
+// hops instead.
+func (ev *Evaluator) HoistableStep(step int) (rotates, hoisted bool) {
+	slots := ev.params.Slots()
+	s := ((step % slots) + slots) % slots
+	if s == 0 {
+		return false, false
+	}
+	if ev.keys == nil {
+		return true, false
+	}
+	return true, ev.keys.Galois[ev.params.GaloisElt(s)] != nil
+}
+
+// RotateHoisted rotates ct left by every step in steps with hoisted key
+// switching (Halevi–Shoup 2018): the c1 component is decomposed into
+// key-switching digits once, in coefficient domain, and each Galois
+// automorphism is applied to the shared digits — amortizing the dominant
+// INTT + CRT-decompose cost across all requested rotations. The result
+// slice is parallel to steps; step 0 returns a copy. Steps lacking a
+// direct Galois key fall back to the composed Rotate path (no hoisting
+// for those steps).
+func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) ([]*Ciphertext, error) {
+	if ev.keys == nil {
+		return nil, fmt.Errorf("bgv: RotateHoisted requires Galois keys")
+	}
+	if len(steps) == 0 {
+		return nil, nil
+	}
+	if len(ct.C) != 2 {
+		return nil, fmt.Errorf("bgv: rotation requires a degree-1 ciphertext")
+	}
+	ctx := ev.params.RingCtx
+	slots := ev.params.Slots()
+	level := ct.Level()
+
+	outs := make([]*Ciphertext, len(steps))
+	var c0 *ring.Poly
+	var digits []*ring.Poly
+	var err error
+	for i, step := range steps {
+		s := ((step % slots) + slots) % slots
+		if s == 0 {
+			outs[i] = ct.Copy()
+			continue
+		}
+		elt := ev.params.GaloisElt(s)
+		if ev.keys.Galois[elt] == nil {
+			outs[i], err = ev.Rotate(ct, s)
+		} else if err = ev.checkGalois(ct, elt); err == nil {
+			if digits == nil {
+				c0, digits = ev.hoistPrep(ct, level)
+			}
+			outs[i], err = ev.galoisFromDigits(ct, c0, digits, elt)
+		}
+		if err != nil {
+			break
+		}
+	}
+	if digits != nil {
+		ctx.PutPoly(c0)
+		ctx.PutPolys(digits)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
 }

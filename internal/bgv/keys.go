@@ -22,8 +22,11 @@ type PublicKey struct {
 // B[k] = -(A[k]·s + t·e_k) + 2^{kw}·target. Keys are generated at the top
 // level; at lower levels the unused prime residues are simply ignored,
 // which is sound because the gadget digits are level-independent.
+// BS and AS are the Shoup companion tables of B and A, letting the
+// evaluator's digit ⊙ key inner products run division-free.
 type SwitchingKey struct {
-	B, A []*ring.Poly
+	B, A   []*ring.Poly
+	BS, AS []*ring.PolyShoup
 }
 
 // EvaluationKeys bundles everything the evaluator (Sally) needs: the
@@ -102,6 +105,8 @@ func (kg *KeyGenerator) genSwitchingKey(target *ring.Poly, sk *SecretKey) *Switc
 		ctx.Add(b, scaled, b)
 		swk.B = append(swk.B, b)
 		swk.A = append(swk.A, a)
+		swk.BS = append(swk.BS, ctx.ShoupPoly(b))
+		swk.AS = append(swk.AS, ctx.ShoupPoly(a))
 	}
 	return swk
 }

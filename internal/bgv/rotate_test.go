@@ -1,0 +1,134 @@
+package bgv
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+// restrictedKit builds a BGV instance whose Galois keys cover exactly
+// the given steps — no implicit power-of-two ladder — to exercise the
+// composed-rotation fallback and its missing-key error path.
+func restrictedKit(t *testing.T, levels int, steps []int) *testKit {
+	t.Helper()
+	params, err := NewParameters(TestParams(levels))
+	if err != nil {
+		t.Fatalf("NewParameters: %v", err)
+	}
+	kg := NewSeededKeyGenerator(params, 4321)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	keys, err := kg.GenEvaluationKeys(sk, steps)
+	if err != nil {
+		t.Fatalf("GenEvaluationKeys: %v", err)
+	}
+	enc, err := NewEncoder(params)
+	if err != nil {
+		t.Fatalf("NewEncoder: %v", err)
+	}
+	return &testKit{
+		params: params,
+		enc:    enc,
+		encr:   NewSeededEncryptor(params, pk, 77),
+		dec:    NewDecryptor(params, sk),
+		eval:   NewEvaluator(params, keys),
+		sk:     sk,
+	}
+}
+
+// TestRotateComposedFromPartialLadder: with keys for steps {1, 2} only,
+// a rotation by 3 has no direct key and must compose 1+2.
+func TestRotateComposedFromPartialLadder(t *testing.T) {
+	kit := restrictedKit(t, 2, []int{1, 2})
+	slots := kit.params.Slots()
+	vals := make([]uint64, slots)
+	for i := range vals {
+		vals[i] = uint64(i % 97)
+	}
+	ct := kit.encryptVec(t, vals)
+	rot, err := kit.eval.Rotate(ct, 3)
+	if err != nil {
+		t.Fatalf("Rotate(3): %v", err)
+	}
+	got := kit.decryptVec(t, rot)
+	for i := range got {
+		if want := vals[(i+3)%slots]; got[i] != want {
+			t.Fatalf("slot %d: got %d want %d", i, got[i], want)
+		}
+	}
+}
+
+// TestRotateMissingKeyError: composing a rotation whose binary expansion
+// needs an absent power-of-two key must fail with a clear error, as must
+// rotating with no keys at all.
+func TestRotateMissingKeyError(t *testing.T) {
+	kit := restrictedKit(t, 2, []int{2}) // no step-1 key
+	ct := kit.encryptVec(t, make([]uint64, kit.params.Slots()))
+	if _, err := kit.eval.Rotate(ct, 3); err == nil {
+		t.Fatal("Rotate(3) without a step-1 key succeeded")
+	} else if !strings.Contains(err.Error(), "no Galois key") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	// Step 2 still works directly.
+	if _, err := kit.eval.Rotate(ct, 2); err != nil {
+		t.Fatalf("Rotate(2): %v", err)
+	}
+	noKeys := NewEvaluator(kit.params, nil)
+	if _, err := noKeys.Rotate(ct, 1); err == nil {
+		t.Fatal("Rotate without evaluation keys succeeded")
+	}
+	if _, err := noKeys.RotateHoisted(ct, []int{1}); err == nil {
+		t.Fatal("RotateHoisted without evaluation keys succeeded")
+	}
+}
+
+// TestRotateHoistedMatchesRotate: hoisted rotations must decrypt to the
+// same slot permutations as the per-step path, including step 0 and
+// steps that fall back to composition.
+func TestRotateHoistedMatchesRotate(t *testing.T) {
+	kit := newTestKit(t, 3, []int{1, 3, 5, 12})
+	slots := kit.params.Slots()
+	r := rand.New(rand.NewPCG(11, 11))
+	vals := make([]uint64, slots)
+	for i := range vals {
+		vals[i] = r.Uint64N(kit.params.T)
+	}
+	ct := kit.encryptVec(t, vals)
+	steps := []int{0, 1, 3, 5, 12, 7 /* composed: no direct key */, slots - 1}
+	outs, err := kit.eval.RotateHoisted(ct, steps)
+	if err != nil {
+		t.Fatalf("RotateHoisted: %v", err)
+	}
+	if len(outs) != len(steps) {
+		t.Fatalf("got %d outputs for %d steps", len(outs), len(steps))
+	}
+	for si, step := range steps {
+		got := kit.decryptVec(t, outs[si])
+		for i := range got {
+			want := vals[(i+step)%slots]
+			if got[i] != want {
+				t.Fatalf("step %d slot %d: got %d want %d", step, i, got[i], want)
+			}
+		}
+	}
+	// The source ciphertext must be untouched by the batch.
+	got := kit.decryptVec(t, ct)
+	for i := range got {
+		if got[i] != vals[i] {
+			t.Fatalf("RotateHoisted mutated its input at slot %d", i)
+		}
+	}
+}
+
+// TestRotateHoistedEmpty: an empty batch is a no-op.
+func TestRotateHoistedEmpty(t *testing.T) {
+	kit := newTestKit(t, 2, nil)
+	ct := kit.encryptVec(t, make([]uint64, kit.params.Slots()))
+	outs, err := kit.eval.RotateHoisted(ct, nil)
+	if err != nil {
+		t.Fatalf("RotateHoisted(nil): %v", err)
+	}
+	if len(outs) != 0 {
+		t.Fatalf("got %d outputs for empty steps", len(outs))
+	}
+}

@@ -12,7 +12,14 @@ import (
 // it — the analogue of the paper's generated C++ being compiled and
 // linked against the runtime (§5).
 
-const artifactMagic = "COPSEv1\n"
+// Artifact versions: v2 added the BSGS staging fields (Meta.UseBSGS,
+// Meta.BSGSPlans, the reduced RotationSteps). The payload encoding is
+// unchanged — gob is self-describing — so v1 artifacts still load; their
+// zero-valued BSGS fields select the naive kernel they were staged for.
+const (
+	artifactMagic   = "COPSEv2\n"
+	artifactMagicV1 = "COPSEv1\n"
+)
 
 // WriteArtifact serializes c.
 func WriteArtifact(w io.Writer, c *Compiled) error {
@@ -32,7 +39,7 @@ func ReadArtifact(r io.Reader) (*Compiled, error) {
 	if _, err := io.ReadFull(r, magic); err != nil {
 		return nil, fmt.Errorf("core: reading artifact header: %w", err)
 	}
-	if string(magic) != artifactMagic {
+	if string(magic) != artifactMagic && string(magic) != artifactMagicV1 {
 		return nil, fmt.Errorf("core: not a COPSE artifact (bad magic %q)", magic)
 	}
 	zr, err := gzip.NewReader(r)

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"copse/internal/model"
+)
+
+// TestArtifactV1BackwardCompat: a v1 artifact (naive-kernel staging, no
+// BSGS fields) must still load, and its zero-valued BSGS fields must
+// select the naive kernel it was staged for.
+func TestArtifactV1BackwardCompat(t *testing.T) {
+	c, err := Compile(model.Figure1(), Options{Slots: 64, NoBSGS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteArtifact(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the header to the v1 magic: the payload encoding is the
+	// same (gob), which is exactly what the compatibility claim rests on.
+	raw := buf.Bytes()
+	copy(raw, artifactMagicV1)
+	back, err := ReadArtifact(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("reading v1-tagged artifact: %v", err)
+	}
+	if back.Meta.UseBSGS {
+		t.Error("naive-staged artifact reports BSGS")
+	}
+	if back.Meta.B != c.Meta.B || len(back.Meta.RotationSteps) != len(c.Meta.RotationSteps) {
+		t.Error("v1 round trip changed meta")
+	}
+}
+
+func TestArtifactV2CarriesBSGSPlan(t *testing.T) {
+	c, err := Compile(model.Figure1(), Options{Slots: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteArtifact(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "COPSEv2\n") {
+		t.Errorf("artifact header = %q", buf.String()[:8])
+	}
+	back, err := ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Meta.UseBSGS || len(back.Meta.BSGSPlans) == 0 {
+		t.Error("BSGS staging lost in round trip")
+	}
+	baby, giant, ok := back.Meta.BSGSFor(back.Meta.BPad)
+	if !ok || baby*giant != back.Meta.BPad {
+		t.Errorf("BSGSFor(BPad=%d) = (%d, %d, %v)", back.Meta.BPad, baby, giant, ok)
+	}
+	// The BSGS step set must be strictly smaller than the naive one for
+	// this model (q̂=8, b̂=8: 1..7 plus replication vs baby+giant steps).
+	naive, err := Compile(model.Figure1(), Options{Slots: 64, NoBSGS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Meta.RotationSteps) >= len(naive.Meta.RotationSteps) {
+		t.Errorf("BSGS step set (%d) not smaller than naive (%d)",
+			len(back.Meta.RotationSteps), len(naive.Meta.RotationSteps))
+	}
+}

@@ -19,6 +19,11 @@ type Options struct {
 	// K, pads every feature's threshold group to this bound instead, so
 	// only an upper bound on K is revealed (§7.2.1). Zero means exact K.
 	PadMultiplicityTo int
+	// NoBSGS stages the naive one-rotation-per-diagonal kernel instead
+	// of the baby-step/giant-step one — an ablation and compatibility
+	// escape hatch. The default (false) emits the reduced ~2·√period
+	// rotation-step set and pre-rotated diagonals.
+	NoBSGS bool
 }
 
 // Compiled is the vectorized representation of a decision forest: the
@@ -201,7 +206,20 @@ func Compile(f *model.Forest, opts Options) (*Compiled, error) {
 		TreeLeafOffsets: treeLeafOffsets,
 		Slots:           slots,
 	}
-	meta.RotationSteps = rotationSteps(qPad, bPad, bits.NextPow2(numLeaves), slots)
+	nPad := bits.NextPow2(numLeaves)
+	meta.UseBSGS = !opts.NoBSGS
+	if meta.UseBSGS {
+		seen := map[int]bool{}
+		for _, period := range []int{qPad, bPad, nPad} {
+			if seen[period] {
+				continue
+			}
+			seen[period] = true
+			baby, giant := matrix.BSGSSplit(period)
+			meta.BSGSPlans = append(meta.BSGSPlans, BSGSPlan{Period: period, Baby: baby, Giant: giant})
+		}
+	}
+	meta.RotationSteps = rotationSteps(qPad, bPad, nPad, slots, meta.UseBSGS)
 	logp := log2Ceil(f.Precision)
 	logd := log2Ceil(max(d, 1))
 	meta.CtDepthCipherModel = (logp + 2) + 3 + logd // SecComp + reshuffle + level + mask + accumulate
@@ -246,14 +264,28 @@ func ancestorAtLevel(path []pathStep, l int) (pathStep, bool) {
 	return path[best], true
 }
 
-// rotationSteps returns the Galois rotation amounts Algorithm 1 needs:
-// the matrix/vector kernels rotate by 1..period-1 and the replication
-// between stages rotates by negated powers of two. nPad covers the
-// optional result-shuffling step (§7.2.2).
-func rotationSteps(qPad, bPad, nPad, slots int) []int {
+// rotationSteps returns the Galois rotation amounts Algorithm 1 needs.
+// With bsgs set, each matrix period P contributes only its baby steps
+// 1..n1−1 and giant steps n1, 2n1, .. (n2−1)·n1 — ~2·√P keys instead of
+// the naive kernel's P−1 steps. The replication between stages rotates by
+// negated powers of two either way. nPad covers the optional
+// result-shuffling step (§7.2.2).
+func rotationSteps(qPad, bPad, nPad, slots int, bsgs bool) []int {
 	set := map[int]bool{}
-	for i := 1; i < max(qPad, bPad, nPad); i++ {
-		set[i] = true
+	if bsgs {
+		for _, period := range []int{qPad, bPad, nPad} {
+			baby, giant := matrix.BSGSSplit(period)
+			for j := 1; j < baby; j++ {
+				set[j] = true
+			}
+			for g := 1; g < giant; g++ {
+				set[g*baby] = true
+			}
+		}
+	} else {
+		for i := 1; i < max(qPad, bPad, nPad); i++ {
+			set[i] = true
+		}
 	}
 	for p := min(bPad, nPad); p < slots; p <<= 1 {
 		set[-p] = true

@@ -255,10 +255,15 @@ func TestCompilerInvariants(t *testing.T) {
 }
 
 // TestReuseRotationsAblation: hoisting rotations must not change results
-// and must reduce the rotation count for multi-level models.
+// and must reduce the rotation count for multi-level models. The
+// ablation only applies to the naive kernel (BSGS-staged models always
+// share the baby-step rotations), so compile without BSGS.
 func TestReuseRotationsAblation(t *testing.T) {
 	b := heclear.New(64, 65537)
-	c := compileFigure1(t)
+	c, err := Compile(model.Figure1(), Options{Slots: 64, NoBSGS: true})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
 	m, err := Prepare(b, c, true)
 	if err != nil {
 		t.Fatal(err)

@@ -39,13 +39,22 @@ func Prepare(b he.Backend, c *Compiled, encrypt bool) (*ModelOperands, error) {
 		m.Thresholds = append(m.Thresholds, op)
 	}
 
+	// Stage each matrix for the kernel the compiler planned: pre-rotated
+	// BSGS diagonals when a split was staged, naive diagonals otherwise
+	// (old artifacts).
+	prep := func(mtx *matrix.Bool, period int) (*matrix.Diagonals, error) {
+		if baby, giant, ok := c.Meta.BSGSFor(period); c.Meta.UseBSGS && ok {
+			return matrix.PrepareDiagonalsBSGS(b, mtx, period, baby, giant, encrypt)
+		}
+		return matrix.PrepareDiagonals(b, mtx, period, encrypt)
+	}
 	var err error
-	m.Reshuffle, err = matrix.PrepareDiagonals(b, c.Reshuffle, c.Meta.QPad, encrypt)
+	m.Reshuffle, err = prep(c.Reshuffle, c.Meta.QPad)
 	if err != nil {
 		return nil, err
 	}
 	for _, lm := range c.Levels {
-		d, err := matrix.PrepareDiagonals(b, lm, c.Meta.BPad, encrypt)
+		d, err := prep(lm, c.Meta.BPad)
 		if err != nil {
 			return nil, err
 		}
@@ -99,8 +108,14 @@ type Engine struct {
 	SkipZeroDiagonals bool
 	// ReuseRotations hoists the rotations of the branch vector out of
 	// the per-level matrix products, computing them once (a COPSE-Go
-	// ablation; the paper's Table 1b counts them per level).
+	// ablation; the paper's Table 1b counts them per level). It only
+	// applies to the naive kernel: BSGS-staged models always share the
+	// baby-step rotations across levels.
 	ReuseRotations bool
+	// DisableHoisting turns off hoisted key switching, issuing each
+	// rotation independently — the ablation for the RotateHoisted fast
+	// path. Default (false) hoists wherever rotations share a ciphertext.
+	DisableHoisting bool
 }
 
 // Trace records the per-stage timing and operation counts that
@@ -137,7 +152,12 @@ func (e *Engine) Classify(m *ModelOperands, q *Query) (he.Operand, *Trace, error
 	// Step 2: reshuffle into branch preorder and drop sentinels, then
 	// restore the periodic layout for the level products.
 	mark := time.Now()
-	branchVec, err := matrix.MatVecParallel(e.Backend, m.Reshuffle, decisions, skipZero, workers)
+	var branchVec he.Operand
+	if m.Reshuffle.IsBSGS() {
+		branchVec, err = matrix.MatVecBSGS(e.Backend, m.Reshuffle, decisions, skipZero, workers, !e.DisableHoisting)
+	} else {
+		branchVec, err = matrix.MatVecParallel(e.Backend, m.Reshuffle, decisions, skipZero, workers)
+	}
 	if err != nil {
 		return he.Operand{}, nil, fmt.Errorf("core: reshuffle step: %w", err)
 	}
@@ -151,10 +171,21 @@ func (e *Engine) Classify(m *ModelOperands, q *Query) (he.Operand, *Trace, error
 	base = snap
 
 	// Step 3: level processing — every level independently (§3.3), each
-	// a matrix product plus the mask XOR.
+	// a matrix product plus the mask XOR. With BSGS-staged levels the
+	// baby-step rotations of the branch vector are computed once
+	// (hoisted) and shared by every level product; only the per-group
+	// giant-step rotations remain per level.
 	mark = time.Now()
+	bsgsLevels := len(m.Levels) > 0 && m.Levels[0].IsBSGS()
+	var babyRots []he.Operand
+	if bsgsLevels {
+		babyRots, err = matrix.BabyRotations(e.Backend, branchVec, m.Levels[0].Baby, !e.DisableHoisting)
+		if err != nil {
+			return he.Operand{}, nil, fmt.Errorf("core: baby-step rotations: %w", err)
+		}
+	}
 	var rotations []he.Operand
-	if e.ReuseRotations {
+	if e.ReuseRotations && !bsgsLevels {
 		rotations = make([]he.Operand, m.Meta.BPad)
 		rotations[0] = branchVec
 		err := matrix.ParallelFor(m.Meta.BPad-1, workers, func(i int) error {
@@ -179,9 +210,12 @@ func (e *Engine) Classify(m *ModelOperands, q *Query) (he.Operand, *Trace, error
 	err = matrix.ParallelFor(len(m.Levels), levelWorkers, func(l int) error {
 		var lvlDecisions he.Operand
 		var err error
-		if e.ReuseRotations {
+		switch {
+		case bsgsLevels:
+			lvlDecisions, err = matrix.MatVecBSGSWith(e.Backend, m.Levels[l], babyRots, skipZero, diagWorkers)
+		case e.ReuseRotations:
 			lvlDecisions, err = matVecWithRotations(e.Backend, m.Levels[l], rotations, skipZero)
-		} else {
+		default:
 			lvlDecisions, err = matrix.MatVecParallel(e.Backend, m.Levels[l], branchVec, skipZero, diagWorkers)
 		}
 		if err != nil {
@@ -223,7 +257,7 @@ func matVecWithRotations(b he.Backend, d *matrix.Diagonals, rotations []he.Opera
 		if skipZero && d.Zero[i] {
 			continue
 		}
-		term, err := he.Mul(b, d.Ops[i], rotations[i])
+		term, err := he.MulLazy(b, d.Ops[i], rotations[i])
 		if err != nil {
 			return he.Operand{}, err
 		}
@@ -239,7 +273,7 @@ func matVecWithRotations(b he.Backend, d *matrix.Diagonals, rotations []he.Opera
 	if !accSet {
 		return he.NewPlain(b, make([]uint64, b.Slots()))
 	}
-	return acc, nil
+	return he.Relinearize(b, acc)
 }
 
 // mulAllParallel is he.MulAll with each tree round's pair products

@@ -35,8 +35,20 @@ type Meta struct {
 	// Slots is the packing width the model was staged for.
 	Slots int
 	// RotationSteps are the Galois rotations the evaluation needs; the
-	// model owner generates exactly these keys.
+	// model owner generates exactly these keys. With UseBSGS the set is
+	// the reduced baby-step/giant-step one (~2·√period per matrix period
+	// instead of period−1 steps).
 	RotationSteps []int
+	// UseBSGS records that the model was staged for the baby-step/
+	// giant-step diagonal kernel: Prepare lays matrix diagonals out
+	// pre-rotated by their giant step and RotationSteps holds only the
+	// reduced step set. Zero-value (old artifacts) means the naive
+	// one-rotation-per-diagonal kernel.
+	UseBSGS bool
+	// BSGSPlans is the staged baby/giant split for each matrix period
+	// (QPad for the reshuffle, BPad for the level matrices, padded
+	// NumLeaves for result shuffling).
+	BSGSPlans []BSGSPlan
 
 	// Circuit-shape estimates (ciphertext-ciphertext multiplicative
 	// depth) used to choose encryption parameters — the staging
@@ -44,6 +56,22 @@ type Meta struct {
 	CtDepthCipherModel int
 	CtDepthPlainModel  int
 	RecommendedLevels  int
+}
+
+// BSGSPlan is the staged baby-step/giant-step split for one matrix
+// period: Baby·Giant == Period.
+type BSGSPlan struct {
+	Period, Baby, Giant int
+}
+
+// BSGSFor returns the staged split for a period, if one was staged.
+func (m *Meta) BSGSFor(period int) (baby, giant int, ok bool) {
+	for _, p := range m.BSGSPlans {
+		if p.Period == period {
+			return p.Baby, p.Giant, true
+		}
+	}
+	return 0, 0, false
 }
 
 // log2Ceil returns ceil(log2(n)) for n ≥ 1.

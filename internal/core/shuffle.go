@@ -44,12 +44,16 @@ func ShuffleResult(b he.Backend, meta *Meta, result he.Operand, padTo int, seed 
 	perm := rng.Perm(padTo)
 
 	// Permutation matrix P: slot j of the result lands in slot perm[j].
+	// The BSGS layout keeps the rotation count at ~2·√nPad; its baby and
+	// giant steps are a subset of the staged rotation-step set whether
+	// the model was compiled with BSGS or not.
 	nPad := bits.NextPow2(n)
 	p := matrix.NewBool(padTo, nPad)
 	for j := 0; j < n; j++ {
 		p.Set(perm[j], j, 1)
 	}
-	diag, err := matrix.PrepareDiagonals(b, p, nPad, false)
+	baby, giant := matrix.BSGSSplit(nPad)
+	diag, err := matrix.PrepareDiagonalsBSGS(b, p, nPad, baby, giant, false)
 	if err != nil {
 		return he.Operand{}, nil, err
 	}

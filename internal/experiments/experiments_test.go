@@ -134,8 +134,9 @@ func TestTables1And2(t *testing.T) {
 	if _, err := Table1(cfg, "nonexistent"); err == nil {
 		t.Error("unknown case accepted")
 	}
-	// Rotation counts must be within 2x of the paper's d·b (padding
-	// inflates b to BPad).
+	// The BSGS kernel must beat the paper's naive d·b rotation count:
+	// the baby steps are shared across levels and each level only pays
+	// its giant steps, so the measured count sits well below d·b.
 	for _, row := range t1.Rows {
 		if row[0] == "levels(xd)" && row[1] == "Rotate" {
 			paperVal, err1 := strconv.Atoi(row[3])
@@ -143,8 +144,8 @@ func TestTables1And2(t *testing.T) {
 			if err1 != nil || err2 != nil {
 				t.Fatalf("bad row %v", row)
 			}
-			if measured < paperVal || measured > 2*paperVal+8 {
-				t.Errorf("level rotations %d not within padding factor of paper's %d", measured, paperVal)
+			if measured <= 0 || measured >= paperVal {
+				t.Errorf("BSGS level rotations %d not below the paper's naive %d", measured, paperVal)
 			}
 		}
 	}

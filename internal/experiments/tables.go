@@ -178,7 +178,8 @@ func Table6() (*Table, error) {
 }
 
 // Ablation runs the COPSE-Go design-choice ablations called out in
-// DESIGN.md §6: rotation hoisting across level matrices.
+// DESIGN.md §6: the diagonal kernel (naive vs baby-step/giant-step) and
+// hoisted key switching.
 func Ablation(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	micro, err := MicroCases()
@@ -186,22 +187,27 @@ func Ablation(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	t := &Table{
-		Title:  "Ablation: rotation hoisting across level matrices (ReuseRotations)",
-		Header: []string{"model", "off(ms)", "on(ms)", "speedup"},
+		Title:  "Ablation: diagonal kernel (naive vs BSGS) and hoisted key switching",
+		Header: []string{"model", "naive(ms)", "naive+reuse(ms)", "bsgs no-hoist(ms)", "bsgs(ms)", "naive→bsgs"},
+	}
+	kind, err := backendKind(cfg)
+	if err != nil {
+		return nil, err
 	}
 	for _, cs := range []Case{micro[2], micro[5]} { // depth6, width677: most levels/branches
-		compiled, err := copse.Compile(cs.Forest, copse.CompileOptions{Slots: cs.Slots})
+		naiveModel, err := copse.Compile(cs.Forest, copse.CompileOptions{Slots: cs.Slots, NoBSGS: true})
 		if err != nil {
 			return nil, err
 		}
-		kind, err := backendKind(cfg)
+		bsgsModel, err := copse.Compile(cs.Forest, copse.CompileOptions{Slots: cs.Slots})
 		if err != nil {
 			return nil, err
 		}
-		timeWith := func(reuse bool) (time.Duration, error) {
+		timeWith := func(compiled *copse.Compiled, reuse, disableHoist bool) (time.Duration, error) {
 			sysCfg := copse.SystemConfig{
 				Backend: kind, Scenario: copse.ScenarioOffload,
-				Workers: 1, ReuseRotations: reuse, Seed: cfg.Seed + 9,
+				Workers: 1, ReuseRotations: reuse, DisableHoisting: disableHoist,
+				Seed: cfg.Seed + 9,
 			}
 			if kind == copse.BackendBGV {
 				sysCfg.Security, err = securityFor(cs.Slots)
@@ -220,16 +226,29 @@ func Ablation(cfg Config) (*Table, error) {
 			}
 			return median(times), nil
 		}
-		off, err := timeWith(false)
+		naive, err := timeWith(naiveModel, false, true)
 		if err != nil {
 			return nil, err
 		}
-		on, err := timeWith(true)
+		naiveReuse, err := timeWith(naiveModel, true, true)
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{cs.Name, ms(off), ms(on), speedup(off, on)})
+		bsgsNoHoist, err := timeWith(bsgsModel, false, true)
+		if err != nil {
+			return nil, err
+		}
+		bsgs, err := timeWith(bsgsModel, false, false)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			cs.Name, ms(naive), ms(naiveReuse), ms(bsgsNoHoist), ms(bsgs), speedup(naive, bsgs),
+		})
 	}
-	t.Notes = append(t.Notes, "hoisting shares the b̂ branch-vector rotations across all d level matrices")
+	t.Notes = append(t.Notes,
+		"BSGS cuts each matrix product from period−1 to ~2·√period rotations and shares baby steps across levels",
+		"hoisting amortizes the key-switch digit decomposition across a batch of rotations (BGV backend only)",
+	)
 	return t, nil
 }

@@ -48,8 +48,22 @@ type Backend interface {
 	AddPlain(a Ciphertext, p Plain) (Ciphertext, error)
 	MulPlain(a Ciphertext, p Plain) (Ciphertext, error)
 	Mul(a, b Ciphertext) (Ciphertext, error)
+	// MulLazy multiplies without finalizing the result: backends with an
+	// expensive relinearization step may return an expanded ciphertext
+	// that still supports Add/Sub, letting a sum of products be
+	// accumulated first and Relinearize'd once. Rotate does not accept
+	// lazy results.
+	MulLazy(a, b Ciphertext) (Ciphertext, error)
+	// Relinearize finalizes a (sum of) MulLazy result(s); finalized
+	// ciphertexts pass through unchanged.
+	Relinearize(a Ciphertext) (Ciphertext, error)
 	// Rotate rotates slots left by k: out[i] = in[(i+k) mod Slots()].
 	Rotate(a Ciphertext, k int) (Ciphertext, error)
+	// RotateHoisted rotates a by every step in steps at once, letting the
+	// backend amortize per-ciphertext work (e.g. the key-switch digit
+	// decomposition) across the whole batch. The result slice is parallel
+	// to steps. Backends without hoisting fall back to a Rotate loop.
+	RotateHoisted(a Ciphertext, steps []int) ([]Ciphertext, error)
 
 	// Counts returns a snapshot of the operation counters.
 	Counts() OpCounts
@@ -71,31 +85,42 @@ type OpCounts struct {
 	Mul      int64
 	ConstMul int64
 	MaxDepth int64
+	// RotateHoisted is the subset of Rotate performed through hoisted
+	// key switching (shared digit decomposition); it measures how much of
+	// the rotation bill was amortized, not an additional op category.
+	RotateHoisted int64
+	// Relin counts explicit relinearizations of lazily accumulated
+	// products. Plain Mul relinearizes internally and does not count
+	// here; Relin/Mul therefore measures how much of the
+	// relinearization bill lazy accumulation saved.
+	Relin int64
 }
 
 // Minus returns c - o field-wise (MaxDepth keeps c's value); useful for
 // measuring a single phase.
 func (c OpCounts) Minus(o OpCounts) OpCounts {
 	return OpCounts{
-		Encrypt:  c.Encrypt - o.Encrypt,
-		Rotate:   c.Rotate - o.Rotate,
-		Add:      c.Add - o.Add,
-		ConstAdd: c.ConstAdd - o.ConstAdd,
-		Mul:      c.Mul - o.Mul,
-		ConstMul: c.ConstMul - o.ConstMul,
-		MaxDepth: c.MaxDepth,
+		Encrypt:       c.Encrypt - o.Encrypt,
+		Rotate:        c.Rotate - o.Rotate,
+		Add:           c.Add - o.Add,
+		ConstAdd:      c.ConstAdd - o.ConstAdd,
+		Mul:           c.Mul - o.Mul,
+		ConstMul:      c.ConstMul - o.ConstMul,
+		MaxDepth:      c.MaxDepth,
+		RotateHoisted: c.RotateHoisted - o.RotateHoisted,
+		Relin:         c.Relin - o.Relin,
 	}
 }
 
 func (c OpCounts) String() string {
-	return fmt.Sprintf("enc=%d rot=%d add=%d cadd=%d mul=%d cmul=%d depth=%d",
-		c.Encrypt, c.Rotate, c.Add, c.ConstAdd, c.Mul, c.ConstMul, c.MaxDepth)
+	return fmt.Sprintf("enc=%d rot=%d(hoisted=%d) add=%d cadd=%d mul=%d(relin=%d) cmul=%d depth=%d",
+		c.Encrypt, c.Rotate, c.RotateHoisted, c.Add, c.ConstAdd, c.Mul, c.Relin, c.ConstMul, c.MaxDepth)
 }
 
 // Counter is an embeddable atomic operation counter for backends.
 type Counter struct {
 	encrypt, rotate, add, constAdd, mul, constMul atomic.Int64
-	maxDepth                                      atomic.Int64
+	maxDepth, rotateHoisted, relin                atomic.Int64
 }
 
 // CountEncrypt records one encryption.
@@ -103,6 +128,14 @@ func (c *Counter) CountEncrypt() { c.encrypt.Add(1) }
 
 // CountRotate records one rotation.
 func (c *Counter) CountRotate() { c.rotate.Add(1) }
+
+// CountRotateHoisted records n rotations performed through hoisted key
+// switching. They count toward the Rotate total and are additionally
+// tracked in RotateHoisted.
+func (c *Counter) CountRotateHoisted(n int) {
+	c.rotate.Add(int64(n))
+	c.rotateHoisted.Add(int64(n))
+}
 
 // CountAdd records one ciphertext addition.
 func (c *Counter) CountAdd() { c.add.Add(1) }
@@ -112,6 +145,9 @@ func (c *Counter) CountConstAdd() { c.constAdd.Add(1) }
 
 // CountMul records one ciphertext multiplication.
 func (c *Counter) CountMul() { c.mul.Add(1) }
+
+// CountRelin records one explicit relinearization.
+func (c *Counter) CountRelin() { c.relin.Add(1) }
 
 // CountConstMul records one plaintext multiplication.
 func (c *Counter) CountConstMul() { c.constMul.Add(1) }
@@ -129,13 +165,15 @@ func (c *Counter) NoteDepth(d int) {
 // Counts snapshots the counters.
 func (c *Counter) Counts() OpCounts {
 	return OpCounts{
-		Encrypt:  c.encrypt.Load(),
-		Rotate:   c.rotate.Load(),
-		Add:      c.add.Load(),
-		ConstAdd: c.constAdd.Load(),
-		Mul:      c.mul.Load(),
-		ConstMul: c.constMul.Load(),
-		MaxDepth: c.maxDepth.Load(),
+		Encrypt:       c.encrypt.Load(),
+		Rotate:        c.rotate.Load(),
+		Add:           c.add.Load(),
+		ConstAdd:      c.constAdd.Load(),
+		Mul:           c.mul.Load(),
+		ConstMul:      c.constMul.Load(),
+		MaxDepth:      c.maxDepth.Load(),
+		RotateHoisted: c.rotateHoisted.Load(),
+		Relin:         c.relin.Load(),
 	}
 }
 
@@ -148,4 +186,6 @@ func (c *Counter) ResetCounts() {
 	c.mul.Store(0)
 	c.constMul.Store(0)
 	c.maxDepth.Store(0)
+	c.rotateHoisted.Store(0)
+	c.relin.Store(0)
 }

@@ -271,6 +271,76 @@ func (b *Backend) Mul(x, y he.Ciphertext) (he.Ciphertext, error) {
 	return &ciphertext{ct: out, depth: d}, nil
 }
 
+// MulLazy implements he.Backend: the degree-2 tensor product, deferring
+// the relinearization key switch so sums of products pay for it once.
+func (b *Backend) MulLazy(x, y he.Ciphertext) (he.Ciphertext, error) {
+	cx, err := b.cast(x)
+	if err != nil {
+		return nil, err
+	}
+	cy, err := b.cast(y)
+	if err != nil {
+		return nil, err
+	}
+	out, err := b.evaluator.MulNoRelin(cx.ct, cy.ct)
+	if err != nil {
+		return nil, err
+	}
+	b.CountMul()
+	d := max(cx.depth, cy.depth) + 1
+	b.NoteDepth(d)
+	return &ciphertext{ct: out, depth: d}, nil
+}
+
+// Relinearize implements he.Backend.
+func (b *Backend) Relinearize(x he.Ciphertext) (he.Ciphertext, error) {
+	cx, err := b.cast(x)
+	if err != nil {
+		return nil, err
+	}
+	if cx.ct.Degree() == 1 {
+		return x, nil
+	}
+	out, err := b.evaluator.Relinearize(cx.ct)
+	if err != nil {
+		return nil, err
+	}
+	b.CountRelin()
+	return &ciphertext{ct: out, depth: cx.depth}, nil
+}
+
+// RotateHoisted implements he.Backend: the ciphertext's key-switch digit
+// decomposition is computed once and shared across all steps.
+func (b *Backend) RotateHoisted(x he.Ciphertext, steps []int) ([]he.Ciphertext, error) {
+	cx, err := b.cast(x)
+	if err != nil {
+		return nil, err
+	}
+	cts, err := b.evaluator.RotateHoisted(cx.ct, steps)
+	if err != nil {
+		return nil, err
+	}
+	// Attribute each step where it actually went: step-0 copies rotate
+	// nothing, keyless steps took the composed per-step path.
+	hoisted := 0
+	for _, step := range steps {
+		rotates, viaHoist := b.evaluator.HoistableStep(step)
+		switch {
+		case !rotates:
+		case viaHoist:
+			hoisted++
+		default:
+			b.CountRotate()
+		}
+	}
+	b.CountRotateHoisted(hoisted)
+	outs := make([]he.Ciphertext, len(cts))
+	for i, ct := range cts {
+		outs[i] = &ciphertext{ct: ct, depth: cx.depth}
+	}
+	return outs, nil
+}
+
 // Rotate implements he.Backend.
 func (b *Backend) Rotate(x he.Ciphertext, k int) (he.Ciphertext, error) {
 	cx, err := b.cast(x)

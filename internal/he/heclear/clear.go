@@ -158,6 +158,20 @@ func (b *Backend) Mul(x, y he.Ciphertext) (he.Ciphertext, error) {
 	return b.zipCt(x, y, func(a, c uint64) uint64 { return a * c % b.t }, 1)
 }
 
+// MulLazy implements he.Backend: the clear backend has no
+// relinearization, so it is a plain Mul.
+func (b *Backend) MulLazy(x, y he.Ciphertext) (he.Ciphertext, error) {
+	return b.Mul(x, y)
+}
+
+// Relinearize implements he.Backend as the identity.
+func (b *Backend) Relinearize(x he.Ciphertext) (he.Ciphertext, error) {
+	if _, err := b.cast(x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
 // AddPlain implements he.Backend.
 func (b *Backend) AddPlain(x he.Ciphertext, p he.Plain) (he.Ciphertext, error) {
 	c, err := b.cast(x)
@@ -192,6 +206,20 @@ func (b *Backend) MulPlain(x he.Ciphertext, p he.Plain) (he.Ciphertext, error) {
 		out.vals[i] = c.vals[i] * pp.vals[i] % b.t
 	}
 	return out, nil
+}
+
+// RotateHoisted implements he.Backend. The clear backend has no shared
+// work to hoist, so it is a plain Rotate loop.
+func (b *Backend) RotateHoisted(x he.Ciphertext, steps []int) ([]he.Ciphertext, error) {
+	outs := make([]he.Ciphertext, len(steps))
+	for i, k := range steps {
+		out, err := b.Rotate(x, k)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = out
+	}
+	return outs, nil
 }
 
 // Rotate implements he.Backend.

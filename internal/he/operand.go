@@ -83,6 +83,28 @@ func Mul(b Backend, x, y Operand) (Operand, error) {
 	}
 }
 
+// MulLazy is Mul that may leave a ciphertext×ciphertext product
+// unrelinearized; sums of such products support Add and are finalized
+// once with Relinearize. Products with a plaintext side need no
+// relinearization and behave exactly like Mul.
+func MulLazy(b Backend, x, y Operand) (Operand, error) {
+	if x.IsCipher() && y.IsCipher() {
+		ct, err := b.MulLazy(x.Ct, y.Ct)
+		return Operand{Ct: ct}, err
+	}
+	return Mul(b, x, y)
+}
+
+// Relinearize finalizes an operand accumulated from MulLazy products.
+// Plaintext and already-finalized operands pass through unchanged.
+func Relinearize(b Backend, x Operand) (Operand, error) {
+	if !x.IsCipher() {
+		return x, nil
+	}
+	ct, err := b.Relinearize(x.Ct)
+	return Operand{Ct: ct}, err
+}
+
 // Rotate rotates the operand's slots left by k.
 func Rotate(b Backend, x Operand, k int) (Operand, error) {
 	if x.IsCipher() {
@@ -95,6 +117,32 @@ func Rotate(b Backend, x Operand, k int) (Operand, error) {
 		vals[i] = x.Vals[(i+k%slots+slots)%slots]
 	}
 	return NewPlain(b, vals)
+}
+
+// RotateHoisted rotates the operand's slots left by every step in steps,
+// sharing per-ciphertext work across the batch where the backend supports
+// hoisting. The result slice is parallel to steps.
+func RotateHoisted(b Backend, x Operand, steps []int) ([]Operand, error) {
+	if x.IsCipher() {
+		cts, err := b.RotateHoisted(x.Ct, steps)
+		if err != nil {
+			return nil, err
+		}
+		outs := make([]Operand, len(cts))
+		for i, ct := range cts {
+			outs[i] = Operand{Ct: ct}
+		}
+		return outs, nil
+	}
+	outs := make([]Operand, len(steps))
+	for i, k := range steps {
+		out, err := Rotate(b, x, k)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = out
+	}
+	return outs, nil
 }
 
 // Xor returns x ⊕ y for 0/1 operands, using the Z_t encoding

@@ -1,0 +1,256 @@
+package matrix
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"copse/internal/bgv"
+	"copse/internal/bits"
+	"copse/internal/he"
+	"copse/internal/he/hebgv"
+	"copse/internal/he/heclear"
+)
+
+func TestBSGSSplit(t *testing.T) {
+	cases := []struct{ period, baby, giant int }{
+		{1, 1, 1}, {2, 2, 1}, {4, 2, 2}, {8, 4, 2}, {16, 4, 4},
+		{32, 8, 4}, {64, 8, 8}, {1024, 32, 32},
+	}
+	for _, c := range cases {
+		baby, giant := BSGSSplit(c.period)
+		if baby != c.baby || giant != c.giant {
+			t.Errorf("BSGSSplit(%d) = (%d, %d), want (%d, %d)", c.period, baby, giant, c.baby, c.giant)
+		}
+		if baby*giant != max(c.period, 1) {
+			t.Errorf("BSGSSplit(%d): %d·%d != period", c.period, baby, giant)
+		}
+	}
+}
+
+// TestMatVecBSGSMatchesPlain: the BSGS kernel equals the plain product
+// over random shapes, for plain and encrypted matrices, with and without
+// zero skipping.
+func TestMatVecBSGSMatchesPlain(t *testing.T) {
+	b := heclear.New(64, 65537)
+	f := func(seed uint64, rRaw, cRaw uint8, encryptMat, skipZero bool) bool {
+		rows := int(rRaw%10) + 1
+		cols := int(cRaw%10) + 1
+		if skipZero && encryptMat {
+			skipZero = false
+		}
+		r := rand.New(rand.NewPCG(seed, 2))
+		m := randBool(r, rows, cols, 0.4)
+		v := make([]uint64, cols)
+		for i := range v {
+			v[i] = uint64(r.IntN(2))
+		}
+		period := bits.NextPow2(cols)
+		baby, giant := BSGSSplit(period)
+		d, err := PrepareDiagonalsBSGS(b, m, period, baby, giant, encryptMat)
+		if err != nil {
+			return false
+		}
+		ct, err := b.Encrypt(replicatedPlain(v, period, b.Slots()))
+		if err != nil {
+			return false
+		}
+		got, err := MatVec(b, d, he.Cipher(ct), skipZero)
+		if err != nil {
+			return false
+		}
+		gotVals, err := he.Reveal(b, got)
+		if err != nil {
+			return false
+		}
+		want, err := m.MulVec(v)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < rows; i++ {
+			if gotVals[i] != want[i]%65537 {
+				return false
+			}
+		}
+		for i := rows; i < b.Slots(); i++ {
+			if gotVals[i] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatVecBSGSRotationBudget is the op-count regression test: the BSGS
+// kernel must need at most 2·√Period + 1 rotations per mat-vec, versus
+// Period−1 for the naive kernel.
+func TestMatVecBSGSRotationBudget(t *testing.T) {
+	b := heclear.New(256, 65537)
+	for _, period := range []int{4, 16, 64, 256} {
+		r := rand.New(rand.NewPCG(uint64(period), 5))
+		m := randBool(r, period, period, 0.6) // dense: no zero diagonals to skip
+		baby, giant := BSGSSplit(period)
+		d, err := PrepareDiagonalsBSGS(b, m, period, baby, giant, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := make([]uint64, period)
+		for i := range v {
+			v[i] = uint64(r.IntN(2))
+		}
+		ct, err := b.Encrypt(replicatedPlain(v, period, b.Slots()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.ResetCounts()
+		out, err := MatVecParallel(b, d, he.Cipher(ct), false, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rotations := b.Counts().Rotate
+		budget := int64(2*math.Sqrt(float64(period))) + 1
+		if rotations > budget {
+			t.Errorf("period %d: BSGS used %d rotations, budget 2·√P+1 = %d", period, rotations, budget)
+		}
+		// And it must still be the right answer.
+		gotVals, err := he.Reveal(b, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := m.MulVec(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if gotVals[i] != want[i]%65537 {
+				t.Fatalf("period %d row %d: got %d want %d", period, i, gotVals[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMatVecBSGSRotationBudgetBGV is the same rotation-budget regression
+// on real BGV ciphertexts, with keys generated for exactly the BSGS step
+// set, and additionally checks that the rotations went through the
+// hoisted path.
+func TestMatVecBSGSRotationBudgetBGV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BGV kernel test in -short mode")
+	}
+	period := 16
+	baby, giant := BSGSSplit(period)
+	var steps []int
+	for j := 1; j < baby; j++ {
+		steps = append(steps, j)
+	}
+	for g := 1; g < giant; g++ {
+		steps = append(steps, g*baby)
+	}
+	b, err := hebgv.New(hebgv.Config{Params: bgv.TestParams(4), RotationSteps: steps, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewPCG(8, 8))
+	m := randBool(r, period, period, 0.6)
+	d, err := PrepareDiagonalsBSGS(b, m, period, baby, giant, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]uint64, period)
+	for i := range v {
+		v[i] = uint64(r.IntN(2))
+	}
+	ct, err := b.Encrypt(replicatedPlain(v, period, b.Slots()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.ResetCounts()
+	out, err := MatVecBSGS(b, d, he.Cipher(ct), false, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := b.Counts()
+	budget := int64(2*math.Sqrt(float64(period))) + 1
+	if counts.Rotate > budget {
+		t.Errorf("BGV BSGS used %d rotations, budget 2·√P+1 = %d", counts.Rotate, budget)
+	}
+	if counts.RotateHoisted == 0 {
+		t.Error("no rotations went through the hoisted path")
+	}
+	gotVals, err := he.Reveal(b, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.MulVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if gotVals[i] != want[i]%b.PlainModulus() {
+			t.Fatalf("row %d: got %d want %d", i, gotVals[i], want[i])
+		}
+	}
+}
+
+// TestMatVecBSGSWithSharedBabyRotations: sharing one baby-rotation set
+// across several matrices must give identical results to independent runs.
+func TestMatVecBSGSWithSharedBabyRotations(t *testing.T) {
+	b := heclear.New(64, 65537)
+	r := rand.New(rand.NewPCG(9, 9))
+	period := 16
+	baby, giant := BSGSSplit(period)
+	v := make([]uint64, period)
+	for i := range v {
+		v[i] = uint64(r.IntN(2))
+	}
+	ct, err := b.Encrypt(replicatedPlain(v, period, b.Slots()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	babyRots, err := BabyRotations(b, he.Cipher(ct), baby, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 4; trial++ {
+		m := randBool(r, 12, period, 0.5)
+		d, err := PrepareDiagonalsBSGS(b, m, period, baby, giant, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared, err := MatVecBSGSWith(b, d, babyRots, false, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		independent, err := MatVecBSGS(b, d, he.Cipher(ct), false, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv, err := he.Reveal(b, shared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iv, err := he.Reveal(b, independent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sv {
+			if sv[i] != iv[i] {
+				t.Fatalf("trial %d slot %d: shared %d vs independent %d", trial, i, sv[i], iv[i])
+			}
+		}
+	}
+}
+
+func TestPrepareDiagonalsBSGSBadSplit(t *testing.T) {
+	b := heclear.New(16, 65537)
+	if _, err := PrepareDiagonalsBSGS(b, NewBool(4, 4), 4, 3, 2, false); err == nil {
+		t.Error("split not factoring period accepted")
+	}
+	if _, err := PrepareDiagonalsBSGS(b, NewBool(4, 4), 32, 8, 4, false); err == nil {
+		t.Error("period wider than slots accepted")
+	}
+}

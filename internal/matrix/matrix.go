@@ -109,11 +109,41 @@ func (m *Bool) Diagonals(period int) ([][]uint64, error) {
 // plain and all-zero diagonals may be skipped; with an encrypted model
 // every diagonal is a ciphertext and all must be processed (skipping
 // would leak the branching structure — paper §7.1).
+//
+// Two layouts exist. The naive layout (PrepareDiagonals) stores diagonal
+// i in Ops[i] and the kernel issues one rotation per diagonal. The
+// baby-step/giant-step layout (PrepareDiagonalsBSGS) stores diagonal
+// g·Baby+j pre-rotated right by g·Baby in BsgsOps[g·Baby+j], so the
+// kernel needs only Baby−1 rotations of the vector plus Giant−1
+// rotations of the partial sums — ~2·√Period instead of Period−1.
 type Diagonals struct {
 	Rows   int
 	Period int
 	Ops    []he.Operand
 	Zero   []bool // plaintext-known zero diagonals
+
+	// BSGS layout; Baby·Giant == Period when BsgsOps is populated.
+	Baby, Giant int
+	BsgsOps     []he.Operand
+	BsgsZero    []bool
+}
+
+// IsBSGS reports whether d carries the baby-step/giant-step layout.
+func (d *Diagonals) IsBSGS() bool { return d.BsgsOps != nil }
+
+// BSGSSplit factors a power-of-two period into baby and giant step
+// counts with baby·giant = period and baby = 2^ceil(log2(period)/2), the
+// split minimizing baby+giant over powers of two.
+func BSGSSplit(period int) (baby, giant int) {
+	if period <= 1 {
+		return 1, 1
+	}
+	log := 0
+	for 1<<log < period {
+		log++
+	}
+	baby = 1 << ((log + 1) / 2)
+	return baby, period / baby
 }
 
 // PrepareDiagonals builds the operand form of m. If encrypt is true the
@@ -153,12 +183,67 @@ func PrepareDiagonals(b he.Backend, m *Bool, period int, encrypt bool) (*Diagona
 	return d, nil
 }
 
+// PrepareDiagonalsBSGS builds the baby-step/giant-step operand form of
+// m: diagonal i = g·baby+j is laid out over the full slot width and
+// pre-rotated right by g·baby, so that
+//
+//	M·v = Σ_g rot( Σ_j d'_{g,j} ⊙ rot(v, j), g·baby )
+//
+// needs only (baby−1) + (giant−1) rotations. Pre-rotating happens on the
+// plaintext diagonals before encryption/encoding, so it is free. Pass the
+// split staged by the compiler (or BSGSSplit(period)).
+func PrepareDiagonalsBSGS(b he.Backend, m *Bool, period, baby, giant int, encrypt bool) (*Diagonals, error) {
+	if m.Rows > b.Slots() || period > b.Slots() {
+		return nil, fmt.Errorf("matrix: %dx%d (period %d) exceeds %d slots", m.Rows, m.Cols, period, b.Slots())
+	}
+	if baby < 1 || giant < 1 || baby*giant != period {
+		return nil, fmt.Errorf("matrix: BSGS split %d×%d does not factor period %d", baby, giant, period)
+	}
+	raw, err := m.Diagonals(period)
+	if err != nil {
+		return nil, err
+	}
+	slots := b.Slots()
+	d := &Diagonals{Rows: m.Rows, Period: period, Baby: baby, Giant: giant, BsgsZero: make([]bool, period)}
+	ext := make([]uint64, slots)
+	for i, vec := range raw {
+		shift := (i / baby) * baby
+		clear(ext)
+		allZero := true
+		for r, v := range vec {
+			ext[(r+shift)%slots] = v
+			if v != 0 {
+				allZero = false
+			}
+		}
+		d.BsgsZero[i] = allZero
+		if encrypt {
+			ct, err := b.Encrypt(ext)
+			if err != nil {
+				return nil, err
+			}
+			d.BsgsOps = append(d.BsgsOps, he.Cipher(ct))
+		} else {
+			op, err := he.NewPlain(b, ext)
+			if err != nil {
+				return nil, err
+			}
+			d.BsgsOps = append(d.BsgsOps, op)
+		}
+	}
+	return d, nil
+}
+
 // MatVec computes M·v homomorphically: Σ_i d_i ⊙ rot(v, i). The vector
 // operand must be slot-periodic with period d.Period (see Replicate).
 // When skipZero is true, plaintext-known zero diagonals are skipped —
 // only safe for plaintext models. The result holds M·v in slots
-// [0, Rows) and zeros elsewhere.
+// [0, Rows) and zeros elsewhere. Diagonals in the BSGS layout are
+// dispatched to the baby-step/giant-step kernel.
 func MatVec(b he.Backend, d *Diagonals, v he.Operand, skipZero bool) (he.Operand, error) {
+	if d.IsBSGS() {
+		return MatVecBSGS(b, d, v, skipZero, 1, true)
+	}
 	var acc he.Operand
 	accSet := false
 	for i := 0; i < d.Period; i++ {
@@ -173,7 +258,7 @@ func MatVec(b he.Backend, d *Diagonals, v he.Operand, skipZero bool) (he.Operand
 				return he.Operand{}, err
 			}
 		}
-		term, err := he.Mul(b, d.Ops[i], rot)
+		term, err := he.MulLazy(b, d.Ops[i], rot)
 		if err != nil {
 			return he.Operand{}, err
 		}
@@ -189,13 +274,16 @@ func MatVec(b he.Backend, d *Diagonals, v he.Operand, skipZero bool) (he.Operand
 	if !accSet {
 		return he.NewPlain(b, make([]uint64, b.Slots()))
 	}
-	return acc, nil
+	return he.Relinearize(b, acc)
 }
 
 // MatVecParallel is MatVec with the per-diagonal terms computed by
 // `workers` goroutines. Results are summed in index order, so the output
 // is identical to MatVec.
 func MatVecParallel(b he.Backend, d *Diagonals, v he.Operand, skipZero bool, workers int) (he.Operand, error) {
+	if d.IsBSGS() {
+		return MatVecBSGS(b, d, v, skipZero, workers, true)
+	}
 	if workers <= 1 {
 		return MatVec(b, d, v, skipZero)
 	}
@@ -212,7 +300,7 @@ func MatVecParallel(b he.Backend, d *Diagonals, v he.Operand, skipZero bool, wor
 				return err
 			}
 		}
-		term, err := he.Mul(b, d.Ops[i], rot)
+		term, err := he.MulLazy(b, d.Ops[i], rot)
 		if err != nil {
 			return err
 		}
@@ -240,10 +328,155 @@ func MatVecParallel(b he.Backend, d *Diagonals, v he.Operand, skipZero bool, wor
 	if !accSet {
 		return he.NewPlain(b, make([]uint64, b.Slots()))
 	}
+	return he.Relinearize(b, acc)
+}
+
+// BabyRotations computes rot(v, j) for j = 0..baby-1 (index 0 is v
+// itself). With hoist set and a ciphertext operand, the backend's
+// hoisted-rotation path shares one digit decomposition across all steps.
+// The result can be fed to MatVecBSGSWith — and shared across every
+// matrix product with the same period, e.g. all level matrices.
+func BabyRotations(b he.Backend, v he.Operand, baby int, hoist bool) ([]he.Operand, error) {
+	needed := make([]bool, baby)
+	for j := range needed {
+		needed[j] = true
+	}
+	return babyRotations(b, v, needed, hoist)
+}
+
+// babyRotations computes rot(v, j) for every needed index (j=0 is v
+// itself); skipped indices are left as zero operands.
+func babyRotations(b he.Backend, v he.Operand, needed []bool, hoist bool) ([]he.Operand, error) {
+	rots := make([]he.Operand, len(needed))
+	rots[0] = v
+	var steps []int
+	for j := 1; j < len(needed); j++ {
+		if needed[j] {
+			steps = append(steps, j)
+		}
+	}
+	if len(steps) == 0 {
+		return rots, nil
+	}
+	if hoist {
+		outs, err := he.RotateHoisted(b, v, steps)
+		if err != nil {
+			return nil, err
+		}
+		for i, j := range steps {
+			rots[j] = outs[i]
+		}
+		return rots, nil
+	}
+	for _, j := range steps {
+		rot, err := he.Rotate(b, v, j)
+		if err != nil {
+			return nil, err
+		}
+		rots[j] = rot
+	}
+	return rots, nil
+}
+
+// MatVecBSGS is the baby-step/giant-step diagonal kernel over a BSGS
+// Diagonals layout: it computes the baby rotations of v, forms each
+// giant group's inner sum against the pre-rotated diagonals, then
+// rotates and accumulates the group sums — (Baby−1) + (Giant−1)
+// rotations total instead of Period−1. Under skipZero, only the baby
+// rotations some group actually needs are computed.
+func MatVecBSGS(b he.Backend, d *Diagonals, v he.Operand, skipZero bool, workers int, hoist bool) (he.Operand, error) {
+	if !d.IsBSGS() {
+		return he.Operand{}, fmt.Errorf("matrix: diagonals lack the BSGS layout")
+	}
+	needed := make([]bool, d.Baby)
+	for i := 0; i < d.Period; i++ {
+		if !(skipZero && d.BsgsZero[i]) {
+			needed[i%d.Baby] = true
+		}
+	}
+	babyRots, err := babyRotations(b, v, needed, hoist)
+	if err != nil {
+		return he.Operand{}, err
+	}
+	return MatVecBSGSWith(b, d, babyRots, skipZero, workers)
+}
+
+// MatVecBSGSWith is MatVecBSGS over precomputed baby rotations of the
+// vector (see BabyRotations) — the way to share one set of baby
+// rotations across several matrix products with the same period.
+func MatVecBSGSWith(b he.Backend, d *Diagonals, babyRots []he.Operand, skipZero bool, workers int) (he.Operand, error) {
+	if !d.IsBSGS() {
+		return he.Operand{}, fmt.Errorf("matrix: diagonals lack the BSGS layout")
+	}
+	if len(babyRots) < d.Baby {
+		return he.Operand{}, fmt.Errorf("matrix: got %d baby rotations, kernel needs %d", len(babyRots), d.Baby)
+	}
+	groups := make([]*he.Operand, d.Giant)
+	err := ParallelFor(d.Giant, workers, func(g int) error {
+		var acc he.Operand
+		accSet := false
+		for j := 0; j < d.Baby; j++ {
+			i := g*d.Baby + j
+			if skipZero && d.BsgsZero[i] {
+				continue
+			}
+			// Lazy products: the group's inner sum accumulates degree-2
+			// tensors and pays for one relinearization below, instead of
+			// one per diagonal.
+			term, err := he.MulLazy(b, d.BsgsOps[i], babyRots[j])
+			if err != nil {
+				return err
+			}
+			if !accSet {
+				acc, accSet = term, true
+				continue
+			}
+			acc, err = he.Add(b, acc, term)
+			if err != nil {
+				return err
+			}
+		}
+		if !accSet {
+			return nil
+		}
+		var err error
+		acc, err = he.Relinearize(b, acc)
+		if err != nil {
+			return err
+		}
+		if g > 0 {
+			acc, err = he.Rotate(b, acc, g*d.Baby)
+			if err != nil {
+				return err
+			}
+		}
+		groups[g] = &acc
+		return nil
+	})
+	if err != nil {
+		return he.Operand{}, err
+	}
+	var acc he.Operand
+	accSet := false
+	for _, group := range groups {
+		if group == nil {
+			continue
+		}
+		if !accSet {
+			acc, accSet = *group, true
+			continue
+		}
+		acc, err = he.Add(b, acc, *group)
+		if err != nil {
+			return he.Operand{}, err
+		}
+	}
+	if !accSet {
+		return he.NewPlain(b, make([]uint64, b.Slots()))
+	}
 	return acc, nil
 }
 
-// Replicate spreads a vector living in slots [0, width) — with zeros
 // elsewhere — periodically across all slots by rotate-and-add doubling.
 // width must be a power of two dividing the slot count. This restores
 // the periodic layout MatVec requires between pipeline stages.

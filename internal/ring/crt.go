@@ -12,6 +12,12 @@ type crtLevel struct {
 	halfQ *big.Int   // bigQ / 2, for centering
 	qiHat []*big.Int // bigQ / q_i
 	inv   []uint64   // (bigQ/q_i)^{-1} mod q_i
+
+	// Word-level mirrors of the constants above, for the allocation-free
+	// reconstruction used on the hot decomposition path.
+	words  int        // 64-bit words covering bigQ
+	qWords []uint64   // bigQ, little-endian, length `words`
+	qiHatW [][]uint64 // bigQ / q_i, little-endian, length `words`
 }
 
 func (ctx *Context) buildCRT() {
@@ -29,8 +35,73 @@ func (ctx *Context) buildCRT() {
 			hatModQ := new(big.Int).Mod(hat, new(big.Int).SetUint64(q)).Uint64()
 			cl.inv = append(cl.inv, InvMod(hatModQ, q))
 		}
+		cl.words = (cl.bigQ.BitLen() + 63) / 64
+		cl.qWords = toWords(cl.bigQ, cl.words)
+		for _, hat := range cl.qiHat {
+			cl.qiHatW = append(cl.qiHatW, toWords(hat, cl.words))
+		}
 		ctx.crt[level] = cl
 	}
+}
+
+// toWords returns the little-endian 64-bit words of x, padded to n,
+// independent of the platform's big.Word size (32 or 64, both of which
+// divide 64, so each big.Word lands in exactly one output word).
+func toWords(x *big.Int, n int) []uint64 {
+	out := make([]uint64, n)
+	const wordBits = bits.UintSize
+	for i, w := range x.Bits() {
+		bit := i * wordBits
+		out[bit/64] |= uint64(w) << uint(bit%64)
+	}
+	return out
+}
+
+// reconstructWords computes (Σ_i res_i·inv_i·qiHat_i) mod Q into acc,
+// a little-endian word vector of length words+1 — the same value
+// reconstructCoeff produces, without big.Int allocations. The sum is at
+// most (level+1)·Q, so the reduction is a short subtract loop.
+func (cl *crtLevel) reconstructWords(res []uint64, moduli []*Modulus, acc []uint64) {
+	clear(acc)
+	w := cl.words
+	for i, r := range res {
+		v := MulMod(r, cl.inv[i], moduli[i].Q)
+		hat := cl.qiHatW[i]
+		var carry uint64
+		for k := 0; k < w; k++ {
+			hi, lo := bits.Mul64(v, hat[k])
+			s, c1 := bits.Add64(acc[k], lo, 0)
+			s, c2 := bits.Add64(s, carry, 0)
+			acc[k] = s
+			carry = hi + c1 + c2 // v < 2^62, so hi + 2 cannot wrap
+		}
+		acc[w] += carry
+	}
+	for wordsGE(acc, cl.qWords) {
+		wordsSub(acc, cl.qWords)
+	}
+}
+
+// wordsGE reports acc ≥ q, where acc has one extra top word.
+func wordsGE(acc, q []uint64) bool {
+	if acc[len(q)] != 0 {
+		return true
+	}
+	for k := len(q) - 1; k >= 0; k-- {
+		if acc[k] != q[k] {
+			return acc[k] > q[k]
+		}
+	}
+	return true
+}
+
+// wordsSub sets acc -= q in place.
+func wordsSub(acc, q []uint64) {
+	var borrow uint64
+	for k := range q {
+		acc[k], borrow = bits.Sub64(acc[k], q[k], borrow)
+	}
+	acc[len(q)] -= borrow
 }
 
 // BigQ returns the full modulus at the given level.
@@ -108,7 +179,22 @@ func (ctx *Context) MaxCenteredBits(p *Poly) int {
 // coefficient in [0, 2^w). The digits are returned in NTT domain, ready
 // for key switching. Because the digits are level-independent, a single
 // key-switching key (generated at the top level) serves every level.
+//
+// The digit polynomials come from the context's pool; callers done with
+// them may PutPoly them back (or simply drop them).
 func (ctx *Context) DecomposeBase2w(p *Poly, w int) []*Poly {
+	digits := ctx.DecomposeBase2wCoeff(p, w)
+	for k := range digits {
+		ctx.NTT(digits[k])
+	}
+	return digits
+}
+
+// DecomposeBase2wCoeff is DecomposeBase2w without the final NTT: the
+// digits are returned in coefficient domain. Hoisted key switching needs
+// this form so a Galois automorphism can be applied to the shared digits
+// before each per-rotation NTT.
+func (ctx *Context) DecomposeBase2wCoeff(p *Poly, w int) []*Poly {
 	if p.IsNTT {
 		panic("ring: DecomposeBase2w requires coefficient-domain input")
 	}
@@ -117,19 +203,17 @@ func (ctx *Context) DecomposeBase2w(p *Poly, w int) []*Poly {
 	numDigits := (cl.bigQ.BitLen() + w - 1) / w
 	digits := make([]*Poly, numDigits)
 	for k := range digits {
-		digits[k] = ctx.NewPoly(level)
+		digits[k] = ctx.GetPoly(level)
 	}
-	acc := new(big.Int)
-	scratch := new(big.Int)
+	acc := make([]uint64, cl.words+1)
 	res := make([]uint64, level+1)
 	for j := 0; j < ctx.N; j++ {
 		for i := range res {
 			res[i] = p.Coeffs[i][j]
 		}
-		cl.reconstructCoeff(res, ctx.Moduli, acc, scratch)
-		words := acc.Bits()
+		cl.reconstructWords(res, ctx.Moduli, acc)
 		for k := 0; k < numDigits; k++ {
-			d := extractBits(words, k*w, w)
+			d := extractBitsWords(acc, k*w, w)
 			for i := 0; i <= level; i++ {
 				q := ctx.Moduli[i].Q
 				if d < q {
@@ -140,38 +224,28 @@ func (ctx *Context) DecomposeBase2w(p *Poly, w int) []*Poly {
 			}
 		}
 	}
-	for k := range digits {
-		ctx.NTT(digits[k])
-	}
 	return digits
+}
+
+// extractBitsWords reads `width` bits starting at bit offset `start` from
+// a little-endian []uint64. width must be at most 63.
+func extractBitsWords(words []uint64, start, width int) uint64 {
+	wordIdx := start >> 6
+	bitIdx := start & 63
+	if wordIdx >= len(words) {
+		return 0
+	}
+	v := words[wordIdx] >> uint(bitIdx)
+	if got := 64 - bitIdx; got < width && wordIdx+1 < len(words) {
+		v |= words[wordIdx+1] << uint(got)
+	}
+	return v & (uint64(1)<<uint(width) - 1)
 }
 
 // NumDigits returns the number of base-2^w digits needed at the given
 // level.
 func (ctx *Context) NumDigits(level, w int) int {
 	return (ctx.crt[level].bigQ.BitLen() + w - 1) / w
-}
-
-// extractBits reads `width` bits starting at bit offset `start` from a
-// little-endian big.Word slice. width must be at most 63.
-func extractBits(words []big.Word, start, width int) uint64 {
-	const ws = bits.UintSize
-	wordIdx := start / ws
-	bitIdx := start % ws
-	if wordIdx >= len(words) {
-		return 0
-	}
-	v := uint64(words[wordIdx]) >> uint(bitIdx)
-	got := ws - bitIdx
-	for got < width {
-		wordIdx++
-		if wordIdx >= len(words) {
-			break
-		}
-		v |= uint64(words[wordIdx]) << uint(got)
-		got += ws
-	}
-	return v & (uint64(1)<<uint(width) - 1)
 }
 
 // ModSwitchDown performs the exact BGV modulus switch, dropping the top
@@ -191,36 +265,38 @@ func (ctx *Context) ModSwitchDown(p *Poly) {
 	t := ctx.T
 
 	// Recover the dropped component in coefficient domain.
-	top := make([]uint64, ctx.N)
+	top := ctx.getRow()
+	defer ctx.putRow(top)
 	copy(top, p.Coeffs[l])
 	ctx.Moduli[l].INTT(top)
 
-	// v = centered([c * t^{-1}]_{q_l}); δ = t * v.
+	// v = centered([c * t^{-1}]_{q_l}); δ = t * v. The centered value is
+	// carried shifted by +q_l (vu = v + q_l ∈ (q_l/2, 3q_l/2]) so the
+	// per-prime loop below is branch-free: δ ≡ t·vu − t·q_l (mod q_i).
 	tInv := InvMod(t%ql, ql)
 	half := ql >> 1
-	vs := make([]int64, ctx.N)
-	for j := range vs {
+	vu := ctx.getRow()
+	defer ctx.putRow(vu)
+	for j := range vu[:ctx.N] {
 		v := MulMod(top[j], tInv, ql)
 		if v > half {
-			vs[j] = int64(v) - int64(ql)
+			vu[j] = v
 		} else {
-			vs[j] = int64(v)
+			vu[j] = v + ql
 		}
 	}
 
-	delta := make([]uint64, ctx.N)
+	delta := ctx.getRow()
+	defer ctx.putRow(delta)
 	for i := 0; i < l; i++ {
 		qi := ctx.Moduli[i].Q
 		invQl := InvMod(ql%qi, qi)
 		invQlS := ShoupPrecomp(invQl, qi)
-		for j, v := range vs {
-			var d uint64
-			if v >= 0 {
-				d = MulMod(uint64(v)%qi, t%qi, qi)
-			} else {
-				d = NegMod(MulMod(uint64(-v)%qi, t%qi, qi), qi)
-			}
-			delta[j] = d
+		tq := t % qi
+		tqS := ShoupPrecomp(tq, qi)
+		tql := MulMod(tq, ql%qi, qi) // t·q_l mod q_i, the shift correction
+		for j, u := range vu[:ctx.N] {
+			delta[j] = SubMod(MulModShoup(u, tq, tqS, qi), tql, qi)
 		}
 		ctx.Moduli[i].NTT(delta)
 		pi := p.Coeffs[i]

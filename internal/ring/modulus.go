@@ -85,6 +85,15 @@ func MulModShoup(x, w, ws, q uint64) uint64 {
 	return r
 }
 
+// MulModShoupLazy is MulModShoup without the final conditional
+// subtraction: the result lies in [0, 2q). It accepts any x (not just
+// fully reduced values), which is what allows the NTT butterflies to
+// defer reduction.
+func MulModShoupLazy(x, w, ws, q uint64) uint64 {
+	hi, _ := bits.Mul64(x, ws)
+	return x*w - hi*q
+}
+
 // PowMod returns x^e mod q.
 func PowMod(x, e, q uint64) uint64 {
 	r := uint64(1)
@@ -152,6 +161,9 @@ func NewModulus(q uint64, n int) (*Modulus, error) {
 	}
 	if (q-1)%uint64(2*n) != 0 {
 		return nil, fmt.Errorf("ring: prime %d is not congruent to 1 mod %d", q, 2*n)
+	}
+	if q >= 1<<62 {
+		return nil, fmt.Errorf("ring: prime %d exceeds 62 bits (lazy NTT reduction bound)", q)
 	}
 	logN := bits.TrailingZeros(uint(n))
 	psi, err := primitiveRoot2N(q, uint64(n))

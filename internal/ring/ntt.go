@@ -2,52 +2,82 @@ package ring
 
 // NTT transforms a in place from coefficient to evaluation (NTT) domain.
 // The output is in bit-reversed order, following the standard iterative
-// Cooley-Tukey decimation-in-time negacyclic transform. len(a) must equal
-// the modulus transform size.
+// Cooley-Tukey decimation-in-time negacyclic transform.
+//
+// The butterflies use Harvey-style lazy reduction: intermediate values
+// live in [0, 4q) and only the final pass reduces into [0, q), removing
+// the data-dependent branches from the inner loops. This requires
+// q < 2^62, which NewModulus guarantees (prime bit length ≤ 61).
 func (m *Modulus) NTT(a []uint64) {
 	n := m.N
 	q := m.Q
+	twoQ := 2 * q
 	t := n
 	for grp := 1; grp < n; grp <<= 1 {
 		t >>= 1
 		for i := 0; i < grp; i++ {
 			j1 := 2 * i * t
-			j2 := j1 + t
 			w := m.psiRev[grp+i]
 			ws := m.psiRevS[grp+i]
-			for j := j1; j < j2; j++ {
-				u := a[j]
-				v := MulModShoup(a[j+t], w, ws, q)
-				a[j] = AddMod(u, v, q)
-				a[j+t] = SubMod(u, v, q)
+			// Equal-length subslices let the compiler drop the bounds
+			// checks in the butterfly loop.
+			x := a[j1 : j1+t : j1+t]
+			y := a[j1+t : j1+2*t : j1+2*t]
+			for j, u := range x {
+				if u >= twoQ {
+					u -= twoQ
+				}
+				v := MulModShoupLazy(y[j], w, ws, q)
+				x[j] = u + v
+				y[j] = u - v + twoQ
 			}
 		}
+	}
+	for i, r := range a {
+		if r >= twoQ {
+			r -= twoQ
+		}
+		if r >= q {
+			r -= q
+		}
+		a[i] = r
 	}
 }
 
 // INTT transforms a in place from NTT (bit-reversed) back to coefficient
-// domain, including the 1/N scaling. It is the exact inverse of NTT.
+// domain, including the 1/N scaling. It is the exact inverse of NTT and
+// uses the same lazy-reduction butterflies (values stay in [0, 2q) and
+// the scaling pass reduces fully).
 func (m *Modulus) INTT(a []uint64) {
 	n := m.N
 	q := m.Q
+	twoQ := 2 * q
 	t := 1
 	for grp := n >> 1; grp >= 1; grp >>= 1 {
 		j1 := 0
 		for i := 0; i < grp; i++ {
-			j2 := j1 + t
 			w := m.psiInvRev[grp+i]
 			ws := m.psiInvRevS[grp+i]
-			for j := j1; j < j2; j++ {
-				u := a[j]
-				v := a[j+t]
-				a[j] = AddMod(u, v, q)
-				a[j+t] = MulModShoup(SubMod(u, v, q), w, ws, q)
+			x := a[j1 : j1+t : j1+t]
+			y := a[j1+t : j1+2*t : j1+2*t]
+			for j, u := range x {
+				v := y[j]
+				r := u + v
+				if r >= twoQ {
+					r -= twoQ
+				}
+				x[j] = r
+				y[j] = MulModShoupLazy(u-v+twoQ, w, ws, q)
 			}
 			j1 += 2 * t
 		}
 		t <<= 1
 	}
 	for i := range a {
-		a[i] = MulModShoup(a[i], m.nInv, m.nInvS, q)
+		r := MulModShoupLazy(a[i], m.nInv, m.nInvS, q)
+		if r >= q {
+			r -= q
+		}
+		a[i] = r
 	}
 }

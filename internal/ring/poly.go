@@ -44,7 +44,9 @@ type Context struct {
 	Moduli []*Modulus // prime chain q_0 .. q_L
 	T      uint64     // plaintext modulus
 
-	crt []*crtLevel // per-level CRT reconstruction tables
+	crt  []*crtLevel // per-level CRT reconstruction tables
+	pool polyPools   // level-keyed polynomial recycling (pool.go)
+	rows rowPool     // single-prime scratch rows
 }
 
 // NewContext creates a ring context for degree n = 2^logN with the given
@@ -175,6 +177,47 @@ func (ctx *Context) MulCoeffsAdd(a, b, out *Poly) {
 	out.IsNTT = true
 }
 
+// PolyShoup is the per-coefficient Shoup companion table of a fixed
+// NTT-domain polynomial, enabling division-free pointwise products
+// against it. Key-switching keys are the intended use: they are
+// multiplied against every digit of every key switch, so the one-time
+// precomputation pays for itself immediately.
+type PolyShoup struct {
+	S [][]uint64
+}
+
+// ShoupPoly precomputes the companion table of p (which must be fully
+// reduced; NTT domain in practice).
+func (ctx *Context) ShoupPoly(p *Poly) *PolyShoup {
+	s := make([][]uint64, len(p.Coeffs))
+	for i := range p.Coeffs {
+		q := ctx.Moduli[i].Q
+		row := make([]uint64, len(p.Coeffs[i]))
+		for j, w := range p.Coeffs[i] {
+			row[j] = ShoupPrecomp(w, q)
+		}
+		s[i] = row
+	}
+	return &PolyShoup{S: s}
+}
+
+// MulCoeffsShoupAdd sets out += a ⊙ b (pointwise, NTT domain), where bs
+// is b's Shoup companion table. b may live at a higher level than out;
+// only out's active primes are touched.
+func (ctx *Context) MulCoeffsShoupAdd(a, b *Poly, bs *PolyShoup, out *Poly) {
+	if !a.IsNTT || !b.IsNTT {
+		panic("ring: MulCoeffsShoupAdd requires NTT-domain operands")
+	}
+	for i := range out.Coeffs {
+		q := ctx.Moduli[i].Q
+		ai, bi, si, oi := a.Coeffs[i], b.Coeffs[i], bs.S[i], out.Coeffs[i]
+		for j := range oi {
+			oi[j] = AddMod(oi[j], MulModShoup(ai[j], bi[j], si[j], q), q)
+		}
+	}
+	out.IsNTT = true
+}
+
 // MulScalar sets out = a * c for a word-sized scalar c.
 func (ctx *Context) MulScalar(a *Poly, c uint64, out *Poly) {
 	for i := range out.Coeffs {
@@ -214,6 +257,15 @@ func (ctx *Context) Automorphism(a *Poly, g uint64, out *Poly) {
 		}
 	}
 	out.IsNTT = false
+}
+
+// CopyInto copies src into dst, which must share src's level. Together
+// with GetPoly this replaces Copy on hot paths.
+func (ctx *Context) CopyInto(src, dst *Poly) {
+	for i := range src.Coeffs {
+		copy(dst.Coeffs[i], src.Coeffs[i])
+	}
+	dst.IsNTT = src.IsNTT
 }
 
 // SetLift fills p (coefficient domain) with the given small signed

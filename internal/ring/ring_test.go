@@ -344,11 +344,11 @@ func TestDecomposeBase2w(t *testing.T) {
 	}
 }
 
-func TestExtractBits(t *testing.T) {
+func TestExtractBitsWords(t *testing.T) {
 	v := new(big.Int).SetUint64(0xDEADBEEFCAFEF00D)
 	v.Lsh(v, 64)
 	v.Or(v, new(big.Int).SetUint64(0x0123456789ABCDEF))
-	words := v.Bits()
+	words := toWords(v, 2)
 	cases := []struct {
 		start, width int
 		want         uint64
@@ -362,9 +362,12 @@ func TestExtractBits(t *testing.T) {
 		{128, 16, 0},
 	}
 	for _, c := range cases {
-		if got := extractBits(words, c.start, c.width); got != c.want {
-			t.Errorf("extractBits(%d,%d) = %#x, want %#x", c.start, c.width, got, c.want)
+		if got := extractBitsWords(words, c.start, c.width); got != c.want {
+			t.Errorf("extractBitsWords(%d,%d) = %#x, want %#x", c.start, c.width, got, c.want)
 		}
+	}
+	if w := toWords(v, 3); w[2] != 0 || w[1] != 0xDEADBEEFCAFEF00D {
+		t.Errorf("toWords padding: %#x", w)
 	}
 }
 
