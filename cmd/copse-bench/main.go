@@ -6,6 +6,7 @@
 //	copse-bench -exp all                      # everything, clear backend
 //	copse-bench -exp fig6 -queries 27
 //	copse-bench -exp fig10a -backend bgv      # real ciphertexts (slow)
+//	copse-bench -exp table6 -servejson BENCH_serving.json   # serving throughput
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	opcase := flag.String("opcase", "width78", "model used for table1/table2 op counts")
 	models := flag.String("models", "", "comma-separated model filter (default: all)")
 	rotJSON := flag.String("rotjson", "", "also write machine-readable stage timings + op counts to this file (e.g. BENCH_rotations.json)")
+	serveJSON := flag.String("servejson", "", "also write serving throughput (queries/sec at batch sizes 1, 4, max) to this file (e.g. BENCH_serving.json)")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -109,5 +111,23 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *rotJSON)
+	}
+
+	if *serveJSON != "" {
+		report, err := experiments.ServingReport(cfg)
+		if err != nil {
+			log.Fatalf("serving report: %v", err)
+		}
+		f, err := os.Create(*serveJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *serveJSON)
 	}
 }

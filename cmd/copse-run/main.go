@@ -1,22 +1,28 @@
 // Command copse-run serves secure inference from a compiled artifact: it
-// plays all three parties (Maurice loads and encrypts the model, Diane
-// encrypts the features, Sally classifies) and reports the result, the
-// per-stage timing, and what the server could infer from ciphertext
-// shapes alone.
+// stages the model onto a copse.Service, slot-packs the requested
+// queries into as few homomorphic passes as possible, and reports the
+// results, the per-pass timing, and what the server could infer from
+// ciphertext shapes alone.
 //
 // Usage:
 //
-//	copse-run -artifact income5.copse -features 30,9,40,0,0,3,7,1
-//	copse-run -artifact m.copse -features 3,5 -backend clear -scenario servermodel
+//	copse-run -artifact income5.copse -queries 30,9,40,0,0,3,7,1
+//	copse-run -artifact m.copse -queries "3,5;0,7;12,2" -backend clear
+//	copse-run -artifact m.copse -features 3,5 -scenario servermodel
+//
+// -queries takes one or more semicolon-separated feature vectors;
+// -features is the single-query spelling kept for compatibility.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"copse"
 )
@@ -26,16 +32,29 @@ func main() {
 	log.SetPrefix("copse-run: ")
 
 	artifact := flag.String("artifact", "", "compiled model artifact")
-	featArg := flag.String("features", "", "comma-separated quantized feature values")
+	queryArg := flag.String("queries", "", "semicolon-separated feature vectors, each comma-separated")
+	featArg := flag.String("features", "", "single feature vector (compatibility alias for -queries)")
 	backendArg := flag.String("backend", "bgv", "bgv or clear")
 	scenarioArg := flag.String("scenario", "offload", "offload, servermodel, or clienteval")
 	workers := flag.Int("workers", 1, "intra-query parallelism")
 	seed := flag.Uint64("seed", 0, "deterministic keys/encryption when non-zero")
 	flag.Parse()
 
-	if *artifact == "" || *featArg == "" {
-		log.Fatal("need -artifact FILE and -features LIST")
+	if *artifact == "" || (*queryArg == "" && *featArg == "") {
+		log.Fatal("need -artifact FILE and -queries LIST[;LIST...]")
 	}
+	if *queryArg != "" && *featArg != "" {
+		log.Fatal("-queries and -features are mutually exclusive")
+	}
+	spec := *queryArg
+	if spec == "" {
+		spec = *featArg
+	}
+	queries, err := parseQueries(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	f, err := os.Open(*artifact)
 	if err != nil {
 		log.Fatal(err)
@@ -46,73 +65,90 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg := copse.SystemConfig{Workers: *workers, Seed: *seed}
-	switch *backendArg {
-	case "bgv":
-		cfg.Backend = copse.BackendBGV
-		switch compiled.Meta.Slots {
-		case 1024:
-			cfg.Security = copse.SecurityTest
-		case 2048:
-			cfg.Security = copse.SecurityDemo
-		case 16384:
-			cfg.Security = copse.Security128
-		default:
-			log.Fatalf("no BGV preset with %d slots; recompile with -slots 1024 or 2048", compiled.Meta.Slots)
-		}
-	case "clear":
-		cfg.Backend = copse.BackendClear
-	default:
-		log.Fatalf("unknown backend %q", *backendArg)
+	kind, err := copse.ParseBackend(*backendArg)
+	if err != nil {
+		log.Fatal(err)
 	}
-	switch *scenarioArg {
-	case "offload":
-		cfg.Scenario = copse.ScenarioOffload
-	case "servermodel":
-		cfg.Scenario = copse.ScenarioServerModel
-	case "clienteval":
-		cfg.Scenario = copse.ScenarioClientEval
-	default:
-		log.Fatalf("unknown scenario %q", *scenarioArg)
+	scenario, err := copse.ParseScenario(*scenarioArg)
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	var features []uint64
-	for _, part := range strings.Split(*featArg, ",") {
-		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+	opts := []copse.Option{
+		copse.WithWorkers(*workers),
+		copse.WithSeed(*seed),
+		copse.WithBackend(kind),
+		copse.WithScenario(scenario),
+	}
+	if kind == copse.BackendBGV {
+		preset, err := copse.SecurityForSlots(compiled.Meta.Slots)
 		if err != nil {
-			log.Fatalf("bad feature %q: %v", part, err)
+			log.Fatal(err)
 		}
-		features = append(features, v)
+		opts = append(opts, copse.WithSecurity(preset))
 	}
 
-	sys, err := copse.NewSystem(compiled, cfg)
+	svc := copse.NewService(opts...)
+	const model = "model"
+	if err := svc.Register(model, compiled); err != nil {
+		log.Fatal(err)
+	}
+	meta, err := svc.Meta(model)
 	if err != nil {
 		log.Fatal(err)
 	}
-	query, err := sys.Diane.EncryptQuery(features)
+	capacity, err := svc.BatchCapacity(model)
 	if err != nil {
 		log.Fatal(err)
 	}
-	encrypted, trace, err := sys.Sally.Classify(query)
-	if err != nil {
-		log.Fatal(err)
-	}
-	result, err := sys.Diane.DecryptResult(encrypted)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	meta := sys.Sally.Meta()
 	fmt.Printf("model: %s\n", meta)
-	fmt.Printf("per-tree labels:")
-	for _, l := range result.PerTree {
-		fmt.Printf(" %s", meta.LabelNames[l])
+	fmt.Printf("batch capacity: %d queries per homomorphic pass\n", capacity)
+
+	start := time.Now()
+	results, err := svc.ClassifyBatch(context.Background(), model, queries)
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println()
-	fmt.Printf("plurality: %s\n", meta.LabelNames[result.Plurality()])
-	fmt.Printf("stage times: compare=%v reshuffle=%v levels=%v accumulate=%v total=%v\n",
-		trace.Compare, trace.Reshuffle, trace.Levels, trace.Accumulate, trace.Total)
-	view := sys.Sally.ServerView()
-	fmt.Printf("server-inferable structure: q̂=%d b̂=%d d=%d p=%d\n", view.QPad, view.BPad, view.D, view.P)
-	fmt.Printf("backend ops: %v\n", sys.Backend().Counts())
+	elapsed := time.Since(start)
+
+	for i, res := range results {
+		fmt.Printf("query %v:", queries[i])
+		fmt.Printf(" per-tree")
+		for _, l := range res.PerTree {
+			fmt.Printf(" %s", meta.LabelNames[l])
+		}
+		fmt.Printf(", plurality %s\n", meta.LabelNames[res.Plurality()])
+	}
+
+	st := svc.Stats()
+	passes := st.Requests
+	fmt.Printf("%d queries in %d pass(es), %v total (%v mean per pass)\n",
+		len(queries), passes, elapsed.Round(time.Millisecond), st.MeanLatency().Round(time.Millisecond))
+	if view, err := svc.ServerView(model); err == nil {
+		fmt.Printf("server-inferable structure: q̂=%d b̂=%d d=%d p=%d\n", view.QPad, view.BPad, view.D, view.P)
+	}
+	fmt.Printf("backend ops: %v\n", svc.Backend().Counts())
+}
+
+// parseQueries parses "1,2;3,4" into feature vectors.
+func parseQueries(spec string) ([][]uint64, error) {
+	var out [][]uint64
+	for _, q := range strings.Split(spec, ";") {
+		q = strings.TrimSpace(q)
+		if q == "" {
+			continue
+		}
+		var feats []uint64
+		for _, part := range strings.Split(q, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad feature %q: %v", part, err)
+			}
+			feats = append(feats, v)
+		}
+		out = append(out, feats)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no queries in %q", spec)
+	}
+	return out, nil
 }

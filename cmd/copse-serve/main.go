@@ -1,0 +1,294 @@
+// Command copse-serve runs a copse.Service behind an HTTP/JSON API: it
+// loads one or more compiled model artifacts onto a shared backend and
+// answers classification batches concurrently, slot-packing each
+// request's queries into as few homomorphic passes as possible.
+//
+// Usage:
+//
+//	copse-serve -listen :8080 -model fraud=fraud.copse -model churn=churn.copse
+//	copse-serve -listen :8080 -model m=income5.copse -backend clear -workers 8
+//
+// Endpoints:
+//
+//	POST /v1/classify  {"model": "fraud", "queries": [[3,5,...], ...]}
+//	  → {"model": "fraud", "results": [{"label": ..., "labelName": ...,
+//	     "votes": [...], "perTree": [...]}, ...], "latencyMS": ...}
+//	GET  /v1/models    → per-model shape and batch capacity
+//	GET  /v1/stats     → request/query counters, mean latency, queue wait
+//	GET  /healthz      → 200 once serving
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"copse"
+)
+
+type modelFlags map[string]string
+
+func (m modelFlags) String() string { return fmt.Sprint(map[string]string(m)) }
+
+func (m modelFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want NAME=ARTIFACT, got %q", v)
+	}
+	if _, dup := m[name]; dup {
+		return fmt.Errorf("model %q given twice", name)
+	}
+	m[name] = path
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("copse-serve: ")
+
+	models := modelFlags{}
+	flag.Var(models, "model", "NAME=ARTIFACT to serve (repeatable)")
+	listen := flag.String("listen", ":8080", "listen address")
+	backendArg := flag.String("backend", "bgv", "bgv or clear")
+	scenarioArg := flag.String("scenario", "offload", "offload, servermodel, or clienteval")
+	workers := flag.Int("workers", 0, "intra-query parallelism (0 = GOMAXPROCS)")
+	maxInFlight := flag.Int("max-inflight", 0, "concurrent classification cap (0 = unlimited)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request classification timeout")
+	seed := flag.Uint64("seed", 0, "deterministic keys/encryption when non-zero")
+	flag.Parse()
+
+	if len(models) == 0 {
+		log.Fatal("need at least one -model NAME=ARTIFACT")
+	}
+
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	opts := []copse.Option{
+		copse.WithWorkers(*workers),
+		copse.WithMaxInFlight(*maxInFlight),
+		copse.WithSeed(*seed),
+	}
+	kind, err := copse.ParseBackend(*backendArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scenario, err := copse.ParseScenario(*scenarioArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts = append(opts, copse.WithBackend(kind), copse.WithScenario(scenario))
+
+	// Load every artifact first: the security preset (and so the shared
+	// key set) is fixed by the models' common slot count before the
+	// service is built. Register in sorted order for determinism.
+	names := make([]string, 0, len(models))
+	compiled := map[string]*copse.Compiled{}
+	for name, path := range models {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := copse.ReadArtifact(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		names = append(names, name)
+		compiled[name] = c
+	}
+	sort.Strings(names)
+	if *backendArg == "bgv" {
+		preset, err := copse.SecurityForSlots(compiled[names[0]].Meta.Slots)
+		if err != nil {
+			log.Fatalf("%s: %v", names[0], err)
+		}
+		opts = append(opts, copse.WithSecurity(preset))
+	}
+
+	svc := copse.NewService(opts...)
+	for _, name := range names {
+		if err := svc.Register(name, compiled[name]); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		capacity, _ := svc.BatchCapacity(name)
+		meta, _ := svc.Meta(name)
+		log.Printf("serving %q: %s, batch capacity %d", name, meta, capacity)
+	}
+
+	srv := &server{svc: svc, timeout: *timeout}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/classify", srv.classify)
+	mux.HandleFunc("GET /v1/models", srv.models)
+	mux.HandleFunc("GET /v1/stats", srv.stats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+
+	log.Printf("listening on %s", *listen)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}
+
+type server struct {
+	svc     *copse.Service
+	timeout time.Duration
+}
+
+type classifyRequest struct {
+	Model   string     `json:"model"`
+	Queries [][]uint64 `json:"queries"`
+}
+
+type classifyResult struct {
+	Label     int    `json:"label"`
+	LabelName string `json:"labelName,omitempty"`
+	Votes     []int  `json:"votes"`
+	PerTree   []int  `json:"perTree"`
+}
+
+type classifyResponse struct {
+	Model     string           `json:"model"`
+	Results   []classifyResult `json:"results"`
+	Passes    int              `json:"passes"`
+	LatencyMS float64          `json:"latencyMS"`
+}
+
+// maxRequestBytes bounds a classify request body (~hundreds of
+// thousands of queries); larger posts get a 400 instead of exhausting
+// the process that holds the key set.
+const maxRequestBytes = 8 << 20
+
+func (s *server) classify(w http.ResponseWriter, r *http.Request) {
+	var req classifyRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
+		return
+	}
+	if req.Model == "" || len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("need model and at least one query"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+
+	capacity, err := s.svc.BatchCapacity(req.Model)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	meta, err := s.svc.Meta(req.Model)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	// Validate query shapes up front so malformed client input is a 400,
+	// not a 500 from deep inside the encryption path.
+	limit := uint64(1) << uint(meta.Precision)
+	for i, q := range req.Queries {
+		if len(q) != meta.NumFeatures {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("query %d has %d features, model %q wants %d", i, len(q), req.Model, meta.NumFeatures))
+			return
+		}
+		for j, v := range q {
+			if v >= limit {
+				httpError(w, http.StatusBadRequest,
+					fmt.Errorf("query %d feature %d value %d exceeds %d-bit precision", i, j, v, meta.Precision))
+				return
+			}
+		}
+	}
+	start := time.Now()
+	results, err := s.svc.ClassifyBatch(ctx, req.Model, req.Queries)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if ctx.Err() != nil {
+			status = http.StatusGatewayTimeout
+		}
+		httpError(w, status, err)
+		return
+	}
+	resp := classifyResponse{
+		Model:     req.Model,
+		Passes:    (len(req.Queries) + capacity - 1) / capacity,
+		LatencyMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, res := range results {
+		cr := classifyResult{Label: res.Plurality(), Votes: res.Votes, PerTree: res.PerTree}
+		if cr.Label < len(meta.LabelNames) {
+			cr.LabelName = meta.LabelNames[cr.Label]
+		}
+		resp.Results = append(resp.Results, cr)
+	}
+	writeJSON(w, resp)
+}
+
+type modelInfo struct {
+	Name          string `json:"name"`
+	Shape         string `json:"shape"`
+	NumFeatures   int    `json:"numFeatures"`
+	Precision     int    `json:"precision"`
+	BatchCapacity int    `json:"batchCapacity"`
+}
+
+func (s *server) models(w http.ResponseWriter, _ *http.Request) {
+	var out []modelInfo
+	for _, name := range s.svc.Models() {
+		meta, err := s.svc.Meta(name)
+		if err != nil {
+			continue
+		}
+		capacity, _ := s.svc.BatchCapacity(name)
+		out = append(out, modelInfo{
+			Name:          name,
+			Shape:         meta.String(),
+			NumFeatures:   meta.NumFeatures,
+			Precision:     meta.Precision,
+			BatchCapacity: capacity,
+		})
+	}
+	writeJSON(w, out)
+}
+
+type statsResponse struct {
+	Requests        int64   `json:"requests"`
+	Queries         int64   `json:"queries"`
+	Failures        int64   `json:"failures"`
+	InFlight        int64   `json:"inFlight"`
+	MeanLatencyMS   float64 `json:"meanLatencyMS"`
+	MeanQueueWaitMS float64 `json:"meanQueueWaitMS"`
+}
+
+func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
+	st := s.svc.Stats()
+	writeJSON(w, statsResponse{
+		Requests:        st.Requests,
+		Queries:         st.Queries,
+		Failures:        st.Failures,
+		InFlight:        st.InFlight,
+		MeanLatencyMS:   float64(st.MeanLatency().Microseconds()) / 1000,
+		MeanQueueWaitMS: float64(st.MeanQueueWait().Microseconds()) / 1000,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("write response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -9,10 +9,22 @@
 // (Diane) encrypts feature vectors; an untrusted server (Sally) runs the
 // inference without learning either.
 //
-// The typical flow:
+// The serving flow — a Service stages one or more compiled models onto a
+// shared backend and answers slot-packed query batches concurrently:
 //
 //	forest, _ := copse.ParseModel(r)                    // or copse.Train(...)
 //	compiled, _ := copse.Compile(forest, copse.CompileOptions{Slots: 1024})
+//	svc := copse.NewService(
+//		copse.WithBackend(copse.BackendBGV),
+//		copse.WithScenario(copse.ScenarioOffload),
+//	)
+//	_ = svc.Register("forest", compiled)
+//	results, _ := svc.ClassifyBatch(ctx, "forest", [][]uint64{{3, 5}, {7, 1}})
+//	fmt.Println(results[0].Plurality())
+//
+// The three-party view of the paper's Figure 2 remains available as a
+// thin wrapper for single-model, per-party workflows:
+//
 //	sys, _ := copse.NewSystem(compiled, copse.SystemConfig{
 //		Backend:  copse.BackendBGV,
 //		Scenario: copse.ScenarioOffload,
@@ -24,14 +36,12 @@
 package copse
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"copse/internal/bgv"
 	"copse/internal/core"
 	"copse/internal/he"
-	"copse/internal/he/hebgv"
-	"copse/internal/he/heclear"
 	"copse/internal/model"
 )
 
@@ -152,6 +162,49 @@ const (
 	Security128
 )
 
+// ParseBackend maps a CLI/config string ("bgv", "clear") to a backend
+// kind.
+func ParseBackend(s string) (BackendKind, error) {
+	switch s {
+	case "bgv":
+		return BackendBGV, nil
+	case "clear":
+		return BackendClear, nil
+	}
+	return 0, fmt.Errorf("copse: unknown backend %q (want bgv or clear)", s)
+}
+
+// ParseScenario maps a CLI/config string ("offload", "servermodel",
+// "clienteval", "threeparty") to a party configuration.
+func ParseScenario(s string) (Scenario, error) {
+	switch s {
+	case "offload":
+		return ScenarioOffload, nil
+	case "servermodel":
+		return ScenarioServerModel, nil
+	case "clienteval":
+		return ScenarioClientEval, nil
+	case "threeparty":
+		return ScenarioThreeParty, nil
+	}
+	return 0, fmt.Errorf("copse: unknown scenario %q (want offload, servermodel, clienteval or threeparty)", s)
+}
+
+// SecurityForSlots returns the BGV preset whose packing width matches a
+// model staged for the given slot count — the lookup every CLI that
+// loads an artifact needs before building a service.
+func SecurityForSlots(slots int) (SecurityPreset, error) {
+	switch slots {
+	case 1024:
+		return SecurityTest, nil
+	case 2048:
+		return SecurityDemo, nil
+	case 16384:
+		return Security128, nil
+	}
+	return 0, fmt.Errorf("copse: no BGV preset with %d slots; recompile with Slots 1024, 2048 or 16384", slots)
+}
+
 // SystemConfig configures NewSystem.
 type SystemConfig struct {
 	Backend  BackendKind
@@ -176,15 +229,19 @@ type SystemConfig struct {
 }
 
 // System wires the three parties around a shared backend, mirroring the
-// workflow of Figure 2.
+// workflow of Figure 2. It is a thin single-model view over Service —
+// the party split (Maurice/Diane/Sally) names who may call what, while
+// the service underneath does the staging, batching and bookkeeping.
 type System struct {
 	Maurice *ModelOwner
 	Diane   *DataOwner
 	Sally   *Server
 
-	backend he.Backend
-	cfg     SystemConfig
+	svc *Service
 }
+
+// systemModel is the registry name a System's single model serves under.
+const systemModel = "default"
 
 // ModelOwner (Maurice) holds the compiled model and knows its private
 // structure.
@@ -199,77 +256,38 @@ type DataOwner struct {
 
 // Server (Sally) executes inference over operands it cannot read.
 type Server struct {
-	sys    *System
-	engine *core.Engine
-	model  *core.ModelOperands
+	sys *System
 }
 
-// NewSystem instantiates the parties for a compiled model: it builds the
-// backend (generating keys for exactly the rotations the compiler
-// emitted), encrypts or encodes the model per the scenario, and returns
-// the wired parties.
+// NewSystem instantiates the parties for a compiled model: it builds a
+// single-model Service per the config (generating keys for exactly the
+// rotations the compiler emitted, encrypting or encoding the model per
+// the scenario) and returns the wired parties.
 func NewSystem(c *Compiled, cfg SystemConfig) (*System, error) {
-	var backend he.Backend
-	switch cfg.Backend {
-	case BackendClear:
-		backend = heclear.New(c.Meta.Slots, 65537)
-	case BackendBGV:
-		levels := cfg.Levels
-		if levels == 0 {
-			levels = c.Meta.RecommendedLevels
-		}
-		var params bgv.Params
-		switch cfg.Security {
-		case SecurityTest:
-			params = bgv.TestParams(levels)
-		case SecurityDemo:
-			params = bgv.DemoParams(levels)
-		case Security128:
-			params = bgv.Secure128Params(levels)
-		default:
-			return nil, fmt.Errorf("copse: unknown security preset %d", cfg.Security)
-		}
-		if slots := 1 << (params.LogN - 1); slots != c.Meta.Slots {
-			return nil, fmt.Errorf("copse: model staged for %d slots but preset provides %d; recompile with Slots=%d",
-				c.Meta.Slots, slots, slots)
-		}
-		b, err := hebgv.New(hebgv.Config{
-			Params:        params,
-			RotationSteps: c.Meta.RotationSteps,
-			Seed:          cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		backend = b
-	default:
-		return nil, fmt.Errorf("copse: unknown backend kind %d", cfg.Backend)
-	}
-
-	encryptModel, _, err := scenarioEncryption(cfg.Scenario)
-	if err != nil {
+	svc := NewService(
+		WithBackend(cfg.Backend),
+		WithScenario(cfg.Scenario),
+		WithSecurity(cfg.Security),
+		WithWorkers(cfg.Workers),
+		WithLevels(cfg.Levels),
+		WithSeed(cfg.Seed),
+		WithReuseRotations(cfg.ReuseRotations),
+		WithHoisting(!cfg.DisableHoisting),
+	)
+	if err := svc.Register(systemModel, c); err != nil {
 		return nil, err
 	}
-	operands, err := core.Prepare(backend, c, encryptModel)
-	if err != nil {
-		return nil, err
-	}
-	sys := &System{backend: backend, cfg: cfg}
+	sys := &System{svc: svc}
 	sys.Maurice = &ModelOwner{Compiled: c}
 	sys.Diane = &DataOwner{sys: sys}
-	sys.Sally = &Server{
-		sys: sys,
-		engine: &core.Engine{
-			Backend:           backend,
-			Workers:           cfg.Workers,
-			SkipZeroDiagonals: !encryptModel,
-			ReuseRotations:    cfg.ReuseRotations,
-			DisableHoisting:   cfg.DisableHoisting,
-		},
-		model: operands,
-	}
+	sys.Sally = &Server{sys: sys}
 	return sys, nil
 }
+
+// Service exposes the serving layer a System wraps, for callers that
+// started with the three-party API and want the batched/concurrent
+// surface (registry, stats, context-aware classify).
+func (s *System) Service() *Service { return s.svc }
 
 // scenarioEncryption maps a scenario to (model encrypted, features
 // encrypted).
@@ -287,47 +305,62 @@ func scenarioEncryption(s Scenario) (encModel, encFeats bool, err error) {
 
 // Backend exposes the underlying homomorphic backend (for op counting
 // and diagnostics).
-func (s *System) Backend() he.Backend { return s.backend }
+func (s *System) Backend() he.Backend { return s.svc.Backend() }
 
 // EncryptQuery prepares a quantized feature vector per the scenario:
 // replicated to the model's maximum multiplicity K, padded,
 // bit-transposed, and encrypted (left plaintext in ScenarioClientEval).
 func (d *DataOwner) EncryptQuery(features []uint64) (*Query, error) {
-	_, encFeats, err := scenarioEncryption(d.sys.cfg.Scenario)
-	if err != nil {
-		return nil, err
-	}
-	return core.PrepareQuery(d.sys.backend, &d.sys.Sally.model.Meta, features, encFeats)
+	return d.sys.svc.EncryptQuery(systemModel, features)
 }
 
-// EncryptedResult is Sally's output: the encrypted N-hot leaf bitvector.
+// EncryptQueryBatch slot-packs up to Meta.BatchCapacity feature vectors
+// into one encrypted query set; one Classify call answers all of them.
+func (d *DataOwner) EncryptQueryBatch(batch [][]uint64) (*Query, error) {
+	return d.sys.svc.EncryptQueryBatch(systemModel, batch)
+}
+
+// EncryptedResult is Sally's output: the encrypted N-hot leaf
+// bitvector, one per packed query.
 type EncryptedResult struct {
-	op he.Operand
+	op    he.Operand
+	batch int
 }
 
-// Classify runs Algorithm 1 on an encrypted query.
+// Classify runs Algorithm 1 on an encrypted query (or slot-packed
+// batch; one pass classifies every packed query).
 func (s *Server) Classify(q *Query) (*EncryptedResult, *Trace, error) {
-	op, trace, err := s.engine.Classify(s.model, q)
-	if err != nil {
-		return nil, nil, err
-	}
-	return &EncryptedResult{op: op}, trace, nil
+	return s.sys.svc.Classify(context.Background(), systemModel, q)
+}
+
+// ClassifyCtx is Classify with cancellation between pipeline stages.
+func (s *Server) ClassifyCtx(ctx context.Context, q *Query) (*EncryptedResult, *Trace, error) {
+	return s.sys.svc.Classify(ctx, systemModel, q)
 }
 
 // ServerView reports what the server can infer from artifact shapes
 // alone (the executable form of Table 3's leakage).
 func (s *Server) ServerView() core.ServerView {
-	return core.InferServerView(s.model)
+	view, _ := s.sys.svc.ServerView(systemModel)
+	return view
 }
 
-// DecryptResult decrypts and decodes a classification.
+// DecryptResult decrypts and decodes a classification (batch entry 0).
 func (d *DataOwner) DecryptResult(r *EncryptedResult) (*Result, error) {
-	slots, err := he.Reveal(d.sys.backend, r.op)
-	if err != nil {
-		return nil, err
-	}
-	return core.DecodeResult(&d.sys.Sally.model.Meta, slots)
+	return d.sys.svc.DecryptResult(systemModel, r)
+}
+
+// DecryptResultBatch decrypts one classification pass and decodes every
+// packed query's result, in packing order.
+func (d *DataOwner) DecryptResultBatch(r *EncryptedResult) ([]*Result, error) {
+	return d.sys.svc.DecryptResultBatch(systemModel, r)
 }
 
 // Meta exposes the compiled model's public parameters.
-func (s *Server) Meta() *Meta { return &s.model.Meta }
+func (s *Server) Meta() *Meta {
+	m, err := s.sys.svc.Meta(systemModel)
+	if err != nil {
+		return nil
+	}
+	return m
+}

@@ -1,11 +1,40 @@
 package copse_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"copse"
 )
+
+// ExampleService shows the serving API: one Service, one shared backend,
+// and a slot-packed batch answered in a single homomorphic pass. The
+// batch's first entry is the paper's Figure 1 walkthrough input.
+func ExampleService() {
+	compiled, err := copse.Compile(copse.ExampleForest(), copse.CompileOptions{Slots: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := copse.NewService(copse.WithBackend(copse.BackendClear))
+	if err := svc.Register("figure1", compiled); err != nil {
+		log.Fatal(err)
+	}
+	batch := [][]uint64{{0, 5}, {7, 0}}
+	results, err := svc.ClassifyBatch(context.Background(), "figure1", batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, res := range results {
+		fmt.Printf("Classify(%d, %d) = L%d\n", batch[i][0], batch[i][1], res.PerTree[0])
+	}
+	st := svc.Stats()
+	fmt.Printf("%d queries, %d homomorphic pass(es)\n", st.Queries, st.Requests)
+	// Output:
+	// Classify(0, 5) = L4
+	// Classify(7, 0) = L3
+	// 2 queries, 1 homomorphic pass(es)
+}
 
 // Example runs the paper's Figure 1 walkthrough on the exact reference
 // backend: the input (x, y) = (0, 5) classifies as L4.

@@ -1,14 +1,17 @@
-// Quickstart: secure evaluation of the paper's Figure 1 decision tree.
+// Quickstart: secure evaluation of the paper's Figure 1 decision tree
+// through the copse.Service serving API.
 //
-// Maurice compiles and encrypts the model, Diane encrypts the feature
-// vector (x, y) = (0, 5), Sally classifies it under encryption, and
-// Diane decrypts the answer — which must be L4, the label the paper's §3
-// walkthrough derives.
+// The service compiles and encrypts the model once, then answers a
+// slot-packed batch of queries in a single homomorphic pass — the
+// batch headroom COPSE's periodic replication leaves idle on a single
+// query. The first query is the paper's §3 walkthrough input
+// (x, y) = (0, 5), which must classify as L4.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,40 +37,39 @@ func main() {
 	fmt.Printf("\ncompiled: %s\n", compiled.Meta.String())
 	fmt.Printf("threshold vector padded to q̂=%d, branch vector to b̂=%d, %d levels\n",
 		compiled.Meta.QPad, compiled.Meta.BPad, compiled.Meta.D)
+	fmt.Printf("batch capacity: %d queries per homomorphic pass\n", compiled.Meta.BatchCapacity())
 
-	// Wire the three parties over real BGV ciphertexts. ScenarioOffload
-	// encrypts both the model and the features; the server learns
-	// neither.
-	sys, err := copse.NewSystem(compiled, copse.SystemConfig{
-		Backend:  copse.BackendBGV,
-		Scenario: copse.ScenarioOffload,
-		Security: copse.SecurityTest,
-		Workers:  8,
-	})
-	if err != nil {
+	// Serve it over real BGV ciphertexts. ScenarioOffload encrypts both
+	// the model and the features; the server learns neither.
+	svc := copse.NewService(
+		copse.WithBackend(copse.BackendBGV),
+		copse.WithScenario(copse.ScenarioOffload),
+		copse.WithSecurity(copse.SecurityTest),
+		copse.WithWorkers(8),
+	)
+	if err := svc.Register("figure1", compiled); err != nil {
 		log.Fatal(err)
 	}
 
-	// Diane: encrypt (x, y) = (0, 5) and query.
-	features := []uint64{0, 5}
-	query, err := sys.Diane.EncryptQuery(features)
-	if err != nil {
-		log.Fatal(err)
-	}
-	encrypted, trace, err := sys.Sally.Classify(query)
-	if err != nil {
-		log.Fatal(err)
-	}
-	result, err := sys.Diane.DecryptResult(encrypted)
+	// Diane: encrypt a batch of queries — one ciphertext set, one
+	// homomorphic pass, one answer per query.
+	batch := [][]uint64{{0, 5}, {7, 0}, {12, 3}, {6, 6}}
+	results, err := svc.ClassifyBatch(context.Background(), "figure1", batch)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\nClassify(x=%d, y=%d) = %s (paper's walkthrough: L4)\n",
-		features[0], features[1], forest.Labels[result.PerTree[0]])
-	fmt.Printf("stages: compare=%v reshuffle=%v levels=%v accumulate=%v (total %v)\n",
-		trace.Compare, trace.Reshuffle, trace.Levels, trace.Accumulate, trace.Total)
-	fmt.Printf("FHE operations: %v\n", sys.Backend().Counts())
+	fmt.Println()
+	for i, res := range results {
+		fmt.Printf("Classify(x=%d, y=%d) = %s\n",
+			batch[i][0], batch[i][1], forest.Labels[res.PerTree[0]])
+	}
+	fmt.Printf("(paper's §3 walkthrough: Classify(0, 5) = L4)\n")
+
+	st := svc.Stats()
+	fmt.Printf("\n%d queries answered in %d homomorphic pass(es), %v per pass\n",
+		st.Queries, st.Requests, st.MeanLatency().Round(1e6))
+	fmt.Printf("FHE operations: %v\n", svc.Backend().Counts())
 }
 
 type logWriter struct{}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -30,6 +31,9 @@ func Prepare(b he.Backend, c *Compiled, encrypt bool) (*ModelOperands, error) {
 	}
 	m := &ModelOperands{Meta: c.Meta, Encrypted: encrypt}
 
+	// Thresholds stay fully periodic: every block of the batched layout
+	// reads the same QPad-periodic plane (BatchBlock is a multiple of
+	// QPad), and the single-query layout is the one-block special case.
 	for _, plane := range c.ThresholdBits {
 		periodic := replicatePlain(plane, c.Meta.QPad, b.Slots())
 		op, err := makeOperand(b, periodic, encrypt)
@@ -41,12 +45,16 @@ func Prepare(b he.Backend, c *Compiled, encrypt bool) (*ModelOperands, error) {
 
 	// Stage each matrix for the kernel the compiler planned: pre-rotated
 	// BSGS diagonals when a split was staged, naive diagonals otherwise
-	// (old artifacts).
+	// (old artifacts). Diagonals are replicated into every BatchBlock-wide
+	// slot block so the kernels evaluate one independent product per
+	// packed query (DESIGN.md §7); with batch capacity 1 the block is the
+	// whole ciphertext and this is the original layout.
+	span := c.Meta.BatchBlock()
 	prep := func(mtx *matrix.Bool, period int) (*matrix.Diagonals, error) {
 		if baby, giant, ok := c.Meta.BSGSFor(period); c.Meta.UseBSGS && ok {
-			return matrix.PrepareDiagonalsBSGS(b, mtx, period, baby, giant, encrypt)
+			return matrix.PrepareDiagonalsBSGSSpan(b, mtx, period, baby, giant, span, encrypt)
 		}
-		return matrix.PrepareDiagonals(b, mtx, period, encrypt)
+		return matrix.PrepareDiagonalsSpan(b, mtx, period, span, encrypt)
 	}
 	var err error
 	m.Reshuffle, err = prep(c.Reshuffle, c.Meta.QPad)
@@ -62,7 +70,9 @@ func Prepare(b he.Backend, c *Compiled, encrypt bool) (*ModelOperands, error) {
 	}
 	for _, mask := range c.Masks {
 		padded := make([]uint64, b.Slots())
-		copy(padded, mask)
+		for base := 0; base < len(padded); base += span {
+			copy(padded[base:base+len(mask)], mask)
+		}
 		op, err := makeOperand(b, padded, encrypt)
 		if err != nil {
 			return nil, err
@@ -96,7 +106,10 @@ func replicatePlain(vals []uint64, period, slots int) []uint64 {
 }
 
 // Engine runs Algorithm 1. The zero value is not usable; construct with
-// a backend.
+// a backend. An Engine holds no per-call state: Classify may be invoked
+// from many goroutines concurrently over the same ModelOperands, as long
+// as the backend honours the he.Backend concurrency contract (both
+// shipped backends do).
 type Engine struct {
 	Backend he.Backend
 	// Workers is the number of goroutines used inside each stage.
@@ -129,46 +142,83 @@ type Trace struct {
 
 // Classify evaluates the model on an encrypted query, returning the
 // result operand (the N-hot leaf bitvector of §4.1.2) and a stage trace.
+// It is ClassifyCtx without cancellation.
 func (e *Engine) Classify(m *ModelOperands, q *Query) (he.Operand, *Trace, error) {
+	return e.ClassifyCtx(context.Background(), m, q)
+}
+
+// ClassifyCtx evaluates the model on an encrypted query (or slot-packed
+// query batch — the dataflow is identical), returning the result operand
+// and a stage trace. The context is checked between pipeline stages, so
+// a cancelled request stops before starting its next (expensive) stage;
+// an already-running stage finishes first.
+func (e *Engine) ClassifyCtx(ctx context.Context, m *ModelOperands, q *Query) (he.Operand, *Trace, error) {
 	if len(q.Bits) != len(m.Thresholds) {
 		return he.Operand{}, nil, fmt.Errorf("core: query has %d bit planes, model wants %d", len(q.Bits), len(m.Thresholds))
+	}
+	// A query packed for one model silently misclassifies on another
+	// whose layout differs (a registry makes that an easy mistake), so
+	// reject layout mismatches up front — the full packing layout, since
+	// models can share QPad while splitting it into different
+	// features×multiplicity shapes. Hand-built queries (zero stamps) are
+	// trusted.
+	if q.QPad != 0 && (q.NumFeatures != m.Meta.NumFeatures || q.K != m.Meta.K ||
+		q.QPad != m.Meta.QPad || q.Block != m.Meta.BatchBlock()) {
+		return he.Operand{}, nil, fmt.Errorf("core: query packed for layout features=%d K=%d q̂=%d block=%d, model wants features=%d K=%d q̂=%d block=%d (query prepared for a different model?)",
+			q.NumFeatures, q.K, q.QPad, q.Block,
+			m.Meta.NumFeatures, m.Meta.K, m.Meta.QPad, m.Meta.BatchBlock())
+	}
+	if err := ctx.Err(); err != nil {
+		return he.Operand{}, nil, err
 	}
 	workers := max(e.Workers, 1)
 	skipZero := e.SkipZeroDiagonals && !m.Encrypted
 	trace := &Trace{}
 	start := time.Now()
-	base := e.Backend.Counts()
+	// The stage op counts in the trace come from a per-call counting
+	// wrapper, not deltas of the shared backend counter: under the
+	// concurrent serving mode another goroutine's pass would otherwise
+	// leak into this trace.
+	b := he.WithCounts(e.Backend)
+	base := b.Counts()
 
 	// Step 1: comparison — all decision nodes at once (§3.3).
-	decisions, err := seccomp.CompareGT(e.Backend, q.Bits, m.Thresholds)
+	decisions, err := seccomp.CompareGT(b, q.Bits, m.Thresholds)
 	if err != nil {
 		return he.Operand{}, nil, fmt.Errorf("core: comparison step: %w", err)
 	}
 	trace.Compare = time.Since(start)
-	snap := e.Backend.Counts()
+	snap := b.Counts()
 	trace.CompareOps = snap.Minus(base)
 	base = snap
+	if err := ctx.Err(); err != nil {
+		return he.Operand{}, nil, err
+	}
 
 	// Step 2: reshuffle into branch preorder and drop sentinels, then
-	// restore the periodic layout for the level products.
+	// restore the periodic layout for the level products — within each
+	// query's own slot block, so packed queries never mix.
 	mark := time.Now()
 	var branchVec he.Operand
 	if m.Reshuffle.IsBSGS() {
-		branchVec, err = matrix.MatVecBSGS(e.Backend, m.Reshuffle, decisions, skipZero, workers, !e.DisableHoisting)
+		branchVec, err = matrix.MatVecBSGS(b, m.Reshuffle, decisions, skipZero, workers, !e.DisableHoisting)
 	} else {
-		branchVec, err = matrix.MatVecParallel(e.Backend, m.Reshuffle, decisions, skipZero, workers)
+		branchVec, err = matrix.MatVecParallel(b, m.Reshuffle, decisions, skipZero, workers)
 	}
 	if err != nil {
 		return he.Operand{}, nil, fmt.Errorf("core: reshuffle step: %w", err)
 	}
-	branchVec, err = matrix.Replicate(e.Backend, branchVec, m.Meta.BPad)
+	branchVec, err = matrix.ReplicateWithin(b, branchVec, m.Meta.BPad, m.Meta.BatchBlock())
 	if err != nil {
 		return he.Operand{}, nil, fmt.Errorf("core: reshuffle replication: %w", err)
 	}
 	trace.Reshuffle = time.Since(mark)
-	snap = e.Backend.Counts()
+	snap = b.Counts()
 	trace.ReshuffleOps = snap.Minus(base)
 	base = snap
+	if err := ctx.Err(); err != nil {
+		return he.Operand{}, nil, err
+	}
 
 	// Step 3: level processing — every level independently (§3.3), each
 	// a matrix product plus the mask XOR. With BSGS-staged levels the
@@ -179,7 +229,7 @@ func (e *Engine) Classify(m *ModelOperands, q *Query) (he.Operand, *Trace, error
 	bsgsLevels := len(m.Levels) > 0 && m.Levels[0].IsBSGS()
 	var babyRots []he.Operand
 	if bsgsLevels {
-		babyRots, err = matrix.BabyRotations(e.Backend, branchVec, m.Levels[0].Baby, !e.DisableHoisting)
+		babyRots, err = matrix.BabyRotations(b, branchVec, m.Levels[0].Baby, !e.DisableHoisting)
 		if err != nil {
 			return he.Operand{}, nil, fmt.Errorf("core: baby-step rotations: %w", err)
 		}
@@ -189,7 +239,7 @@ func (e *Engine) Classify(m *ModelOperands, q *Query) (he.Operand, *Trace, error
 		rotations = make([]he.Operand, m.Meta.BPad)
 		rotations[0] = branchVec
 		err := matrix.ParallelFor(m.Meta.BPad-1, workers, func(i int) error {
-			rot, err := he.Rotate(e.Backend, branchVec, i+1)
+			rot, err := he.Rotate(b, branchVec, i+1)
 			if err != nil {
 				return err
 			}
@@ -212,16 +262,16 @@ func (e *Engine) Classify(m *ModelOperands, q *Query) (he.Operand, *Trace, error
 		var err error
 		switch {
 		case bsgsLevels:
-			lvlDecisions, err = matrix.MatVecBSGSWith(e.Backend, m.Levels[l], babyRots, skipZero, diagWorkers)
+			lvlDecisions, err = matrix.MatVecBSGSWith(b, m.Levels[l], babyRots, skipZero, diagWorkers)
 		case e.ReuseRotations:
-			lvlDecisions, err = matVecWithRotations(e.Backend, m.Levels[l], rotations, skipZero)
+			lvlDecisions, err = matVecWithRotations(b, m.Levels[l], rotations, skipZero)
 		default:
-			lvlDecisions, err = matrix.MatVecParallel(e.Backend, m.Levels[l], branchVec, skipZero, diagWorkers)
+			lvlDecisions, err = matrix.MatVecParallel(b, m.Levels[l], branchVec, skipZero, diagWorkers)
 		}
 		if err != nil {
 			return err
 		}
-		res, err := he.Xor(e.Backend, lvlDecisions, m.Masks[l])
+		res, err := he.Xor(b, lvlDecisions, m.Masks[l])
 		if err != nil {
 			return err
 		}
@@ -232,18 +282,21 @@ func (e *Engine) Classify(m *ModelOperands, q *Query) (he.Operand, *Trace, error
 		return he.Operand{}, nil, fmt.Errorf("core: level processing: %w", err)
 	}
 	trace.Levels = time.Since(mark)
-	snap = e.Backend.Counts()
+	snap = b.Counts()
 	trace.LevelOps = snap.Minus(base)
 	base = snap
+	if err := ctx.Err(); err != nil {
+		return he.Operand{}, nil, err
+	}
 
 	// Step 4: accumulate all level vectors into the final label mask.
 	mark = time.Now()
-	labels, err := mulAllParallel(e.Backend, lvlResults, workers)
+	labels, err := mulAllParallel(b, lvlResults, workers)
 	if err != nil {
 		return he.Operand{}, nil, fmt.Errorf("core: accumulation step: %w", err)
 	}
 	trace.Accumulate = time.Since(mark)
-	snap = e.Backend.Counts()
+	snap = b.Counts()
 	trace.AccumulateOps = snap.Minus(base)
 	trace.Total = time.Since(start)
 	return labels, trace, nil

@@ -58,6 +58,45 @@ type Meta struct {
 	RecommendedLevels  int
 }
 
+// LPad returns the leaf count padded to a power of two — the period of
+// the result vector (and of the optional result shuffle, §7.2.2).
+func (m *Meta) LPad() int {
+	return 1 << log2Ceil(max(m.NumLeaves, 1))
+}
+
+// SPad returns the widest per-query slot period of the pipeline: the
+// padded threshold period (QPad), the padded branch period (BPad) and
+// the padded leaf period (LPad) all have to fit inside one query's slot
+// region for the batched layout.
+func (m *Meta) SPad() int {
+	return max(m.QPad, m.BPad, m.LPad())
+}
+
+// BatchBlock returns the width W of one query's slot block under the
+// slot-packed batching layout. Each block holds its query's data
+// replicated twice over SPad slots (W = 2·SPad), so that every wrapped
+// diagonal read r + i < 2·SPad of the matrix kernels lands on the
+// block's own copy instead of the neighbouring query — the blocked
+// equivalent of the wrap-around the fully periodic single-query layout
+// gets from ciphertext rotation. When the model is too large for two
+// queries (2·SPad > Slots) the block is the whole ciphertext and the
+// layout degenerates to the original fully periodic one.
+func (m *Meta) BatchBlock() int {
+	return m.Slots / m.BatchCapacity()
+}
+
+// BatchCapacity returns how many independent queries one ciphertext set
+// can carry: Slots / (2·SPad), at least 1. This is the headroom COPSE's
+// periodic replication leaves idle on a single query — a model with
+// SPad = 8 on a 1024-slot backend answers 64 queries per homomorphic
+// pass.
+func (m *Meta) BatchCapacity() int {
+	if m.Slots <= 0 {
+		return 1
+	}
+	return max(m.Slots/(2*m.SPad()), 1)
+}
+
 // BSGSPlan is the staged baby-step/giant-step split for one matrix
 // period: Baby·Giant == Period.
 type BSGSPlan struct {

@@ -7,42 +7,101 @@ import (
 	"copse/internal/he"
 )
 
-// Query is a prepared feature vector: p MSB-first bit planes in the
-// slot-periodic layout matching the model's padded threshold vector.
+// Query is a prepared feature-vector batch: p MSB-first bit planes in
+// the slot-blocked layout matching the model's padded threshold vector.
+// Batch records how many independent feature vectors are packed (1 for
+// PrepareQuery); query k occupies the span-aligned slot block
+// [k·BatchBlock, (k+1)·BatchBlock). NumFeatures, K, QPad and Block
+// record the packing layout the query was prepared for, so the engine
+// can reject a query prepared for a different model (zero values —
+// hand-built queries — skip the check).
 type Query struct {
-	Bits []he.Operand
+	Bits  []he.Operand
+	Batch int
+
+	NumFeatures int
+	K           int
+	QPad        int
+	Block       int
 }
 
-// PrepareQuery performs Diane's side of Step 0 (§3.3): replicate each
-// quantized feature K times (so the feature vector and the padded
-// threshold vector are in one-to-one correspondence), lay the result out
-// periodically, bit-transpose it, and encrypt each bit plane. With
-// encrypt=false the planes stay plaintext (the D=S configuration, where
-// the evaluator owns the features).
+// BatchCapacityError reports a batch index or size exceeding the staged
+// batch capacity of a compiled model.
+type BatchCapacityError struct {
+	// Index is the offending batch index (or requested batch size).
+	Index int
+	// Capacity is the model's staged capacity (Meta.BatchCapacity).
+	Capacity int
+}
+
+func (e *BatchCapacityError) Error() string {
+	return fmt.Sprintf("core: batch index %d exceeds staged batch capacity %d", e.Index, e.Capacity)
+}
+
+// PrepareQuery performs Diane's side of Step 0 (§3.3) for a single
+// feature vector: it is PrepareQueryBatch of a one-element batch.
 func PrepareQuery(b he.Backend, meta *Meta, features []uint64, encrypt bool) (*Query, error) {
-	if len(features) != meta.NumFeatures {
-		return nil, fmt.Errorf("core: got %d features, model wants %d", len(features), meta.NumFeatures)
+	return PrepareQueryBatch(b, meta, [][]uint64{features}, encrypt)
+}
+
+// PrepareQueryBatch packs up to Meta.BatchCapacity independent feature
+// vectors into one ciphertext set: each vector is replicated to the
+// model's maximum multiplicity K (so the feature vector and the padded
+// threshold vector are in one-to-one correspondence), bit-transposed,
+// laid out QPad-periodically within its own BatchBlock-wide slot block,
+// and the combined planes are encrypted once — one homomorphic pass then
+// classifies the whole batch. With encrypt=false the planes stay
+// plaintext (the D=S configuration, where the evaluator owns the
+// features). Unused blocks are zero; their decode output is garbage and
+// DecodeResultBatch never reads them.
+func PrepareQueryBatch(b he.Backend, meta *Meta, batch [][]uint64, encrypt bool) (*Query, error) {
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("core: empty query batch")
 	}
+	if cap := meta.BatchCapacity(); len(batch) > cap {
+		return nil, &BatchCapacityError{Index: len(batch), Capacity: cap}
+	}
+	block := meta.BatchBlock()
 	limit := uint64(1) << uint(meta.Precision)
+	planes := make([][]uint64, meta.Precision)
+	for p := range planes {
+		planes[p] = make([]uint64, b.Slots())
+	}
 	replicated := make([]uint64, meta.Q)
-	for f, v := range features {
-		if v >= limit {
-			return nil, fmt.Errorf("core: feature %d value %d exceeds %d-bit precision", f, v, meta.Precision)
+	for k, features := range batch {
+		if len(features) != meta.NumFeatures {
+			return nil, fmt.Errorf("core: query %d has %d features, model wants %d", k, len(features), meta.NumFeatures)
 		}
-		for j := 0; j < meta.K; j++ {
-			replicated[f*meta.K+j] = v
+		clear(replicated)
+		for f, v := range features {
+			if v >= limit {
+				return nil, fmt.Errorf("core: query %d feature %d value %d exceeds %d-bit precision", k, f, v, meta.Precision)
+			}
+			for j := 0; j < meta.K; j++ {
+				replicated[f*meta.K+j] = v
+			}
+		}
+		qPlanes, err := bits.Transpose(replicated, meta.Precision)
+		if err != nil {
+			return nil, err
+		}
+		// QPad-periodic within the query's own block only.
+		base := k * block
+		for p, plane := range qPlanes {
+			for off := 0; off < block; off += meta.QPad {
+				copy(planes[p][base+off:base+off+len(plane)], plane)
+			}
 		}
 	}
-	planes, err := bits.Transpose(replicated, meta.Precision)
-	if err != nil {
-		return nil, err
+	q := &Query{
+		Batch:       len(batch),
+		NumFeatures: meta.NumFeatures,
+		K:           meta.K,
+		QPad:        meta.QPad,
+		Block:       block,
 	}
-	q := &Query{}
 	for _, plane := range planes {
-		padded := make([]uint64, meta.QPad)
-		copy(padded, plane)
-		periodic := replicatePlain(padded, meta.QPad, b.Slots())
-		op, err := makeOperand(b, periodic, encrypt)
+		op, err := makeOperand(b, plane, encrypt)
 		if err != nil {
 			return nil, err
 		}
@@ -64,18 +123,31 @@ type Result struct {
 	PerTree []int
 }
 
-// DecodeResult interprets the decrypted label-mask slots.
+// DecodeResult interprets the decrypted label-mask slots of a
+// single-query classification (batch index 0).
 func DecodeResult(meta *Meta, slots []uint64) (*Result, error) {
-	if len(slots) < meta.NumLeaves {
-		return nil, fmt.Errorf("core: result has %d slots, model has %d leaves", len(slots), meta.NumLeaves)
+	return DecodeResultAt(meta, slots, 0)
+}
+
+// DecodeResultAt interprets the decrypted label-mask slots of batch
+// entry k, reading the k-th BatchBlock-wide slot block. It returns a
+// *BatchCapacityError when k exceeds the staged batch capacity.
+func DecodeResultAt(meta *Meta, slots []uint64, k int) (*Result, error) {
+	if k < 0 || k >= meta.BatchCapacity() {
+		return nil, &BatchCapacityError{Index: k, Capacity: meta.BatchCapacity()}
 	}
+	off := k * meta.BatchBlock()
+	if len(slots) < off+meta.NumLeaves {
+		return nil, fmt.Errorf("core: result has %d slots, batch entry %d needs %d", len(slots), k, off+meta.NumLeaves)
+	}
+	window := slots[off : off+meta.NumLeaves]
 	r := &Result{
-		LeafBits: append([]uint64(nil), slots[:meta.NumLeaves]...),
+		LeafBits: append([]uint64(nil), window...),
 		Votes:    make([]int, len(meta.LabelNames)),
 	}
 	for i, bit := range r.LeafBits {
 		if bit > 1 {
-			return nil, fmt.Errorf("core: leaf slot %d holds %d, not a bit", i, bit)
+			return nil, fmt.Errorf("core: batch entry %d leaf slot %d holds %d, not a bit", k, i, bit)
 		}
 		if bit == 1 {
 			r.Votes[meta.Codebook[i]]++
@@ -87,17 +159,38 @@ func DecodeResult(meta *Meta, slots []uint64) (*Result, error) {
 		for i := lo; i < hi; i++ {
 			if r.LeafBits[i] == 1 {
 				if chosen >= 0 {
-					return nil, fmt.Errorf("core: tree %d selected more than one leaf", t)
+					return nil, fmt.Errorf("core: batch entry %d tree %d selected more than one leaf", k, t)
 				}
 				chosen = meta.Codebook[i]
 			}
 		}
 		if chosen < 0 {
-			return nil, fmt.Errorf("core: tree %d selected no leaf", t)
+			return nil, fmt.Errorf("core: batch entry %d tree %d selected no leaf", k, t)
 		}
 		r.PerTree = append(r.PerTree, chosen)
 	}
 	return r, nil
+}
+
+// DecodeResultBatch decodes the first count batch entries of the
+// decrypted label-mask slots. It returns a *BatchCapacityError when
+// count exceeds the staged batch capacity.
+func DecodeResultBatch(meta *Meta, slots []uint64, count int) ([]*Result, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("core: batch decode of %d results", count)
+	}
+	if cap := meta.BatchCapacity(); count > cap {
+		return nil, &BatchCapacityError{Index: count, Capacity: cap}
+	}
+	out := make([]*Result, count)
+	for k := range out {
+		r, err := DecodeResultAt(meta, slots, k)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = r
+	}
+	return out, nil
 }
 
 // Plurality returns the label index with the most votes (ties break low).

@@ -57,6 +57,28 @@ func ShuffleResult(b he.Backend, meta *Meta, result he.Operand, padTo int, seed 
 	if err != nil {
 		return he.Operand{}, nil, err
 	}
+	// ShuffleResult permutes one classification: under the slot-packed
+	// batch layout (capacity > 1) the blocks beyond entry 0 carry other
+	// queries' results or idle-block residue, which a whole-ciphertext
+	// replicate would fold into the sum — so select entry 0's leaf slots
+	// first. The selector is public shape information the server already
+	// holds (it prepares the permutation from the same meta). With
+	// capacity 1 the result is already zero outside [0, NumLeaves) and
+	// the plaintext multiply (and its BGV noise) is skipped.
+	if meta.BatchCapacity() > 1 {
+		sel := make([]uint64, b.Slots())
+		for i := 0; i < n; i++ {
+			sel[i] = 1
+		}
+		selOp, err := he.NewPlain(b, sel)
+		if err != nil {
+			return he.Operand{}, nil, err
+		}
+		result, err = he.Mul(b, result, selOp)
+		if err != nil {
+			return he.Operand{}, nil, err
+		}
+	}
 	replicated, err := matrix.Replicate(b, result, nPad)
 	if err != nil {
 		return he.Operand{}, nil, err

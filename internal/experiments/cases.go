@@ -168,13 +168,5 @@ func backendKind(cfg Config) (copse.BackendKind, error) {
 
 // securityFor picks the BGV preset matching a case's slot count.
 func securityFor(slots int) (copse.SecurityPreset, error) {
-	switch slots {
-	case 1024:
-		return copse.SecurityTest, nil
-	case 2048:
-		return copse.SecurityDemo, nil
-	case 16384:
-		return copse.Security128, nil
-	}
-	return 0, fmt.Errorf("experiments: no BGV preset with %d slots", slots)
+	return copse.SecurityForSlots(slots)
 }

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"time"
+
+	"copse"
+)
+
+// ServingBench is the machine-readable serving-throughput record
+// emitted by copse-bench -servejson (BENCH_serving.json): queries/sec
+// at batch sizes 1, 4 and the model's full slot-packed capacity, so
+// successive PRs can diff the serving layer's throughput trajectory.
+type ServingBench struct {
+	Backend string        `json:"backend"`
+	Queries int           `json:"queries"`
+	Seed    uint64        `json:"seed"`
+	Cases   []ServingCase `json:"cases"`
+}
+
+// ServingCase is one model's record.
+type ServingCase struct {
+	Name          string         `json:"name"`
+	Slots         int            `json:"slots"`
+	QPad          int            `json:"q_pad"`
+	BPad          int            `json:"b_pad"`
+	BatchCapacity int            `json:"batch_capacity"`
+	Points        []ServingPoint `json:"points"`
+}
+
+// ServingPoint is the throughput at one batch size.
+type ServingPoint struct {
+	Batch         int     `json:"batch"`
+	Passes        int     `json:"passes"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	MeanPassMS    float64 `json:"mean_pass_ms"`
+	// SpeedupVsSingle is this point's queries/sec over the sequential
+	// single-query (batch=1) baseline of the same model and backend.
+	SpeedupVsSingle float64 `json:"speedup_vs_single"`
+}
+
+// WriteJSON writes the report.
+func (s *ServingBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// servingBatchSizes returns the benchmarked batch sizes for a capacity:
+// 1, 4 and the full capacity, deduplicated and clipped.
+func servingBatchSizes(capacity int) []int {
+	sizes := []int{1}
+	if capacity >= 4 {
+		sizes = append(sizes, 4)
+	}
+	if capacity > 1 && capacity != 4 {
+		sizes = append(sizes, capacity)
+	}
+	return sizes
+}
+
+// ServingReport benchmarks the slot-packed serving layer: for each
+// model it stages a Service and answers cfg.Queries random queries at
+// each batch size, verifying every answer against the plaintext walk
+// and recording queries/sec. The batch=1 row is the sequential
+// single-query baseline the speedups are relative to.
+func ServingReport(cfg Config) (*ServingBench, error) {
+	cfg = cfg.withDefaults()
+	cases, err := AllCases(cfg)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := backendKind(cfg)
+	if err != nil {
+		return nil, err
+	}
+	report := &ServingBench{Backend: cfg.Backend, Queries: cfg.Queries, Seed: cfg.Seed}
+	for _, cs := range cases {
+		compiled, err := copse.Compile(cs.Forest, copse.CompileOptions{Slots: cs.Slots})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: compiling %s: %w", cs.Name, err)
+		}
+		opts := []copse.Option{
+			copse.WithBackend(kind),
+			copse.WithScenario(copse.ScenarioOffload),
+			copse.WithWorkers(defaultWorkers(cfg)),
+			copse.WithSeed(cfg.Seed + 100),
+		}
+		if kind == copse.BackendBGV {
+			preset, err := securityFor(cs.Slots)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, copse.WithSecurity(preset))
+		}
+		svc := copse.NewService(opts...)
+		if err := svc.Register(cs.Name, compiled); err != nil {
+			return nil, fmt.Errorf("experiments: staging %s: %w", cs.Name, err)
+		}
+		capacity := compiled.Meta.BatchCapacity()
+		sc := ServingCase{
+			Name:          cs.Name,
+			Slots:         cs.Slots,
+			QPad:          compiled.Meta.QPad,
+			BPad:          compiled.Meta.BPad,
+			BatchCapacity: capacity,
+		}
+		var baseline float64
+		for _, batch := range servingBatchSizes(capacity) {
+			point, err := servingPoint(svc, cs, batch, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if batch == 1 {
+				baseline = point.QueriesPerSec
+			}
+			if baseline > 0 {
+				point.SpeedupVsSingle = point.QueriesPerSec / baseline
+			}
+			sc.Points = append(sc.Points, point)
+		}
+		report.Cases = append(report.Cases, sc)
+	}
+	return report, nil
+}
+
+// servingPoint answers cfg.Queries random queries in batches of `batch`
+// and measures the realized throughput. Query generation and plaintext
+// verification happen outside the timed window, so the metric is the
+// homomorphic serving path only.
+func servingPoint(svc *copse.Service, cs Case, batch int, cfg Config) (ServingPoint, error) {
+	rng := rand.New(rand.NewPCG(cfg.Seed, uint64(batch)<<8|0xbead))
+	limit := uint64(1) << uint(cs.Forest.Precision)
+	total := max(cfg.Queries, batch)
+	var batches [][][]uint64
+	for answered := 0; answered < total; {
+		n := min(batch, total-answered)
+		queries := make([][]uint64, n)
+		for i := range queries {
+			queries[i] = make([]uint64, cs.Forest.NumFeatures)
+			for j := range queries[i] {
+				queries[i][j] = rng.Uint64N(limit)
+			}
+		}
+		batches = append(batches, queries)
+		answered += n
+	}
+
+	allResults := make([][]*copse.Result, len(batches))
+	start := time.Now()
+	for bi, queries := range batches {
+		results, err := svc.ClassifyBatch(context.Background(), cs.Name, queries)
+		if err != nil {
+			return ServingPoint{}, fmt.Errorf("experiments: %s batch=%d: %w", cs.Name, batch, err)
+		}
+		allResults[bi] = results
+	}
+	elapsed := time.Since(start)
+
+	for bi, queries := range batches {
+		for i, feats := range queries {
+			want := cs.Forest.Classify(feats)
+			for ti, lbl := range allResults[bi][i].PerTree {
+				if lbl != want[ti] {
+					return ServingPoint{}, fmt.Errorf("experiments: %s batch=%d query %v tree %d: L%d, want L%d",
+						cs.Name, batch, feats, ti, lbl, want[ti])
+				}
+			}
+		}
+	}
+	return ServingPoint{
+		Batch:         batch,
+		Passes:        len(batches),
+		QueriesPerSec: float64(total) / elapsed.Seconds(),
+		MeanPassMS:    float64(elapsed.Microseconds()) / 1000 / float64(len(batches)),
+	}, nil
+}

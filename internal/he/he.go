@@ -25,7 +25,12 @@ type Plain interface{}
 
 // Backend evaluates element-wise arithmetic over packed vectors mod the
 // plaintext modulus. All operations are functional (inputs are never
-// mutated) and safe for concurrent use.
+// mutated) and safe for concurrent use: this is a contract, not a
+// convention — the serving layer issues Classify traffic against one
+// shared Backend from many goroutines. Implementations must keep
+// per-call scratch out of shared state (pool it or stack it) and guard
+// any caches; both shipped backends are exercised under -race by the
+// concurrent-classify stress tests.
 type Backend interface {
 	// Name identifies the backend ("clear", "bgv").
 	Name() string
@@ -115,6 +120,149 @@ func (c OpCounts) Minus(o OpCounts) OpCounts {
 func (c OpCounts) String() string {
 	return fmt.Sprintf("enc=%d rot=%d(hoisted=%d) add=%d cadd=%d mul=%d(relin=%d) cmul=%d depth=%d",
 		c.Encrypt, c.Rotate, c.RotateHoisted, c.Add, c.ConstAdd, c.Mul, c.Relin, c.ConstMul, c.MaxDepth)
+}
+
+// CountingBackend wraps a Backend with its own operation counter, so a
+// single logical task (one classification pass) can be metered even
+// while other goroutines drive the same inner backend — the inner
+// backend's global counters see everything, the wrapper sees only the
+// operations issued through it. Counts mirrors the inner backends'
+// accounting, with one approximation: RotateHoisted attributes every
+// non-zero step to the hoisted path (the BGV backend checks per-step
+// key availability, which the wrapper cannot see).
+type CountingBackend struct {
+	Counter
+	inner Backend
+}
+
+// WithCounts wraps b with a fresh per-wrapper counter.
+func WithCounts(b Backend) *CountingBackend { return &CountingBackend{inner: b} }
+
+// Name implements Backend.
+func (c *CountingBackend) Name() string { return c.inner.Name() }
+
+// Slots implements Backend.
+func (c *CountingBackend) Slots() int { return c.inner.Slots() }
+
+// PlainModulus implements Backend.
+func (c *CountingBackend) PlainModulus() uint64 { return c.inner.PlainModulus() }
+
+// Encrypt implements Backend.
+func (c *CountingBackend) Encrypt(vals []uint64) (Ciphertext, error) {
+	ct, err := c.inner.Encrypt(vals)
+	if err == nil {
+		c.CountEncrypt()
+	}
+	return ct, err
+}
+
+// Decrypt implements Backend.
+func (c *CountingBackend) Decrypt(ct Ciphertext) ([]uint64, error) { return c.inner.Decrypt(ct) }
+
+// EncodePlain implements Backend.
+func (c *CountingBackend) EncodePlain(vals []uint64) (Plain, error) {
+	return c.inner.EncodePlain(vals)
+}
+
+// Add implements Backend.
+func (c *CountingBackend) Add(a, b Ciphertext) (Ciphertext, error) {
+	ct, err := c.inner.Add(a, b)
+	if err == nil {
+		c.CountAdd()
+	}
+	return ct, err
+}
+
+// Sub implements Backend.
+func (c *CountingBackend) Sub(a, b Ciphertext) (Ciphertext, error) {
+	ct, err := c.inner.Sub(a, b)
+	if err == nil {
+		c.CountAdd()
+	}
+	return ct, err
+}
+
+// Neg implements Backend.
+func (c *CountingBackend) Neg(a Ciphertext) (Ciphertext, error) {
+	ct, err := c.inner.Neg(a)
+	if err == nil {
+		c.CountAdd()
+	}
+	return ct, err
+}
+
+// AddPlain implements Backend.
+func (c *CountingBackend) AddPlain(a Ciphertext, p Plain) (Ciphertext, error) {
+	ct, err := c.inner.AddPlain(a, p)
+	if err == nil {
+		c.CountConstAdd()
+	}
+	return ct, err
+}
+
+// MulPlain implements Backend.
+func (c *CountingBackend) MulPlain(a Ciphertext, p Plain) (Ciphertext, error) {
+	ct, err := c.inner.MulPlain(a, p)
+	if err == nil {
+		c.CountConstMul()
+	}
+	return ct, err
+}
+
+// Mul implements Backend.
+func (c *CountingBackend) Mul(a, b Ciphertext) (Ciphertext, error) {
+	ct, err := c.inner.Mul(a, b)
+	if err == nil {
+		c.CountMul()
+		c.NoteDepth(ct.Depth())
+	}
+	return ct, err
+}
+
+// MulLazy implements Backend.
+func (c *CountingBackend) MulLazy(a, b Ciphertext) (Ciphertext, error) {
+	ct, err := c.inner.MulLazy(a, b)
+	if err == nil {
+		c.CountMul()
+		c.NoteDepth(ct.Depth())
+	}
+	return ct, err
+}
+
+// Relinearize implements Backend. Pass-through results (already degree
+// 1, or backends without relinearization) are not counted, matching the
+// inner backends.
+func (c *CountingBackend) Relinearize(a Ciphertext) (Ciphertext, error) {
+	ct, err := c.inner.Relinearize(a)
+	if err == nil && ct != a {
+		c.CountRelin()
+	}
+	return ct, err
+}
+
+// Rotate implements Backend.
+func (c *CountingBackend) Rotate(a Ciphertext, k int) (Ciphertext, error) {
+	ct, err := c.inner.Rotate(a, k)
+	if err == nil {
+		c.CountRotate()
+	}
+	return ct, err
+}
+
+// RotateHoisted implements Backend.
+func (c *CountingBackend) RotateHoisted(a Ciphertext, steps []int) ([]Ciphertext, error) {
+	cts, err := c.inner.RotateHoisted(a, steps)
+	if err == nil {
+		slots := c.inner.Slots()
+		n := 0
+		for _, s := range steps {
+			if ((s%slots)+slots)%slots != 0 {
+				n++
+			}
+		}
+		c.CountRotateHoisted(n)
+	}
+	return cts, err
 }
 
 // Counter is an embeddable atomic operation counter for backends.

@@ -12,7 +12,14 @@ import (
 	"copse/internal/he"
 )
 
-// Backend is the BGV-backed he.Backend.
+// Backend is the BGV-backed he.Backend. It honours the he.Backend
+// concurrency contract: the evaluator holds only read-only key
+// material, per-operation scratch polynomials come from the ring
+// context's sync.Pool (never from evaluator fields), plaintext lift
+// caches are mutex-guarded, and the one genuinely stateful component —
+// the encryptor's noise sampler — is serialized behind encMu. Concurrent
+// Classify traffic over one shared Backend is the serving layer's
+// normal mode (verified under -race by TestServiceConcurrentClassifyBGV).
 type Backend struct {
 	he.Counter
 

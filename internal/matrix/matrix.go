@@ -146,41 +146,88 @@ func BSGSSplit(period int) (baby, giant int) {
 	return baby, period / baby
 }
 
-// PrepareDiagonals builds the operand form of m. If encrypt is true the
-// diagonals are encrypted; otherwise they are encoded plaintexts.
+// PrepareDiagonals builds the operand form of m with a single copy of
+// each diagonal in slots [0, Rows) — the single-query layout. It is
+// PrepareDiagonalsSpan with span equal to the full slot count.
 func PrepareDiagonals(b he.Backend, m *Bool, period int, encrypt bool) (*Diagonals, error) {
-	if m.Rows > b.Slots() || period > b.Slots() {
-		return nil, fmt.Errorf("matrix: %dx%d (period %d) exceeds %d slots", m.Rows, m.Cols, period, b.Slots())
+	return PrepareDiagonalsSpan(b, m, period, b.Slots(), encrypt)
+}
+
+// checkSpan validates a slot-block width for blocked staging: span must
+// be a power of two dividing the slot count, wide enough to hold both the
+// matrix rows and the rotation period.
+func checkSpan(b he.Backend, m *Bool, period, span int) error {
+	slots := b.Slots()
+	if m.Rows > slots || period > slots {
+		return fmt.Errorf("matrix: %dx%d (period %d) exceeds %d slots", m.Rows, m.Cols, period, slots)
+	}
+	if span <= 0 || span&(span-1) != 0 || slots%span != 0 {
+		return fmt.Errorf("matrix: span %d must be a power of two dividing %d slots", span, slots)
+	}
+	if m.Rows > span || period > span {
+		return fmt.Errorf("matrix: span %d cannot hold %d rows (period %d)", span, m.Rows, period)
+	}
+	// With span = slots the ciphertext-wide rotation wrap covers reads
+	// past the block edge (the vector is globally periodic). Smaller
+	// blocks have no wrap: every read r + i (r < Rows, i < period) must
+	// land inside the block or it would touch the neighbouring query.
+	if span < slots && m.Rows+period-2 >= span {
+		return fmt.Errorf("matrix: span %d too narrow for %d rows with period %d (reads would cross blocks)",
+			span, m.Rows, period)
+	}
+	return nil
+}
+
+// PrepareDiagonalsSpan builds the operand form of m with each diagonal
+// replicated into every span-aligned slot block: slot k·span + r holds
+// d_i[r] for every block k. Against a vector whose blocks each carry an
+// independent period-periodic query (see DESIGN.md §7), the kernel then
+// computes one independent matrix-vector product per block. Callers must
+// guarantee every rotated read stays inside the block: Rows − 1 + the
+// largest rotation step must be below span (COPSE stages span = 2·SPad
+// for exactly this reason). If encrypt is true the diagonals are
+// encrypted; otherwise they are encoded plaintexts.
+func PrepareDiagonalsSpan(b he.Backend, m *Bool, period, span int, encrypt bool) (*Diagonals, error) {
+	if err := checkSpan(b, m, period, span); err != nil {
+		return nil, err
 	}
 	raw, err := m.Diagonals(period)
 	if err != nil {
 		return nil, err
 	}
+	slots := b.Slots()
 	d := &Diagonals{Rows: m.Rows, Period: period, Zero: make([]bool, period)}
+	ext := make([]uint64, slots)
 	for i, vec := range raw {
+		clear(ext)
 		allZero := true
-		for _, v := range vec {
+		for r, v := range vec {
 			if v != 0 {
 				allZero = false
-				break
+			}
+			for base := 0; base < slots; base += span {
+				ext[base+r] = v
 			}
 		}
 		d.Zero[i] = allZero
-		if encrypt {
-			ct, err := b.Encrypt(vec)
-			if err != nil {
-				return nil, err
-			}
-			d.Ops = append(d.Ops, he.Cipher(ct))
-		} else {
-			op, err := he.NewPlain(b, vec)
-			if err != nil {
-				return nil, err
-			}
-			d.Ops = append(d.Ops, op)
+		op, err := makeDiagOperand(b, ext, encrypt)
+		if err != nil {
+			return nil, err
 		}
+		d.Ops = append(d.Ops, op)
 	}
 	return d, nil
+}
+
+func makeDiagOperand(b he.Backend, vals []uint64, encrypt bool) (he.Operand, error) {
+	if encrypt {
+		ct, err := b.Encrypt(vals)
+		if err != nil {
+			return he.Operand{}, err
+		}
+		return he.Cipher(ct), nil
+	}
+	return he.NewPlain(b, vals)
 }
 
 // PrepareDiagonalsBSGS builds the baby-step/giant-step operand form of
@@ -193,8 +240,18 @@ func PrepareDiagonals(b he.Backend, m *Bool, period int, encrypt bool) (*Diagona
 // plaintext diagonals before encryption/encoding, so it is free. Pass the
 // split staged by the compiler (or BSGSSplit(period)).
 func PrepareDiagonalsBSGS(b he.Backend, m *Bool, period, baby, giant int, encrypt bool) (*Diagonals, error) {
-	if m.Rows > b.Slots() || period > b.Slots() {
-		return nil, fmt.Errorf("matrix: %dx%d (period %d) exceeds %d slots", m.Rows, m.Cols, period, b.Slots())
+	return PrepareDiagonalsBSGSSpan(b, m, period, baby, giant, b.Slots(), encrypt)
+}
+
+// PrepareDiagonalsBSGSSpan is PrepareDiagonalsBSGS with each pre-rotated
+// diagonal replicated into every span-aligned slot block (the batched
+// layout of PrepareDiagonalsSpan): slot k·span + r + g·baby holds
+// d_{g·baby+j}[r] for every block k, so the kernel evaluates one
+// independent product per block. The caller guarantees the block absorbs
+// every read: Rows − 1 + period − 1 < span.
+func PrepareDiagonalsBSGSSpan(b he.Backend, m *Bool, period, baby, giant, span int, encrypt bool) (*Diagonals, error) {
+	if err := checkSpan(b, m, period, span); err != nil {
+		return nil, err
 	}
 	if baby < 1 || giant < 1 || baby*giant != period {
 		return nil, fmt.Errorf("matrix: BSGS split %d×%d does not factor period %d", baby, giant, period)
@@ -211,25 +268,19 @@ func PrepareDiagonalsBSGS(b he.Backend, m *Bool, period, baby, giant int, encryp
 		clear(ext)
 		allZero := true
 		for r, v := range vec {
-			ext[(r+shift)%slots] = v
 			if v != 0 {
 				allZero = false
 			}
+			for base := 0; base < slots; base += span {
+				ext[(base+r+shift)%slots] = v
+			}
 		}
 		d.BsgsZero[i] = allZero
-		if encrypt {
-			ct, err := b.Encrypt(ext)
-			if err != nil {
-				return nil, err
-			}
-			d.BsgsOps = append(d.BsgsOps, he.Cipher(ct))
-		} else {
-			op, err := he.NewPlain(b, ext)
-			if err != nil {
-				return nil, err
-			}
-			d.BsgsOps = append(d.BsgsOps, op)
+		op, err := makeDiagOperand(b, ext, encrypt)
+		if err != nil {
+			return nil, err
 		}
+		d.BsgsOps = append(d.BsgsOps, op)
 	}
 	return d, nil
 }
@@ -481,12 +532,26 @@ func MatVecBSGSWith(b he.Backend, d *Diagonals, babyRots []he.Operand, skipZero 
 // width must be a power of two dividing the slot count. This restores
 // the periodic layout MatVec requires between pipeline stages.
 func Replicate(b he.Backend, v he.Operand, width int) (he.Operand, error) {
+	return ReplicateWithin(b, v, width, b.Slots())
+}
+
+// ReplicateWithin replicates v — width values at the base of every
+// span-aligned slot block, zeros elsewhere in the block — periodically
+// across its own block only, by rotate-and-add doubling (log2(span/width)
+// rotations). Every block is replicated simultaneously; blocks never mix
+// because each block's payload is zero outside [0, width) and the shifts
+// stay below span. With span equal to the slot count this is Replicate.
+// width and span must be powers of two with width | span | slots.
+func ReplicateWithin(b he.Backend, v he.Operand, width, span int) (he.Operand, error) {
 	slots := b.Slots()
 	if width <= 0 || width&(width-1) != 0 || slots%width != 0 {
 		return he.Operand{}, fmt.Errorf("matrix: replication width %d must be a power of two dividing %d slots", width, slots)
 	}
+	if span <= 0 || span&(span-1) != 0 || slots%span != 0 || span%width != 0 {
+		return he.Operand{}, fmt.Errorf("matrix: replication span %d must be a power of two with %d | %d | %d", span, width, span, slots)
+	}
 	out := v
-	for p := width; p < slots; p <<= 1 {
+	for p := width; p < span; p <<= 1 {
 		rot, err := he.Rotate(b, out, -p)
 		if err != nil {
 			return he.Operand{}, err

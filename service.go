@@ -1,0 +1,441 @@
+package copse
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"copse/internal/bgv"
+	"copse/internal/core"
+	"copse/internal/he"
+	"copse/internal/he/hebgv"
+	"copse/internal/he/heclear"
+	"copse/internal/matrix"
+)
+
+// Service is the concurrent, batched serving layer: a registry of
+// compiled models staged onto one shared backend (one key set), with
+// slot-packed multi-query classification and a concurrency contract —
+// every method is safe to call from many goroutines.
+//
+// Where System wires the paper's three notional parties around a single
+// model, Service is the deployment shape of the related outsourcing
+// work: a server holding several staged models, answering batches of
+// up to Meta.BatchCapacity() queries per homomorphic pass, under an
+// optional in-flight limit with queue-wait and latency accounting.
+//
+//	svc := copse.NewService(
+//		copse.WithBackend(copse.BackendBGV),
+//		copse.WithSecurity(copse.SecurityTest),
+//		copse.WithWorkers(8),
+//	)
+//	svc.Register("fraud", compiled)
+//	results, err := svc.ClassifyBatch(ctx, "fraud", batch)
+type Service struct {
+	cfg serviceConfig
+
+	mu      sync.RWMutex
+	backend he.Backend
+	models  map[string]*servedModel
+
+	sem chan struct{} // in-flight limiter; nil = unlimited
+
+	requests  atomic.Int64
+	queries   atomic.Int64
+	failures  atomic.Int64
+	inFlight  atomic.Int64
+	queueNS   atomic.Int64
+	latencyNS atomic.Int64
+}
+
+// servedModel is one registry entry: the compiled model staged onto the
+// service backend plus its (stateless, concurrency-safe) engine.
+type servedModel struct {
+	compiled *Compiled
+	operands *core.ModelOperands
+	engine   *core.Engine
+}
+
+type serviceConfig struct {
+	backend         BackendKind
+	scenario        Scenario
+	security        SecurityPreset
+	workers         int
+	maxInFlight     int
+	levels          int
+	seed            uint64
+	reuseRotations  bool
+	disableHoisting bool
+}
+
+// Option configures a Service (functional options).
+type Option func(*serviceConfig)
+
+// WithBackend selects the homomorphic backend (default BackendBGV).
+func WithBackend(k BackendKind) Option { return func(c *serviceConfig) { c.backend = k } }
+
+// WithScenario selects the party configuration governing what is
+// encrypted (default ScenarioOffload: model and features both
+// encrypted).
+func WithScenario(s Scenario) Option { return func(c *serviceConfig) { c.scenario = s } }
+
+// WithSecurity selects the BGV parameter preset (default SecurityTest).
+func WithSecurity(p SecurityPreset) Option { return func(c *serviceConfig) { c.security = p } }
+
+// WithWorkers sets the intra-query parallelism of each classification
+// (the paper's multithreaded mode); 0 or 1 means single-threaded.
+func WithWorkers(n int) Option { return func(c *serviceConfig) { c.workers = n } }
+
+// WithMaxInFlight caps how many classifications run concurrently;
+// excess calls queue (their wait is reported by Stats). 0 means
+// unlimited.
+func WithMaxInFlight(n int) Option { return func(c *serviceConfig) { c.maxInFlight = n } }
+
+// WithLevels overrides the compiler's recommended BGV chain length.
+func WithLevels(n int) Option { return func(c *serviceConfig) { c.levels = n } }
+
+// WithSeed makes key generation and encryption deterministic (tests and
+// reproducible experiments only).
+func WithSeed(seed uint64) Option { return func(c *serviceConfig) { c.seed = seed } }
+
+// WithReuseRotations toggles the naive-kernel rotation-reuse ablation
+// (DESIGN.md §6); BSGS-staged models always share baby-step rotations.
+func WithReuseRotations(on bool) Option { return func(c *serviceConfig) { c.reuseRotations = on } }
+
+// WithHoisting toggles hoisted key switching (default on); disabling it
+// is the ablation knob of DESIGN.md §6.
+func WithHoisting(on bool) Option { return func(c *serviceConfig) { c.disableHoisting = !on } }
+
+// NewService returns an empty service. The backend (and, for BGV, the
+// key set) is created by the first Register call, which fixes the slot
+// count; every later model must be staged for the same count.
+func NewService(opts ...Option) *Service {
+	cfg := serviceConfig{backend: BackendBGV, scenario: ScenarioOffload, security: SecurityTest}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	s := &Service{cfg: cfg, models: map[string]*servedModel{}}
+	if cfg.maxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.maxInFlight)
+	}
+	return s
+}
+
+// newBackend builds the shared backend for a first registered model.
+func (s *Service) newBackend(c *Compiled) (he.Backend, error) {
+	switch s.cfg.backend {
+	case BackendClear:
+		return heclear.New(c.Meta.Slots, 65537), nil
+	case BackendBGV:
+		levels := s.cfg.levels
+		if levels == 0 {
+			levels = c.Meta.RecommendedLevels
+		}
+		var params bgv.Params
+		switch s.cfg.security {
+		case SecurityTest:
+			params = bgv.TestParams(levels)
+		case SecurityDemo:
+			params = bgv.DemoParams(levels)
+		case Security128:
+			params = bgv.Secure128Params(levels)
+		default:
+			return nil, fmt.Errorf("copse: unknown security preset %d", s.cfg.security)
+		}
+		if slots := 1 << (params.LogN - 1); slots != c.Meta.Slots {
+			return nil, fmt.Errorf("copse: model staged for %d slots but preset provides %d; recompile with Slots=%d",
+				c.Meta.Slots, slots, slots)
+		}
+		return hebgv.New(hebgv.Config{
+			Params:        params,
+			RotationSteps: c.Meta.RotationSteps,
+			Seed:          s.cfg.seed,
+		})
+	}
+	return nil, fmt.Errorf("copse: unknown backend kind %d", s.cfg.backend)
+}
+
+// Register stages a compiled model under a name, sharing the service's
+// backend and key set with every other registered model. The first
+// registration creates the backend (generating Galois keys for that
+// model's rotation-step set plus the power-of-two ladder); later models
+// must be staged for the same slot count, and any rotation step they
+// need beyond the first model's key set is composed from power-of-two
+// hops — exact steps, a few extra key switches. Register a service's
+// largest model first to give it the exact keys.
+func (s *Service) Register(name string, c *Compiled) error {
+	if name == "" {
+		return fmt.Errorf("copse: empty model name")
+	}
+	encryptModel, _, err := scenarioEncryption(s.cfg.scenario)
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.models[name]; dup {
+		return fmt.Errorf("copse: model %q already registered", name)
+	}
+	if s.backend == nil {
+		b, err := s.newBackend(c)
+		if err != nil {
+			return err
+		}
+		s.backend = b
+	} else if s.backend.Slots() != c.Meta.Slots {
+		return fmt.Errorf("copse: model %q staged for %d slots but service backend has %d",
+			name, c.Meta.Slots, s.backend.Slots())
+	}
+	operands, err := core.Prepare(s.backend, c, encryptModel)
+	if err != nil {
+		return err
+	}
+	s.models[name] = &servedModel{
+		compiled: c,
+		operands: operands,
+		engine: &core.Engine{
+			Backend:           s.backend,
+			Workers:           s.cfg.workers,
+			SkipZeroDiagonals: !encryptModel,
+			ReuseRotations:    s.cfg.reuseRotations,
+			DisableHoisting:   s.cfg.disableHoisting,
+		},
+	}
+	return nil
+}
+
+// Models returns the registered model names, sorted.
+func (s *Service) Models() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.models))
+	for name := range s.models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s *Service) lookup(name string) (*servedModel, he.Backend, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.models[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("copse: model %q not registered", name)
+	}
+	return m, s.backend, nil
+}
+
+// Meta returns the public parameters of a registered model.
+func (s *Service) Meta(name string) (*Meta, error) {
+	m, _, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return &m.operands.Meta, nil
+}
+
+// BatchCapacity returns how many queries one classification pass of the
+// named model can answer (Meta.BatchCapacity).
+func (s *Service) BatchCapacity(name string) (int, error) {
+	m, _, err := s.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	return m.operands.Meta.BatchCapacity(), nil
+}
+
+// ServerView reports what the evaluating server can infer about the
+// named model from artifact shapes alone (the executable form of
+// Table 3's leakage).
+func (s *Service) ServerView(name string) (core.ServerView, error) {
+	m, _, err := s.lookup(name)
+	if err != nil {
+		return core.ServerView{}, err
+	}
+	return core.InferServerView(m.operands), nil
+}
+
+// Backend exposes the shared backend (op counting and diagnostics); nil
+// before the first Register.
+func (s *Service) Backend() he.Backend {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.backend
+}
+
+// EncryptQuery prepares a single feature vector for the named model.
+func (s *Service) EncryptQuery(name string, features []uint64) (*Query, error) {
+	return s.EncryptQueryBatch(name, [][]uint64{features})
+}
+
+// EncryptQueryBatch slot-packs up to BatchCapacity feature vectors into
+// one encrypted query set; one Classify pass answers all of them.
+func (s *Service) EncryptQueryBatch(name string, batch [][]uint64) (*Query, error) {
+	m, backend, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	_, encFeats, err := scenarioEncryption(s.cfg.scenario)
+	if err != nil {
+		return nil, err
+	}
+	return core.PrepareQueryBatch(backend, &m.operands.Meta, batch, encFeats)
+}
+
+// Classify runs Algorithm 1 on a prepared (possibly batched) query.
+// It is safe to call from many goroutines; with WithMaxInFlight set,
+// excess calls queue (cancellable while queued) and the wait shows up
+// in Stats. The context is also checked between pipeline stages.
+func (s *Service) Classify(ctx context.Context, name string, q *Query) (*EncryptedResult, *Trace, error) {
+	m, _, err := s.lookup(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	enqueued := time.Now()
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-ctx.Done():
+			s.failures.Add(1)
+			return nil, nil, ctx.Err()
+		}
+	}
+	// Requests/Queries count passes that reached execution, so a burst
+	// of queued-then-cancelled calls (counted in Failures) does not
+	// inflate the throughput counters or dilute the latency means.
+	s.requests.Add(1)
+	s.queries.Add(int64(max(q.Batch, 1)))
+	s.queueNS.Add(time.Since(enqueued).Nanoseconds())
+
+	s.inFlight.Add(1)
+	start := time.Now()
+	op, trace, err := m.engine.ClassifyCtx(ctx, m.operands, q)
+	s.latencyNS.Add(time.Since(start).Nanoseconds())
+	s.inFlight.Add(-1)
+	if err != nil {
+		s.failures.Add(1)
+		return nil, nil, err
+	}
+	return &EncryptedResult{op: op, batch: max(q.Batch, 1)}, trace, nil
+}
+
+// DecryptResult decrypts and decodes a single-query classification.
+func (s *Service) DecryptResult(name string, r *EncryptedResult) (*Result, error) {
+	results, err := s.DecryptResultBatch(name, r)
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// DecryptResultBatch decrypts one classification pass and decodes every
+// packed query's result, in the order the batch was packed.
+func (s *Service) DecryptResultBatch(name string, r *EncryptedResult) ([]*Result, error) {
+	m, backend, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	slots, err := he.Reveal(backend, r.op)
+	if err != nil {
+		return nil, err
+	}
+	return core.DecodeResultBatch(&m.operands.Meta, slots, max(r.batch, 1))
+}
+
+// ClassifyBatch is the end-to-end serving loop: slot-pack the feature
+// vectors, run one homomorphic pass, decrypt and decode per-query
+// results. Batches larger than the model's capacity are split into
+// ceil(len/capacity) passes which run concurrently (the passes are
+// independent and Classify is concurrency-safe), bounded by
+// WithMaxInFlight when set and by the host's core count otherwise.
+func (s *Service) ClassifyBatch(ctx context.Context, name string, batch [][]uint64) ([]*Result, error) {
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("copse: empty batch")
+	}
+	capacity, err := s.BatchCapacity(name)
+	if err != nil {
+		return nil, err
+	}
+	chunks := (len(batch) + capacity - 1) / capacity
+	workers := chunks
+	if s.cfg.maxInFlight > 0 {
+		workers = min(workers, s.cfg.maxInFlight)
+	}
+	workers = min(workers, runtime.GOMAXPROCS(0))
+	out := make([]*Result, len(batch))
+	err = matrix.ParallelFor(chunks, workers, func(ci int) error {
+		lo := ci * capacity
+		hi := min(lo+capacity, len(batch))
+		q, err := s.EncryptQueryBatch(name, batch[lo:hi])
+		if err != nil {
+			return err
+		}
+		enc, _, err := s.Classify(ctx, name, q)
+		if err != nil {
+			return err
+		}
+		results, err := s.DecryptResultBatch(name, enc)
+		if err != nil {
+			return err
+		}
+		copy(out[lo:hi], results)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ServiceStats is a snapshot of the serving counters.
+type ServiceStats struct {
+	// Requests counts Classify passes; Queries counts feature vectors
+	// answered (Queries/Requests is the realized batch factor).
+	Requests, Queries int64
+	// Failures counts classifications that returned an error (including
+	// cancellations).
+	Failures int64
+	// InFlight is the number of passes currently executing.
+	InFlight int64
+	// QueueWait is the cumulative time requests spent waiting for an
+	// in-flight slot; zero without WithMaxInFlight.
+	QueueWait time.Duration
+	// Latency is the cumulative classification time (excluding queue
+	// wait); Latency/Requests is the mean per-pass latency.
+	Latency time.Duration
+}
+
+// MeanLatency returns the mean per-pass classification latency.
+func (st ServiceStats) MeanLatency() time.Duration {
+	if st.Requests == 0 {
+		return 0
+	}
+	return st.Latency / time.Duration(st.Requests)
+}
+
+// MeanQueueWait returns the mean per-pass queue wait.
+func (st ServiceStats) MeanQueueWait() time.Duration {
+	if st.Requests == 0 {
+		return 0
+	}
+	return st.QueueWait / time.Duration(st.Requests)
+}
+
+// Stats snapshots the serving counters.
+func (s *Service) Stats() ServiceStats {
+	return ServiceStats{
+		Requests:  s.requests.Load(),
+		Queries:   s.queries.Load(),
+		Failures:  s.failures.Load(),
+		InFlight:  s.inFlight.Load(),
+		QueueWait: time.Duration(s.queueNS.Load()),
+		Latency:   time.Duration(s.latencyNS.Load()),
+	}
+}

@@ -1,0 +1,298 @@
+package copse_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"copse"
+	"copse/internal/core"
+	"copse/internal/synth"
+)
+
+// trainedModel compiles a small synthetic forest for service tests.
+func trainedModel(t *testing.T, seed uint64, slots int) (*copse.Forest, *copse.Compiled) {
+	t.Helper()
+	f, err := synth.Generate(synth.ForestSpec{
+		NumFeatures:     3,
+		NumLabels:       3,
+		Precision:       4,
+		MaxDepth:        3,
+		BranchesPerTree: []int{5, 4},
+		Seed:            seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := copse.Compile(f, copse.CompileOptions{Slots: slots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, c
+}
+
+// TestServiceRegistryMultiModel: two models served off one backend and
+// key set, each classifying batches correctly.
+func TestServiceRegistryMultiModel(t *testing.T) {
+	f1, c1 := trainedModel(t, 41, 256)
+	f2, c2 := trainedModel(t, 42, 256)
+	svc := copse.NewService(copse.WithBackend(copse.BackendClear), copse.WithWorkers(2))
+	if svc.Backend() != nil {
+		t.Error("backend exists before first Register")
+	}
+	if err := svc.Register("alpha", c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Register("beta", c2); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Register("alpha", c1); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if got := svc.Models(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Errorf("Models() = %v", got)
+	}
+	if _, err := svc.ClassifyBatch(context.Background(), "missing", [][]uint64{{1, 2, 3}}); err == nil {
+		t.Error("unknown model accepted")
+	}
+
+	rng := rand.New(rand.NewPCG(9, 9))
+	for name, pair := range map[string]struct {
+		f *copse.Forest
+		c *copse.Compiled
+	}{"alpha": {f1, c1}, "beta": {f2, c2}} {
+		capacity, err := svc.BatchCapacity(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if capacity != pair.c.Meta.BatchCapacity() {
+			t.Errorf("%s: capacity %d, want %d", name, capacity, pair.c.Meta.BatchCapacity())
+		}
+		// Oversized batches split into multiple passes transparently.
+		batch := make([][]uint64, capacity+3)
+		for i := range batch {
+			batch[i] = make([]uint64, pair.f.NumFeatures)
+			for j := range batch[i] {
+				batch[i][j] = rng.Uint64N(1 << uint(pair.f.Precision))
+			}
+		}
+		results, err := svc.ClassifyBatch(context.Background(), name, batch)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(results) != len(batch) {
+			t.Fatalf("%s: %d results for %d queries", name, len(results), len(batch))
+		}
+		for i, feats := range batch {
+			want := pair.f.Classify(feats)
+			for ti, lbl := range results[i].PerTree {
+				if lbl != want[ti] {
+					t.Errorf("%s query %d tree %d: L%d, want L%d", name, i, ti, lbl, want[ti])
+				}
+			}
+		}
+	}
+	st := svc.Stats()
+	if st.Requests < 4 { // ≥ 2 passes per model
+		t.Errorf("stats recorded %d requests", st.Requests)
+	}
+	if st.Queries < st.Requests {
+		t.Errorf("stats: %d queries < %d requests", st.Queries, st.Requests)
+	}
+}
+
+// TestServiceSlotMismatch: a later model staged for a different slot
+// count is rejected.
+func TestServiceSlotMismatch(t *testing.T) {
+	_, c1 := trainedModel(t, 41, 256)
+	_, c2 := trainedModel(t, 42, 512)
+	svc := copse.NewService(copse.WithBackend(copse.BackendClear))
+	if err := svc.Register("a", c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Register("b", c2); err == nil {
+		t.Error("slot mismatch accepted")
+	}
+}
+
+// TestServiceContextCancel: a cancelled context stops a classification
+// between stages and while queued.
+func TestServiceContextCancel(t *testing.T) {
+	_, c := trainedModel(t, 43, 256)
+	svc := copse.NewService(copse.WithBackend(copse.BackendClear))
+	if err := svc.Register("m", c); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.ClassifyBatch(ctx, "m", [][]uint64{{1, 2, 3}}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled classify returned %v", err)
+	}
+	if st := svc.Stats(); st.Failures == 0 {
+		t.Error("cancellation not counted as failure")
+	}
+}
+
+// TestServiceBatchCapacityError: the typed error surfaces through the
+// public query path.
+func TestServiceBatchCapacityError(t *testing.T) {
+	_, c := trainedModel(t, 44, 256)
+	svc := copse.NewService(copse.WithBackend(copse.BackendClear))
+	if err := svc.Register("m", c); err != nil {
+		t.Fatal(err)
+	}
+	capacity, err := svc.BatchCapacity("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := make([][]uint64, capacity+1)
+	for i := range over {
+		over[i] = []uint64{1, 2, 3}
+	}
+	_, err = svc.EncryptQueryBatch("m", over)
+	var bce *core.BatchCapacityError
+	if !errors.As(err, &bce) {
+		t.Errorf("oversized EncryptQueryBatch: %v, want *core.BatchCapacityError", err)
+	}
+}
+
+// TestServiceQueryModelMismatch: a query packed for one model is
+// rejected when classified against a model with a different layout.
+func TestServiceQueryModelMismatch(t *testing.T) {
+	_, c1 := trainedModel(t, 46, 256)
+	f2, err := synth.Generate(synth.ForestSpec{
+		NumFeatures:     5, // wider QPad than c1's
+		NumLabels:       3,
+		Precision:       4,
+		MaxDepth:        3,
+		BranchesPerTree: []int{7, 6, 5},
+		Seed:            47,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := copse.Compile(f2, copse.CompileOptions{Slots: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Meta.BatchBlock() == c2.Meta.BatchBlock() && c1.Meta.QPad == c2.Meta.QPad {
+		t.Fatal("test models share a layout; pick different shapes")
+	}
+	svc := copse.NewService(copse.WithBackend(copse.BackendClear))
+	if err := svc.Register("a", c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Register("b", c2); err != nil {
+		t.Fatal(err)
+	}
+	q, err := svc.EncryptQuery("a", []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.Classify(context.Background(), "b", q); err == nil {
+		t.Error("query packed for model a accepted by model b")
+	}
+}
+
+// concurrentStress hammers one service from many goroutines, mixing
+// single queries and full-capacity batches, and checks every result
+// against the plaintext forest. Run with -race to verify the
+// concurrency contract of the backends.
+func concurrentStress(t *testing.T, f *copse.Forest, svc *copse.Service, goroutines, queriesEach int) {
+	t.Helper()
+	capacity, err := svc.BatchCapacity("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 77))
+			for i := 0; i < queriesEach; i++ {
+				n := 1
+				if i%2 == 1 {
+					n = capacity
+				}
+				batch := make([][]uint64, n)
+				for k := range batch {
+					batch[k] = make([]uint64, f.NumFeatures)
+					for j := range batch[k] {
+						batch[k][j] = rng.Uint64N(1 << uint(f.Precision))
+					}
+				}
+				results, err := svc.ClassifyBatch(context.Background(), "m", batch)
+				if err != nil {
+					errc <- fmt.Errorf("goroutine %d: %w", g, err)
+					return
+				}
+				for k, feats := range batch {
+					if got, want := results[k].PerTree[0], f.Classify(feats)[0]; got != want {
+						errc <- fmt.Errorf("goroutine %d query %v: L%d, want L%d", g, feats, got, want)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestServiceConcurrentClassifyClear is the N-goroutines × M-queries
+// stress on the exact backend, with an in-flight cap so the queue path
+// is exercised too.
+func TestServiceConcurrentClassifyClear(t *testing.T) {
+	f, c := trainedModel(t, 45, 256)
+	svc := copse.NewService(
+		copse.WithBackend(copse.BackendClear),
+		copse.WithWorkers(2),
+		copse.WithMaxInFlight(4),
+	)
+	if err := svc.Register("m", c); err != nil {
+		t.Fatal(err)
+	}
+	concurrentStress(t, f, svc, 8, 6)
+	st := svc.Stats()
+	if st.Requests != 8*6 {
+		t.Errorf("stats recorded %d requests, want %d", st.Requests, 8*6)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in-flight %d after drain", st.InFlight)
+	}
+	if st.MeanLatency() <= 0 {
+		t.Error("no latency recorded")
+	}
+}
+
+// TestServiceConcurrentClassifyBGV is the same stress on real BGV
+// ciphertexts: concurrent Classify over one shared evaluator and key
+// set must be race-free and correct.
+func TestServiceConcurrentClassifyBGV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent BGV stress is slow")
+	}
+	forest := copse.ExampleForest()
+	c, err := copse.Compile(forest, copse.CompileOptions{Slots: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := copse.NewService(
+		copse.WithBackend(copse.BackendBGV),
+		copse.WithSecurity(copse.SecurityTest),
+		copse.WithWorkers(2),
+		copse.WithSeed(11),
+	)
+	if err := svc.Register("m", c); err != nil {
+		t.Fatal(err)
+	}
+	concurrentStress(t, forest, svc, 4, 2)
+}
