@@ -266,21 +266,28 @@ func BenchmarkTable6Generate(b *testing.B) {
 }
 
 // BenchmarkClassify: the BGV hot path end to end, across the rotation
-// optimizations — the gauge for the hoisting + BSGS line of work. Run
-// with -benchmem to see the allocation reduction from ring pooling.
+// and level-scheduling optimizations — the gauge for the BSGS + hoisting
+// + level-plan line of work. Run with -benchmem to see the allocation
+// reduction from ring pooling.
 //
-//	naive       pre-optimization kernel: one rotation per diagonal, no
-//	            hoisting (the pre-BSGS baseline)
-//	bsgs        baby-step/giant-step kernel, hoisting disabled
-//	bsgs+hoist  the default configuration
+//	naive            pre-optimization kernel: one rotation per diagonal,
+//	                 no hoisting, reactive noise management
+//	bsgs             baby-step/giant-step kernel, hoisting disabled,
+//	                 reactive
+//	bsgs+hoist       hoisted rotations, reactive noise management (the
+//	                 PR 1 configuration — the 0.80 s/query baseline)
+//	bsgs+hoist+plan  the default configuration: static level schedule,
+//	                 operands staged at stage levels, chain sized to the
+//	                 plan
 func BenchmarkClassify(b *testing.B) {
 	modes := []struct {
-		name            string
-		noBSGS, noHoist bool
+		name                    string
+		noBSGS, noHoist, noPlan bool
 	}{
-		{"naive", true, true},
-		{"bsgs", false, true},
-		{"bsgs+hoist", false, false},
+		{"naive", true, true, true},
+		{"bsgs", false, true, true},
+		{"bsgs+hoist", false, false, true},
+		{"bsgs+hoist+plan", false, false, false},
 	}
 	for _, mode := range modes {
 		b.Run(mode.name, func(b *testing.B) {
@@ -291,17 +298,21 @@ func BenchmarkClassify(b *testing.B) {
 			sys, err := copse.NewSystem(compiled, copse.SystemConfig{
 				Backend: copse.BackendBGV, Scenario: copse.ScenarioOffload,
 				Security: copse.SecurityTest, Workers: runtime.GOMAXPROCS(0),
-				DisableHoisting: mode.noHoist, Seed: 4,
+				DisableHoisting: mode.noHoist, DisableLevelPlan: mode.noPlan, Seed: 4,
 			})
 			if err != nil {
 				b.Fatal(err)
 			}
 			sys.Backend().ResetCounts()
-			benchQueries(b, sys, copse.ExampleForest())
+			trace := benchQueries(b, sys, copse.ExampleForest())
 			counts := sys.Backend().Counts()
 			iters := int64(b.N)
 			b.ReportMetric(float64(counts.Rotate/iters), "rotations/op")
 			b.ReportMetric(float64(counts.RotateHoisted/iters), "hoisted-rot/op")
+			b.ReportMetric(float64(counts.LimbOps/iters), "limb-ops/op")
+			if trace != nil {
+				b.ReportMetric(float64(trace.Limbs.Result), "result-limbs")
+			}
 		})
 	}
 }

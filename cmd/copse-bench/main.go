@@ -34,6 +34,8 @@ func main() {
 	models := flag.String("models", "", "comma-separated model filter (default: all)")
 	rotJSON := flag.String("rotjson", "", "also write machine-readable stage timings + op counts to this file (e.g. BENCH_rotations.json)")
 	serveJSON := flag.String("servejson", "", "also write serving throughput (queries/sec at batch sizes 1, 4, max) to this file (e.g. BENCH_serving.json)")
+	levelJSON := flag.String("leveljson", "", "also write the level-scheduling record (per-stage limbs + limb-op integrals, planned vs -nolevelplan, BGV backend) to this file (e.g. BENCH_levels.json)")
+	noLevelPlan := flag.Bool("nolevelplan", false, "disable static level scheduling (reactive noise management; the DESIGN.md §8 ablation)")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -42,6 +44,7 @@ func main() {
 		Workers:        *workers,
 		Seed:           *seed,
 		RealWorldScale: *scale,
+		NoLevelPlan:    *noLevelPlan,
 	}
 	if *models != "" {
 		cfg.Models = strings.Split(*models, ",")
@@ -129,5 +132,23 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *serveJSON)
+	}
+
+	if *levelJSON != "" {
+		report, err := experiments.LevelReport(cfg)
+		if err != nil {
+			log.Fatalf("level report: %v", err)
+		}
+		f, err := os.Create(*levelJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *levelJSON)
 	}
 }

@@ -56,6 +56,11 @@ func main() {
 		m.QPad, m.BPad, len(m.RotationSteps), m.RecommendedLevels)
 	fmt.Fprintf(os.Stderr, "  ct-ct depth: %d (encrypted model) / %d (plaintext model)\n",
 		m.CtDepthCipherModel, m.CtDepthPlainModel)
+	if plan := m.LevelPlan; plan != nil {
+		fmt.Fprintf(os.Stderr, "  level plan: %d-prime chain (reactive: %d); cipher-model stages compare=%d reshuffle=%d level=%d accumulate=%d final=%d\n",
+			plan.Levels, m.RecommendedLevels,
+			plan.Cipher.Compare, plan.Cipher.Reshuffle, plan.Cipher.Level, plan.Cipher.Accumulate, plan.Cipher.Final)
+	}
 
 	if *out != "" {
 		w, err := os.Create(*out)

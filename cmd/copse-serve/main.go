@@ -89,7 +89,7 @@ func main() {
 
 	// Load every artifact first: the security preset (and so the shared
 	// key set) is fixed by the models' common slot count before the
-	// service is built. Register in sorted order for determinism.
+	// service is built.
 	names := make([]string, 0, len(models))
 	compiled := map[string]*copse.Compiled{}
 	for name, path := range models {
@@ -105,7 +105,24 @@ func main() {
 		names = append(names, name)
 		compiled[name] = c
 	}
-	sort.Strings(names)
+	// Register order: deepest chain requirement first — the first model
+	// sizes the shared backend's modulus chain (its level plan, or the
+	// reactive recommendation) and gets the exact Galois keys, so the
+	// alphabetical tie-break must not hand that role to a shallow model.
+	// Ties (and the non-BGV backends) stay name-sorted for determinism.
+	chainOf := func(name string) int {
+		m := &compiled[name].Meta
+		if m.LevelPlan != nil {
+			return min(m.LevelPlan.Levels, m.RecommendedLevels)
+		}
+		return m.RecommendedLevels
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if ci, cj := chainOf(names[i]), chainOf(names[j]); ci != cj {
+			return ci > cj
+		}
+		return names[i] < names[j]
+	})
 	if *backendArg == "bgv" {
 		preset, err := copse.SecurityForSlots(compiled[names[0]].Meta.Slots)
 		if err != nil {

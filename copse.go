@@ -221,6 +221,11 @@ type SystemConfig struct {
 	// decomposition behind batched rotations). Hoisting is on by
 	// default; this is the ablation knob (DESIGN.md §6).
 	DisableHoisting bool
+	// DisableLevelPlan turns off static level scheduling, leaving noise
+	// management fully reactive and the BGV chain at the reactive
+	// recommendation. Scheduling is on by default; this is the ablation
+	// knob (DESIGN.md §8).
+	DisableLevelPlan bool
 	// Levels overrides the compiler's recommended BGV chain length.
 	Levels int
 	// Seed, when non-zero, makes key generation and encryption
@@ -273,6 +278,7 @@ func NewSystem(c *Compiled, cfg SystemConfig) (*System, error) {
 		WithSeed(cfg.Seed),
 		WithReuseRotations(cfg.ReuseRotations),
 		WithHoisting(!cfg.DisableHoisting),
+		WithLevelPlan(!cfg.DisableLevelPlan),
 	)
 	if err := svc.Register(systemModel, c); err != nil {
 		return nil, err

@@ -2,7 +2,7 @@ package bgv
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"copse/internal/ring"
 )
@@ -10,12 +10,14 @@ import (
 // Plaintext holds an encoded message: a polynomial with coefficients in
 // [0, T). Lifting into the ciphertext ring at a given level is cached,
 // since plaintext model components (matrix diagonals, masks) are reused
-// across many homomorphic operations.
+// across many homomorphic operations. The cache is a lock-free
+// copy-on-write table: serving-time reads are a single atomic load, and
+// PreLift lets model staging populate the scheduled levels up front so
+// no query ever pays the embedding (SetLift + NTT) inline.
 type Plaintext struct {
 	Coeffs []uint64 // length N, values < T
 
-	mu     sync.Mutex
-	lifted map[int]*ring.Poly // level -> NTT-domain lift
+	lifts atomic.Pointer[[]*ring.Poly] // level-indexed NTT-domain lifts
 }
 
 // NewPlaintext wraps encoded coefficients.
@@ -24,15 +26,14 @@ func NewPlaintext(coeffs []uint64) *Plaintext {
 }
 
 // lift returns the NTT-domain embedding of the plaintext at the given
-// level, caching the result.
+// level, caching the result. Concurrent first lifts at the same level
+// may compute the embedding twice; one copy wins the publish and the
+// other is dropped, so every caller sees a single canonical poly.
 func (pt *Plaintext) lift(ctx *ring.Context, level int) *ring.Poly {
-	pt.mu.Lock()
-	defer pt.mu.Unlock()
-	if pt.lifted == nil {
-		pt.lifted = make(map[int]*ring.Poly)
-	}
-	if p, ok := pt.lifted[level]; ok {
-		return p
+	if tab := pt.lifts.Load(); tab != nil && level < len(*tab) {
+		if p := (*tab)[level]; p != nil {
+			return p
+		}
 	}
 	p := ctx.NewPoly(level)
 	for i := 0; i <= level; i++ {
@@ -43,8 +44,43 @@ func (pt *Plaintext) lift(ctx *ring.Context, level int) *ring.Poly {
 		}
 	}
 	ctx.NTT(p)
-	pt.lifted[level] = p
-	return p
+	return publishAt(&pt.lifts, level, p)
+}
+
+// publishAt installs v at a level index of a lock-free copy-on-write
+// table unless another goroutine won the race, returning the canonical
+// entry either way. Shared by the plaintext lift cache and the
+// switching-key view cache.
+func publishAt[T any](tab *atomic.Pointer[[]*T], level int, v *T) *T {
+	for {
+		old := tab.Load()
+		var next []*T
+		if old != nil {
+			if level < len(*old) && (*old)[level] != nil {
+				return (*old)[level]
+			}
+			next = make([]*T, max(len(*old), level+1))
+			copy(next, *old)
+		} else {
+			next = make([]*T, level+1)
+		}
+		next[level] = v
+		if tab.CompareAndSwap(old, &next) {
+			return v
+		}
+	}
+}
+
+// PreLift warms the lift cache at the given levels (negative levels are
+// ignored) — model staging calls this so the scheduled consumption
+// levels of diagonals, masks and thresholds are cache hits from the
+// first query on.
+func (pt *Plaintext) PreLift(ctx *ring.Context, levels ...int) {
+	for _, level := range levels {
+		if level >= 0 && level <= ctx.MaxLevel() {
+			pt.lift(ctx, level)
+		}
+	}
 }
 
 // Ciphertext is a BGV ciphertext of degree len(C)-1 in the secret key,
@@ -93,8 +129,23 @@ func NewSeededEncryptor(params *Parameters, pk *PublicKey, seed uint64) *Encrypt
 // Encrypt produces a fresh encryption of pt at the top level:
 // (c0, c1) = (B·u + t·e0 + m, A·u + t·e1).
 func (e *Encryptor) Encrypt(pt *Plaintext) *Ciphertext {
+	return e.EncryptAtLevel(pt, e.params.MaxLevel())
+}
+
+// EncryptAtLevel produces a fresh encryption directly at the given level
+// (clamped to the chain top): the public key's unused top residues are
+// simply not touched, which is the RLWE instance a freshly encrypted,
+// then modulus-switched ciphertext would inhabit — minus the switches.
+// Level scheduling uses this to land operands at their planned stage
+// level for free.
+func (e *Encryptor) EncryptAtLevel(pt *Plaintext, level int) *Ciphertext {
 	ctx := e.params.RingCtx
-	level := e.params.MaxLevel()
+	if level > e.params.MaxLevel() {
+		level = e.params.MaxLevel()
+	}
+	if level < 0 {
+		level = 0
+	}
 
 	u := e.sampler.TernaryPoly(level)
 	ctx.NTT(u)

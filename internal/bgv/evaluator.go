@@ -129,24 +129,30 @@ func (ev *Evaluator) Sub(a, b *Ciphertext) (*Ciphertext, error) {
 	return out, ev.manage(out)
 }
 
-// Neg returns -a.
+// Neg returns -a. The output polys come from the ring pool (fully
+// overwritten), keeping the serving hot path allocation-free.
 func (ev *Evaluator) Neg(a *Ciphertext) (*Ciphertext, error) {
 	ctx := ev.params.RingCtx
 	out := &Ciphertext{NoiseBits: a.NoiseBits}
 	for _, c := range a.C {
-		n := ctx.NewPoly(a.Level())
+		n := ctx.GetPoly(a.Level())
 		ctx.Neg(c, n)
 		out.C = append(out.C, n)
 	}
 	return out, nil
 }
 
-// AddPlain returns a + pt.
+// AddPlain returns a + pt. The copy of a runs through the ring pool
+// (GetPoly + CopyInto) instead of a fresh Poly.Copy.
 func (ev *Evaluator) AddPlain(a *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
 	ctx := ev.params.RingCtx
-	out := a.Copy()
+	out := &Ciphertext{NoiseBits: a.NoiseBits + 1}
+	for _, c := range a.C {
+		p := ctx.GetPoly(a.Level())
+		ctx.CopyInto(c, p)
+		out.C = append(out.C, p)
+	}
 	ctx.Add(out.C[0], pt.lift(ctx, a.Level()), out.C[0])
-	out.NoiseBits = a.NoiseBits + 1
 	return out, ev.manage(out)
 }
 
@@ -166,12 +172,13 @@ func (ev *Evaluator) MulPlain(a *Ciphertext, pt *Plaintext) (*Ciphertext, error)
 }
 
 // MulScalar returns a · c for a scalar c < T (the same value in every
-// slot). Scalars embed as constant polynomials, so no encoding is needed.
+// slot). Scalars embed as constant polynomials, so no encoding is
+// needed. Output polys come from the ring pool (fully overwritten).
 func (ev *Evaluator) MulScalar(a *Ciphertext, c uint64) (*Ciphertext, error) {
 	ctx := ev.params.RingCtx
 	out := &Ciphertext{NoiseBits: a.NoiseBits + float64(bitsOf(c)) + 1}
 	for _, p := range a.C {
-		m := ctx.NewPoly(a.Level())
+		m := ctx.GetPoly(a.Level())
 		ctx.MulScalar(p, c, m)
 		out.C = append(out.C, m)
 	}
@@ -285,10 +292,13 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext) (*Ciphertext, error) {
 
 // keySwitch computes Σ_k digit_k ⊙ key_k for a coefficient-domain
 // polynomial d, returning NTT-domain accumulators (b-side, a-side). The
-// accumulators come from the ring pool; callers that consume them into a
-// longer-lived sum should PutPoly them afterwards.
+// key is accessed through its level-truncated view, so a switch at a
+// scheduled-down level runs over exactly the digits and limbs that level
+// needs. The accumulators come from the ring pool; callers that consume
+// them into a longer-lived sum should PutPoly them afterwards.
 func (ev *Evaluator) keySwitch(d *ring.Poly, key *SwitchingKey, level int) (*ring.Poly, *ring.Poly) {
 	ctx := ev.params.RingCtx
+	key = key.AtLevel(ctx, ev.params.DigitBits, level)
 	digits := ctx.DecomposeBase2w(d, ev.params.DigitBits)
 	acc0 := ctx.GetPolyZero(level)
 	acc0.IsNTT = true
@@ -420,9 +430,9 @@ func (ev *Evaluator) hoistPrep(ct *Ciphertext, level int) (c0 *ring.Poly, digits
 // automorphism permutes (and sign-flips) coefficients, preserving their
 // digit-sized magnitude.
 func (ev *Evaluator) galoisFromDigits(ct *Ciphertext, c0 *ring.Poly, digits []*ring.Poly, elt uint64) (*Ciphertext, error) {
-	key := ev.keys.Galois[elt]
 	ctx := ev.params.RingCtx
 	level := ct.Level()
+	key := ev.keys.Galois[elt].AtLevel(ctx, ev.params.DigitBits, level)
 
 	sc0 := ctx.GetPoly(level)
 	ctx.Automorphism(c0, elt, sc0)

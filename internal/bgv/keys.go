@@ -2,6 +2,7 @@ package bgv
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"copse/internal/ring"
 )
@@ -27,6 +28,41 @@ type PublicKey struct {
 type SwitchingKey struct {
 	B, A   []*ring.Poly
 	BS, AS []*ring.PolyShoup
+
+	views atomic.Pointer[[]*SwitchingKey] // level-indexed truncated views
+}
+
+// AtLevel returns a view of k truncated to the given level for base-2^w
+// key switching: only the digits that exist at that level's modulus are
+// kept, and each retained key poly (and its Shoup companion) is
+// restricted to the active primes. A key switch at a scheduled-down
+// level therefore decomposes into fewer digits and multiplies fewer
+// limbs than the top-level key would suggest. Views share the full key's
+// backing arrays (no copying) and are cached per level; the top level
+// returns k itself.
+func (k *SwitchingKey) AtLevel(ctx *ring.Context, w, level int) *SwitchingKey {
+	if level >= k.B[0].Level() {
+		return k
+	}
+	if tab := k.views.Load(); tab != nil && level < len(*tab) {
+		if v := (*tab)[level]; v != nil {
+			return v
+		}
+	}
+	digits := min(ctx.NumDigits(level, w), len(k.B))
+	v := &SwitchingKey{
+		B:  make([]*ring.Poly, digits),
+		A:  make([]*ring.Poly, digits),
+		BS: make([]*ring.PolyShoup, digits),
+		AS: make([]*ring.PolyShoup, digits),
+	}
+	for d := 0; d < digits; d++ {
+		v.B[d] = restrict(k.B[d], level)
+		v.A[d] = restrict(k.A[d], level)
+		v.BS[d] = &ring.PolyShoup{S: k.BS[d].S[:level+1]}
+		v.AS[d] = &ring.PolyShoup{S: k.AS[d].S[:level+1]}
+	}
+	return publishAt(&k.views, level, v)
 }
 
 // EvaluationKeys bundles everything the evaluator (Sally) needs: the

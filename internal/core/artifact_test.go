@@ -2,9 +2,13 @@ package core
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"copse/internal/he"
+	"copse/internal/he/heclear"
 	"copse/internal/model"
 )
 
@@ -45,7 +49,7 @@ func TestArtifactV2CarriesBSGSPlan(t *testing.T) {
 	if err := WriteArtifact(&buf, c); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(buf.String(), "COPSEv2\n") {
+	if !strings.HasPrefix(buf.String(), artifactMagic) {
 		t.Errorf("artifact header = %q", buf.String()[:8])
 	}
 	back, err := ReadArtifact(&buf)
@@ -68,5 +72,92 @@ func TestArtifactV2CarriesBSGSPlan(t *testing.T) {
 	if len(back.Meta.RotationSteps) >= len(naive.Meta.RotationSteps) {
 		t.Errorf("BSGS step set (%d) not smaller than naive (%d)",
 			len(back.Meta.RotationSteps), len(naive.Meta.RotationSteps))
+	}
+}
+
+// TestArtifactV3CarriesLevelPlan: the current format round-trips the
+// static level schedule.
+func TestArtifactV3CarriesLevelPlan(t *testing.T) {
+	c, err := Compile(model.Figure1(), Options{Slots: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Meta.LevelPlan == nil {
+		t.Fatal("no level plan compiled")
+	}
+	var buf bytes.Buffer
+	if err := WriteArtifact(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Meta.LevelPlan == nil {
+		t.Fatal("level plan lost in round trip")
+	}
+	if *back.Meta.LevelPlan != *c.Meta.LevelPlan {
+		t.Errorf("level plan changed in round trip: %+v vs %+v", back.Meta.LevelPlan, c.Meta.LevelPlan)
+	}
+}
+
+// TestGoldenArtifactBackCompat: the committed golden v1 and v2 artifacts
+// (written by the earlier format generations; see testdata) load, report
+// no level plan — selecting the reactive fallback they were staged for —
+// and classify correctly.
+func TestGoldenArtifactBackCompat(t *testing.T) {
+	forest := model.Figure1()
+	for _, tc := range []struct {
+		file    string
+		useBSGS bool
+	}{
+		{"figure1_v1.copse", false},
+		{"figure1_v2.copse", true},
+	} {
+		raw, err := os.ReadFile(filepath.Join("testdata", tc.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := ReadArtifact(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.file, err)
+		}
+		if c.Meta.LevelPlan != nil {
+			t.Errorf("%s: pre-v3 artifact reports a level plan", tc.file)
+		}
+		if c.Meta.UseBSGS != tc.useBSGS {
+			t.Errorf("%s: UseBSGS = %v, want %v", tc.file, c.Meta.UseBSGS, tc.useBSGS)
+		}
+		b := heclear.New(c.Meta.Slots, 65537)
+		m, err := Prepare(b, c, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Plan != nil {
+			t.Errorf("%s: reactive artifact staged with a plan", tc.file)
+		}
+		e := &Engine{Backend: b}
+		for _, feats := range [][]uint64{{0, 5}, {6, 0}, {15, 15}} {
+			want := forest.Classify(feats)
+			q, err := PrepareQuery(b, &m.Meta, feats, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, _, err := e.Classify(m, q)
+			if err != nil {
+				t.Fatalf("%s: Classify(%v): %v", tc.file, feats, err)
+			}
+			slots, err := he.Reveal(b, out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := DecodeResult(&m.Meta, slots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.PerTree[0] != want[0] {
+				t.Errorf("%s: Classify(%v) = L%d, want L%d", tc.file, feats, res.PerTree[0], want[0])
+			}
+		}
 	}
 }

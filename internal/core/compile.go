@@ -24,6 +24,15 @@ type Options struct {
 	// escape hatch. The default (false) emits the reduced ~2·√period
 	// rotation-step set and pre-rotated diagonals.
 	NoBSGS bool
+	// NoLevelPlan skips the static level schedule (Meta.LevelPlan),
+	// staging a reactive-only model — the ablation knob for level
+	// scheduling (DESIGN.md §8).
+	NoLevelPlan bool
+	// PlanShuffle reserves level headroom in the schedule so the
+	// classification result can still feed the optional result shuffle
+	// (§7.2.2). The default minimal schedule lands the result below the
+	// shuffle's entry level.
+	PlanShuffle bool
 }
 
 // Compiled is the vectorized representation of a decision forest: the
@@ -230,6 +239,13 @@ func Compile(f *model.Forest, opts Options) (*Compiled, error) {
 	// pipeline stage) plus slack for the plaintext-multiply noise of the
 	// Z_t boolean encoding.
 	meta.RecommendedLevels = meta.CtDepthCipherModel + 5 + log2Ceil(bPad)/3
+	if !opts.NoLevelPlan {
+		// The static level schedule (levelplan.go): per-stage target
+		// levels from a forward run of the noise model, so the engine can
+		// execute each stage on exactly the fraction of the modulus chain
+		// its remaining circuit needs.
+		meta.LevelPlan = computeLevelPlan(&meta, opts.PlanShuffle)
+	}
 
 	return &Compiled{
 		Meta:          meta,

@@ -21,22 +21,49 @@ type ModelOperands struct {
 	Levels     []*matrix.Diagonals
 	Masks      []he.Operand
 	Encrypted  bool
+	// Plan is the scenario-resolved level schedule the operands were
+	// staged at (thresholds at Plan.Compare, reshuffle diagonals at
+	// Plan.Reshuffle, and so on); nil means reactive staging at the top
+	// of the chain, and the engine then skips its boundary drops.
+	Plan *StageLevels
 }
 
 // Prepare loads c onto backend b. With encrypt=true all model components
-// are encrypted; otherwise they are encoded plaintexts.
+// are encrypted; otherwise they are encoded plaintexts. Operands are
+// staged at the compiled level schedule when the model carries one; use
+// PrepareWithPlan to override (nil = reactive).
 func Prepare(b he.Backend, c *Compiled, encrypt bool) (*ModelOperands, error) {
+	return PrepareWithPlan(b, c, encrypt, c.Meta.LevelPlan)
+}
+
+// PrepareWithPlan is Prepare under an explicit level schedule: every
+// model component is produced directly at the level its pipeline stage
+// executes at — encrypted components via leveled encryption, plaintext
+// components via eager pre-lifting — so no per-query work remains to put
+// operands on schedule. A nil plan stages reactively at the chain top
+// (the pre-level-scheduling behaviour, and the -nolevelplan ablation).
+func PrepareWithPlan(b he.Backend, c *Compiled, encrypt bool, plan *LevelPlan) (*ModelOperands, error) {
 	if c.Meta.Slots != b.Slots() {
 		return nil, fmt.Errorf("core: model staged for %d slots but backend has %d", c.Meta.Slots, b.Slots())
 	}
 	m := &ModelOperands{Meta: c.Meta, Encrypted: encrypt}
+	level := func(sel func(StageLevels) int) int { return -1 }
+	// Queries are packed against this meta (PrepareQueryBatch reads its
+	// QueryLevel), so the staged meta must advertise exactly the schedule
+	// the operands follow — the override plan, or none.
+	m.Meta.LevelPlan = plan
+	if plan != nil {
+		stage := plan.For(encrypt)
+		m.Plan = &stage
+		level = func(sel func(StageLevels) int) int { return sel(stage) }
+	}
 
 	// Thresholds stay fully periodic: every block of the batched layout
 	// reads the same QPad-periodic plane (BatchBlock is a multiple of
 	// QPad), and the single-query layout is the one-block special case.
 	for _, plane := range c.ThresholdBits {
 		periodic := replicatePlain(plane, c.Meta.QPad, b.Slots())
-		op, err := makeOperand(b, periodic, encrypt)
+		op, err := makeOperand(b, periodic, encrypt, level(func(s StageLevels) int { return s.Compare }))
 		if err != nil {
 			return nil, err
 		}
@@ -50,19 +77,20 @@ func Prepare(b he.Backend, c *Compiled, encrypt bool) (*ModelOperands, error) {
 	// packed query (DESIGN.md §7); with batch capacity 1 the block is the
 	// whole ciphertext and this is the original layout.
 	span := c.Meta.BatchBlock()
-	prep := func(mtx *matrix.Bool, period int) (*matrix.Diagonals, error) {
+	prep := func(mtx *matrix.Bool, period, at int) (*matrix.Diagonals, error) {
 		if baby, giant, ok := c.Meta.BSGSFor(period); c.Meta.UseBSGS && ok {
-			return matrix.PrepareDiagonalsBSGSSpan(b, mtx, period, baby, giant, span, encrypt)
+			return matrix.PrepareDiagonalsBSGSSpanAt(b, mtx, period, baby, giant, span, encrypt, at)
 		}
-		return matrix.PrepareDiagonalsSpan(b, mtx, period, span, encrypt)
+		return matrix.PrepareDiagonalsSpanAt(b, mtx, period, span, encrypt, at)
 	}
 	var err error
-	m.Reshuffle, err = prep(c.Reshuffle, c.Meta.QPad)
+	m.Reshuffle, err = prep(c.Reshuffle, c.Meta.QPad, level(func(s StageLevels) int { return s.Reshuffle }))
 	if err != nil {
 		return nil, err
 	}
+	lvlAt := level(func(s StageLevels) int { return s.Level })
 	for _, lm := range c.Levels {
-		d, err := prep(lm, c.Meta.BPad)
+		d, err := prep(lm, c.Meta.BPad, lvlAt)
 		if err != nil {
 			return nil, err
 		}
@@ -73,7 +101,7 @@ func Prepare(b he.Backend, c *Compiled, encrypt bool) (*ModelOperands, error) {
 		for base := 0; base < len(padded); base += span {
 			copy(padded[base:base+len(mask)], mask)
 		}
-		op, err := makeOperand(b, padded, encrypt)
+		op, err := makeOperand(b, padded, encrypt, lvlAt)
 		if err != nil {
 			return nil, err
 		}
@@ -82,15 +110,15 @@ func Prepare(b he.Backend, c *Compiled, encrypt bool) (*ModelOperands, error) {
 	return m, nil
 }
 
-func makeOperand(b he.Backend, vals []uint64, encrypt bool) (he.Operand, error) {
+func makeOperand(b he.Backend, vals []uint64, encrypt bool, level int) (he.Operand, error) {
 	if encrypt {
-		ct, err := b.Encrypt(vals)
+		ct, err := he.EncryptAtLevel(b, vals, level)
 		if err != nil {
 			return he.Operand{}, err
 		}
 		return he.Cipher(ct), nil
 	}
-	return he.NewPlain(b, vals)
+	return he.NewPlainAtLevel(b, vals, level)
 }
 
 // replicatePlain lays vals (logical width `period`, zero-padded) out
@@ -129,6 +157,11 @@ type Engine struct {
 	// rotation independently — the ablation for the RotateHoisted fast
 	// path. Default (false) hoists wherever rotations share a ciphertext.
 	DisableHoisting bool
+	// DisableLevelPlan ignores the staged level schedule and leaves
+	// noise management fully reactive — the -nolevelplan ablation
+	// (DESIGN.md §8). Operands staged reactively (ModelOperands.Plan ==
+	// nil) imply it.
+	DisableLevelPlan bool
 }
 
 // Trace records the per-stage timing and operation counts that
@@ -138,6 +171,25 @@ type Trace struct {
 	Total                                  time.Duration
 	CompareOps, ReshuffleOps               he.OpCounts
 	LevelOps, AccumulateOps                he.OpCounts
+	// Limbs is the level plan's runtime footprint (zero-valued on
+	// backends without a modulus chain).
+	Limbs StageLimbs
+}
+
+// StageLimbs records the active RNS limb count of the pipeline's
+// carrier ciphertext entering each stage (after the boundary drop) and
+// leaving the pipeline — the per-stage complement of OpCounts.LimbOps.
+type StageLimbs struct {
+	// Query is the limb count of the query bit planes feeding compare.
+	Query int
+	// Decisions enters the reshuffle mat-vec.
+	Decisions int
+	// BranchVec enters the per-level mat-vecs.
+	BranchVec int
+	// LevelResult enters the accumulation product tree.
+	LevelResult int
+	// Result is the classification output (what decrypt sees).
+	Result int
 }
 
 // Classify evaluates the model on an encrypted query, returning the
@@ -173,6 +225,21 @@ func (e *Engine) ClassifyCtx(ctx context.Context, m *ModelOperands, q *Query) (h
 	}
 	workers := max(e.Workers, 1)
 	skipZero := e.SkipZeroDiagonals && !m.Encrypted
+	// The staged level schedule: each stage boundary proactively drops
+	// the carrier ciphertext to the level the compiler assigned the next
+	// stage, so the back half of the pipeline runs on a fraction of the
+	// modulus chain (DESIGN.md §8). stage == nil (reactive staging, or
+	// the ablation knob) skips every drop.
+	stage := m.Plan
+	if e.DisableLevelPlan {
+		stage = nil
+	}
+	stageLevel := func(sel func(StageLevels) int) int {
+		if stage == nil {
+			return -1
+		}
+		return sel(*stage)
+	}
 	trace := &Trace{}
 	start := time.Now()
 	// The stage op counts in the trace come from a per-call counting
@@ -182,11 +249,30 @@ func (e *Engine) ClassifyCtx(ctx context.Context, m *ModelOperands, q *Query) (h
 	b := he.WithCounts(e.Backend)
 	base := b.Counts()
 
-	// Step 1: comparison — all decision nodes at once (§3.3).
-	decisions, err := seccomp.CompareGT(b, q.Bits, m.Thresholds)
+	// Step 1: comparison — all decision nodes at once (§3.3). Query
+	// planes normally arrive at the scheduled compare level already
+	// (PrepareQueryBatch encrypts them there); the drop here covers
+	// hand-built and reactively packed queries.
+	bits := q.Bits
+	if stage != nil {
+		bits = make([]he.Operand, len(q.Bits))
+		for i, op := range q.Bits {
+			var err error
+			bits[i], err = he.DropToLevel(b, op, stage.Compare)
+			if err != nil {
+				return he.Operand{}, nil, fmt.Errorf("core: query level drop: %w", err)
+			}
+		}
+	}
+	trace.Limbs.Query = he.OperandLimbs(b, bits[0])
+	decisions, err := seccomp.CompareGT(b, bits, m.Thresholds)
 	if err != nil {
 		return he.Operand{}, nil, fmt.Errorf("core: comparison step: %w", err)
 	}
+	if decisions, err = he.DropToLevel(b, decisions, stageLevel(func(s StageLevels) int { return s.Reshuffle })); err != nil {
+		return he.Operand{}, nil, fmt.Errorf("core: reshuffle level drop: %w", err)
+	}
+	trace.Limbs.Decisions = he.OperandLimbs(b, decisions)
 	trace.Compare = time.Since(start)
 	snap := b.Counts()
 	trace.CompareOps = snap.Minus(base)
@@ -212,6 +298,10 @@ func (e *Engine) ClassifyCtx(ctx context.Context, m *ModelOperands, q *Query) (h
 	if err != nil {
 		return he.Operand{}, nil, fmt.Errorf("core: reshuffle replication: %w", err)
 	}
+	if branchVec, err = he.DropToLevel(b, branchVec, stageLevel(func(s StageLevels) int { return s.Level })); err != nil {
+		return he.Operand{}, nil, fmt.Errorf("core: level-stage drop: %w", err)
+	}
+	trace.Limbs.BranchVec = he.OperandLimbs(b, branchVec)
 	trace.Reshuffle = time.Since(mark)
 	snap = b.Counts()
 	trace.ReshuffleOps = snap.Minus(base)
@@ -275,12 +365,20 @@ func (e *Engine) ClassifyCtx(ctx context.Context, m *ModelOperands, q *Query) (h
 		if err != nil {
 			return err
 		}
+		// Cool the level result down to the product tree's entry: the
+		// tree's noise budget needs only a few limbs, and every tree
+		// multiplication then tensors and key-switches over that
+		// fraction of the chain.
+		if res, err = he.DropToLevel(b, res, stageLevel(func(s StageLevels) int { return s.Accumulate })); err != nil {
+			return err
+		}
 		lvlResults[l] = res
 		return nil
 	})
 	if err != nil {
 		return he.Operand{}, nil, fmt.Errorf("core: level processing: %w", err)
 	}
+	trace.Limbs.LevelResult = he.OperandLimbs(b, lvlResults[0])
 	trace.Levels = time.Since(mark)
 	snap = b.Counts()
 	trace.LevelOps = snap.Minus(base)
@@ -295,6 +393,10 @@ func (e *Engine) ClassifyCtx(ctx context.Context, m *ModelOperands, q *Query) (h
 	if err != nil {
 		return he.Operand{}, nil, fmt.Errorf("core: accumulation step: %w", err)
 	}
+	if labels, err = he.DropToLevel(b, labels, stageLevel(func(s StageLevels) int { return s.Final })); err != nil {
+		return he.Operand{}, nil, fmt.Errorf("core: final level drop: %w", err)
+	}
+	trace.Limbs.Result = he.OperandLimbs(b, labels)
 	trace.Accumulate = time.Since(mark)
 	snap = b.Counts()
 	trace.AccumulateOps = snap.Minus(base)

@@ -56,6 +56,14 @@ type Meta struct {
 	CtDepthCipherModel int
 	CtDepthPlainModel  int
 	RecommendedLevels  int
+
+	// LevelPlan is the static level schedule the compiler derived by
+	// running its noise model forward over the pipeline (DESIGN.md §8):
+	// per-stage target levels that let the back half of Algorithm 1 run
+	// on a fraction of the modulus chain. Nil on artifacts older than v3
+	// (and when no feasible schedule was found); the engine then falls
+	// back to reactive noise management.
+	LevelPlan *LevelPlan
 }
 
 // LPad returns the leaf count padded to a power of two — the period of

@@ -100,8 +100,16 @@ func PrepareQueryBatch(b he.Backend, meta *Meta, batch [][]uint64, encrypt bool)
 		QPad:        meta.QPad,
 		Block:       block,
 	}
+	// Under a level schedule the planes are encrypted directly at the
+	// deeper of the two compare entry levels (Diane does not learn
+	// whether the model is encrypted); the engine drops them the last
+	// step on the shallower path. Without a plan they sit at the top.
+	level := -1
+	if meta.LevelPlan != nil {
+		level = meta.LevelPlan.QueryLevel()
+	}
 	for _, plane := range planes {
-		op, err := makeOperand(b, plane, encrypt)
+		op, err := makeOperand(b, plane, encrypt, level)
 		if err != nil {
 			return nil, err
 		}

@@ -43,6 +43,29 @@ func ShuffleResult(b he.Backend, meta *Meta, result he.Operand, padTo int, seed 
 	rng := rand.New(rand.NewPCG(seed, 0x5f17))
 	perm := rng.Perm(padTo)
 
+	// Under a level schedule the shuffle runs at its scheduled entry
+	// level: results arriving above it (reactive pipelines) are dropped
+	// first, so the permutation's rotations and multiplies touch a
+	// fraction of the chain. A result below the entry level cannot be
+	// raised — reserving that headroom is a staging decision
+	// (Options.PlanShuffle).
+	level := -1
+	if meta.LevelPlan != nil && result.IsCipher() {
+		level = meta.LevelPlan.ShuffleLevel()
+		if ld, ok := b.(he.LevelDropper); ok {
+			cur, err := ld.CiphertextLevel(result.Ct)
+			if err == nil && cur < level {
+				return he.Operand{}, nil, fmt.Errorf(
+					"core: result at level %d is below the shuffle's scheduled entry level %d; recompile with Options.PlanShuffle to reserve the headroom",
+					cur, level)
+			}
+		}
+		var err error
+		if result, err = he.DropToLevel(b, result, level); err != nil {
+			return he.Operand{}, nil, err
+		}
+	}
+
 	// Permutation matrix P: slot j of the result lands in slot perm[j].
 	// The BSGS layout keeps the rotation count at ~2·√nPad; its baby and
 	// giant steps are a subset of the staged rotation-step set whether
@@ -53,7 +76,7 @@ func ShuffleResult(b he.Backend, meta *Meta, result he.Operand, padTo int, seed 
 		p.Set(perm[j], j, 1)
 	}
 	baby, giant := matrix.BSGSSplit(nPad)
-	diag, err := matrix.PrepareDiagonalsBSGS(b, p, nPad, baby, giant, false)
+	diag, err := matrix.PrepareDiagonalsBSGSSpanAt(b, p, nPad, baby, giant, b.Slots(), false, level)
 	if err != nil {
 		return he.Operand{}, nil, err
 	}

@@ -35,6 +35,9 @@ type Config struct {
 	// RealWorldScale shrinks the trained models when < 1 (their size is
 	// otherwise tuned to the paper's, which is slow on the BGV backend).
 	RealWorldScale float64
+	// NoLevelPlan disables static level scheduling (the -nolevelplan
+	// ablation): reactive noise management on the reactive chain length.
+	NoLevelPlan bool
 	// Models, when non-empty, restricts the suite to the named cases.
 	Models []string
 }

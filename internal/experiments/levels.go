@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"copse"
+	"copse/internal/he"
+)
+
+// LevelBench is the machine-readable level-scheduling record emitted by
+// copse-bench -leveljson (BENCH_levels.json): per-model chain lengths,
+// per-stage execution levels and limb·op integrals, with the static
+// schedule active and with the -nolevelplan ablation — so successive PRs
+// can diff how much of the modulus chain the pipeline actually touches.
+type LevelBench struct {
+	Backend string      `json:"backend"`
+	Queries int         `json:"queries"`
+	Seed    uint64      `json:"seed"`
+	Cases   []LevelCase `json:"cases"`
+}
+
+// LevelCase is one model's record.
+type LevelCase struct {
+	Name  string `json:"name"`
+	Depth int    `json:"depth"`
+
+	// PlanLevels is the scheduled chain length; ReactiveLevels the
+	// compiler's reactive recommendation the ablation runs on.
+	PlanLevels     int `json:"plan_levels"`
+	ReactiveLevels int `json:"reactive_levels"`
+
+	// Plan echoes the compiled schedule for the benchmarked scenario
+	// (encrypted model).
+	Plan LevelPlanRecord `json:"plan"`
+
+	Planned  LevelRun `json:"planned"`
+	Reactive LevelRun `json:"reactive"`
+
+	// Speedup is reactive/planned median latency.
+	Speedup float64 `json:"speedup"`
+}
+
+// LevelPlanRecord is the compiled schedule in JSON form.
+type LevelPlanRecord struct {
+	Compare    int `json:"compare"`
+	Reshuffle  int `json:"reshuffle"`
+	Level      int `json:"level"`
+	Accumulate int `json:"accumulate"`
+	Final      int `json:"final"`
+}
+
+// LevelRun is one configuration's measurements.
+type LevelRun struct {
+	TotalMS float64      `json:"total_ms"` // median over queries
+	Stages  []LevelStage `json:"stages"`
+}
+
+// LevelStage is one pipeline stage's record: the limb count the stage
+// entered at and its limb·op integral (Σ over ops of active limbs).
+type LevelStage struct {
+	Name     string  `json:"name"`
+	MedianMS float64 `json:"median_ms"`
+	Limbs    int     `json:"limbs"`
+	LimbOps  int64   `json:"limb_ops"`
+}
+
+// LevelReport measures every configured model with the level schedule
+// active and with reactive management, on the BGV backend (the clear
+// backend has no levels to schedule).
+func LevelReport(cfg Config) (*LevelBench, error) {
+	cfg = cfg.withDefaults()
+	cfg.Backend = "bgv"
+	cases, err := AllCases(cfg)
+	if err != nil {
+		return nil, err
+	}
+	report := &LevelBench{Backend: cfg.Backend, Queries: cfg.Queries, Seed: cfg.Seed}
+	for _, cs := range cases {
+		lc := LevelCase{Name: cs.Name}
+		for _, reactive := range []bool{false, true} {
+			runCfg := cfg
+			runCfg.NoLevelPlan = reactive
+			r, err := newCopseRunner(cs, runCfg, defaultWorkers(cfg), copse.ScenarioOffload)
+			if err != nil {
+				return nil, err
+			}
+			times, traces, err := r.run(cfg.Queries, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			meta := r.sys.Sally.Meta()
+			lc.Depth = meta.D
+			run := levelRun(times, traces)
+			if reactive {
+				lc.ReactiveLevels = meta.RecommendedLevels
+				lc.Reactive = run
+			} else {
+				if plan := meta.LevelPlan; plan != nil {
+					lc.PlanLevels = plan.Levels
+					lc.Plan = LevelPlanRecord{
+						Compare:    plan.Cipher.Compare,
+						Reshuffle:  plan.Cipher.Reshuffle,
+						Level:      plan.Cipher.Level,
+						Accumulate: plan.Cipher.Accumulate,
+						Final:      plan.Cipher.Final,
+					}
+				}
+				lc.Planned = run
+			}
+		}
+		if lc.Planned.TotalMS > 0 {
+			lc.Speedup = lc.Reactive.TotalMS / lc.Planned.TotalMS
+		}
+		report.Cases = append(report.Cases, lc)
+	}
+	return report, nil
+}
+
+// levelRun condenses one configuration's traces.
+func levelRun(times []time.Duration, traces []*copse.Trace) LevelRun {
+	run := LevelRun{TotalMS: medianMS(times)}
+	if len(traces) == 0 {
+		return run
+	}
+	last := traces[len(traces)-1]
+	stage := func(name string, limbs int, pick func(*copse.Trace) (time.Duration, he.OpCounts)) {
+		durs := make([]time.Duration, len(traces))
+		var ops he.OpCounts
+		for i, tr := range traces {
+			durs[i], ops = pick(tr)
+		}
+		run.Stages = append(run.Stages, LevelStage{
+			Name:     name,
+			MedianMS: medianMS(durs),
+			Limbs:    limbs,
+			LimbOps:  ops.LimbOps,
+		})
+	}
+	stage("compare", last.Limbs.Query, func(tr *copse.Trace) (time.Duration, he.OpCounts) { return tr.Compare, tr.CompareOps })
+	stage("reshuffle", last.Limbs.Decisions, func(tr *copse.Trace) (time.Duration, he.OpCounts) { return tr.Reshuffle, tr.ReshuffleOps })
+	stage("levels", last.Limbs.BranchVec, func(tr *copse.Trace) (time.Duration, he.OpCounts) { return tr.Levels, tr.LevelOps })
+	stage("accumulate", last.Limbs.LevelResult, func(tr *copse.Trace) (time.Duration, he.OpCounts) { return tr.Accumulate, tr.AccumulateOps })
+	run.Stages = append(run.Stages, LevelStage{Name: "result", Limbs: last.Limbs.Result})
+	return run
+}
+
+// WriteJSON writes the report, indented for diff-friendliness.
+func (r *LevelBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

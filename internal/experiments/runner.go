@@ -31,10 +31,11 @@ func newCopseRunner(cs Case, cfg Config, workers int, scenario copse.Scenario) (
 		return nil, err
 	}
 	sysCfg := copse.SystemConfig{
-		Backend:  kind,
-		Scenario: scenario,
-		Workers:  workers,
-		Seed:     cfg.Seed + 100,
+		Backend:          kind,
+		Scenario:         scenario,
+		Workers:          workers,
+		Seed:             cfg.Seed + 100,
+		DisableLevelPlan: cfg.NoLevelPlan,
 	}
 	if kind == copse.BackendBGV {
 		sysCfg.Security, err = securityFor(cs.Slots)

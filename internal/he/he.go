@@ -76,6 +76,103 @@ type Backend interface {
 	ResetCounts()
 }
 
+// LevelDropper is an optional Backend capability implemented by leveled
+// schemes (BGV's RNS modulus chain): every operation's cost scales with
+// the number of active limbs, so a caller that knows a ciphertext's
+// remaining circuit can proactively switch it down to a fraction of the
+// chain. The COPSE engine uses this to execute each pipeline stage at
+// the level a compile-time plan assigned it (Meta.LevelPlan). Backends
+// without a level structure simply do not implement the interface; the
+// package helpers treat that as a no-op.
+type LevelDropper interface {
+	// DropToLevel returns ct switched down to the given level. A
+	// ciphertext already at or below the level passes through unchanged;
+	// the input is never mutated.
+	DropToLevel(ct Ciphertext, level int) (Ciphertext, error)
+	// CiphertextLevel reports ct's current level (active limbs − 1).
+	CiphertextLevel(ct Ciphertext) (int, error)
+	// MaxLevel is the top level of the backend's modulus chain.
+	MaxLevel() int
+}
+
+// LevelEncrypter is an optional Backend capability for producing
+// operands directly at a scheduled level: encrypting below the top of
+// the chain skips the modulus switches a post-hoc drop would pay, and
+// pre-lifting a plaintext at its consumption level moves the embedding
+// cost from the serving hot path to model-load time.
+type LevelEncrypter interface {
+	// EncryptAtLevel packs and encrypts vals at the given level (clamped
+	// to the chain top).
+	EncryptAtLevel(vals []uint64, level int) (Ciphertext, error)
+	// EncodePlainAtLevel encodes vals and eagerly lifts the encoding at
+	// the given level (and the level below, where operands aligned by one
+	// modulus switch land), so serving-time uses are cache hits.
+	EncodePlainAtLevel(vals []uint64, level int) (Plain, error)
+}
+
+// DropToLevel switches a ciphertext operand down to the given level on
+// backends with a modulus chain. Plaintext operands, negative levels and
+// non-leveled backends pass through unchanged.
+func DropToLevel(b Backend, op Operand, level int) (Operand, error) {
+	if level < 0 || !op.IsCipher() {
+		return op, nil
+	}
+	ld, ok := b.(LevelDropper)
+	if !ok {
+		return op, nil
+	}
+	ct, err := ld.DropToLevel(op.Ct, level)
+	if err != nil {
+		return Operand{}, err
+	}
+	return Operand{Ct: ct}, nil
+}
+
+// OperandLimbs reports the active limb count (level + 1) of a ciphertext
+// operand on a leveled backend, and 0 for plaintext operands or backends
+// without a level structure.
+func OperandLimbs(b Backend, op Operand) int {
+	if !op.IsCipher() {
+		return 0
+	}
+	ld, ok := b.(LevelDropper)
+	if !ok {
+		return 0
+	}
+	level, err := ld.CiphertextLevel(op.Ct)
+	if err != nil {
+		return 0
+	}
+	return level + 1
+}
+
+// EncryptAtLevel encrypts vals directly at the given level where the
+// backend supports leveled encryption; otherwise (or with a negative
+// level) it falls back to a top-level Encrypt.
+func EncryptAtLevel(b Backend, vals []uint64, level int) (Ciphertext, error) {
+	if le, ok := b.(LevelEncrypter); ok && level >= 0 {
+		return le.EncryptAtLevel(vals, level)
+	}
+	return b.Encrypt(vals)
+}
+
+// NewPlainAtLevel encodes vals (padding to Slots with zeros) as a
+// plaintext operand pre-lifted at the given level where the backend
+// supports it; otherwise it is NewPlain.
+func NewPlainAtLevel(b Backend, vals []uint64, level int) (Operand, error) {
+	le, ok := b.(LevelEncrypter)
+	if !ok || level < 0 {
+		return NewPlain(b, vals)
+	}
+	padded := make([]uint64, b.Slots())
+	copy(padded, vals)
+	pt, err := le.EncodePlainAtLevel(padded, level)
+	if err != nil {
+		return Operand{}, err
+	}
+	return Operand{Pt: pt, Vals: padded}, nil
+}
+
 // OpCounts tallies primitive FHE operations in the categories of the
 // paper's Table 1: Encrypt, Rotate, Add (ciphertext-ciphertext additions,
 // including subtractions and negations), ConstAdd (plaintext additions),
@@ -99,6 +196,12 @@ type OpCounts struct {
 	// here; Relin/Mul therefore measures how much of the
 	// relinearization bill lazy accumulation saved.
 	Relin int64
+	// LimbOps is the limb·op integral on leveled backends: every counted
+	// ciphertext operation contributes its result's active RNS limb
+	// count. Two runs with identical op counts can differ hugely in this
+	// column — it is the gauge for level scheduling (DESIGN.md §8).
+	// Backends without a level structure contribute zero.
+	LimbOps int64
 }
 
 // Minus returns c - o field-wise (MaxDepth keeps c's value); useful for
@@ -114,12 +217,13 @@ func (c OpCounts) Minus(o OpCounts) OpCounts {
 		MaxDepth:      c.MaxDepth,
 		RotateHoisted: c.RotateHoisted - o.RotateHoisted,
 		Relin:         c.Relin - o.Relin,
+		LimbOps:       c.LimbOps - o.LimbOps,
 	}
 }
 
 func (c OpCounts) String() string {
-	return fmt.Sprintf("enc=%d rot=%d(hoisted=%d) add=%d cadd=%d mul=%d(relin=%d) cmul=%d depth=%d",
-		c.Encrypt, c.Rotate, c.RotateHoisted, c.Add, c.ConstAdd, c.Mul, c.Relin, c.ConstMul, c.MaxDepth)
+	return fmt.Sprintf("enc=%d rot=%d(hoisted=%d) add=%d cadd=%d mul=%d(relin=%d) cmul=%d depth=%d limbops=%d",
+		c.Encrypt, c.Rotate, c.RotateHoisted, c.Add, c.ConstAdd, c.Mul, c.Relin, c.ConstMul, c.MaxDepth, c.LimbOps)
 }
 
 // CountingBackend wraps a Backend with its own operation counter, so a
@@ -132,11 +236,84 @@ func (c OpCounts) String() string {
 // key availability, which the wrapper cannot see).
 type CountingBackend struct {
 	Counter
-	inner Backend
+	inner   Backend
+	leveler LevelDropper // inner's level capability, nil when absent
 }
 
 // WithCounts wraps b with a fresh per-wrapper counter.
-func WithCounts(b Backend) *CountingBackend { return &CountingBackend{inner: b} }
+func WithCounts(b Backend) *CountingBackend {
+	c := &CountingBackend{inner: b}
+	c.leveler, _ = b.(LevelDropper)
+	return c
+}
+
+// limbs reports ct's active limb count on leveled inner backends, 0
+// elsewhere — the per-op contribution to OpCounts.LimbOps.
+func (c *CountingBackend) limbs(ct Ciphertext) int {
+	if c.leveler == nil || ct == nil {
+		return 0
+	}
+	level, err := c.leveler.CiphertextLevel(ct)
+	if err != nil {
+		return 0
+	}
+	return level + 1
+}
+
+// DropToLevel implements LevelDropper by delegating to the inner
+// backend; it passes ciphertexts through unchanged when the inner
+// backend has no level structure. Drops are bookkeeping, not metered
+// ops, so nothing is counted.
+func (c *CountingBackend) DropToLevel(ct Ciphertext, level int) (Ciphertext, error) {
+	if c.leveler == nil {
+		return ct, nil
+	}
+	return c.leveler.DropToLevel(ct, level)
+}
+
+// CiphertextLevel implements LevelDropper via the inner backend.
+func (c *CountingBackend) CiphertextLevel(ct Ciphertext) (int, error) {
+	if c.leveler == nil {
+		return 0, fmt.Errorf("he: backend %q has no level structure", c.inner.Name())
+	}
+	return c.leveler.CiphertextLevel(ct)
+}
+
+// MaxLevel implements LevelDropper via the inner backend (0 when the
+// inner backend has no level structure).
+func (c *CountingBackend) MaxLevel() int {
+	if c.leveler == nil {
+		return 0
+	}
+	return c.leveler.MaxLevel()
+}
+
+// EncryptAtLevel implements LevelEncrypter by delegating to the inner
+// backend, falling back to a top-level Encrypt when the inner backend
+// has no leveled encryption — so staging through a counting wrapper
+// keeps the scheduled-level fast path.
+func (c *CountingBackend) EncryptAtLevel(vals []uint64, level int) (Ciphertext, error) {
+	le, ok := c.inner.(LevelEncrypter)
+	if !ok || level < 0 {
+		return c.Encrypt(vals)
+	}
+	ct, err := le.EncryptAtLevel(vals, level)
+	if err == nil {
+		c.CountEncrypt()
+		c.CountLimbs(c.limbs(ct))
+	}
+	return ct, err
+}
+
+// EncodePlainAtLevel implements LevelEncrypter via the inner backend
+// (plain EncodePlain when the capability is absent).
+func (c *CountingBackend) EncodePlainAtLevel(vals []uint64, level int) (Plain, error) {
+	le, ok := c.inner.(LevelEncrypter)
+	if !ok || level < 0 {
+		return c.inner.EncodePlain(vals)
+	}
+	return le.EncodePlainAtLevel(vals, level)
+}
 
 // Name implements Backend.
 func (c *CountingBackend) Name() string { return c.inner.Name() }
@@ -152,6 +329,7 @@ func (c *CountingBackend) Encrypt(vals []uint64) (Ciphertext, error) {
 	ct, err := c.inner.Encrypt(vals)
 	if err == nil {
 		c.CountEncrypt()
+		c.CountLimbs(c.limbs(ct))
 	}
 	return ct, err
 }
@@ -169,6 +347,7 @@ func (c *CountingBackend) Add(a, b Ciphertext) (Ciphertext, error) {
 	ct, err := c.inner.Add(a, b)
 	if err == nil {
 		c.CountAdd()
+		c.CountLimbs(c.limbs(ct))
 	}
 	return ct, err
 }
@@ -178,6 +357,7 @@ func (c *CountingBackend) Sub(a, b Ciphertext) (Ciphertext, error) {
 	ct, err := c.inner.Sub(a, b)
 	if err == nil {
 		c.CountAdd()
+		c.CountLimbs(c.limbs(ct))
 	}
 	return ct, err
 }
@@ -187,6 +367,7 @@ func (c *CountingBackend) Neg(a Ciphertext) (Ciphertext, error) {
 	ct, err := c.inner.Neg(a)
 	if err == nil {
 		c.CountAdd()
+		c.CountLimbs(c.limbs(ct))
 	}
 	return ct, err
 }
@@ -196,6 +377,7 @@ func (c *CountingBackend) AddPlain(a Ciphertext, p Plain) (Ciphertext, error) {
 	ct, err := c.inner.AddPlain(a, p)
 	if err == nil {
 		c.CountConstAdd()
+		c.CountLimbs(c.limbs(ct))
 	}
 	return ct, err
 }
@@ -205,6 +387,7 @@ func (c *CountingBackend) MulPlain(a Ciphertext, p Plain) (Ciphertext, error) {
 	ct, err := c.inner.MulPlain(a, p)
 	if err == nil {
 		c.CountConstMul()
+		c.CountLimbs(c.limbs(ct))
 	}
 	return ct, err
 }
@@ -214,6 +397,7 @@ func (c *CountingBackend) Mul(a, b Ciphertext) (Ciphertext, error) {
 	ct, err := c.inner.Mul(a, b)
 	if err == nil {
 		c.CountMul()
+		c.CountLimbs(c.limbs(ct))
 		c.NoteDepth(ct.Depth())
 	}
 	return ct, err
@@ -224,6 +408,7 @@ func (c *CountingBackend) MulLazy(a, b Ciphertext) (Ciphertext, error) {
 	ct, err := c.inner.MulLazy(a, b)
 	if err == nil {
 		c.CountMul()
+		c.CountLimbs(c.limbs(ct))
 		c.NoteDepth(ct.Depth())
 	}
 	return ct, err
@@ -236,6 +421,7 @@ func (c *CountingBackend) Relinearize(a Ciphertext) (Ciphertext, error) {
 	ct, err := c.inner.Relinearize(a)
 	if err == nil && ct != a {
 		c.CountRelin()
+		c.CountLimbs(c.limbs(ct))
 	}
 	return ct, err
 }
@@ -245,6 +431,7 @@ func (c *CountingBackend) Rotate(a Ciphertext, k int) (Ciphertext, error) {
 	ct, err := c.inner.Rotate(a, k)
 	if err == nil {
 		c.CountRotate()
+		c.CountLimbs(c.limbs(ct))
 	}
 	return ct, err
 }
@@ -254,13 +441,15 @@ func (c *CountingBackend) RotateHoisted(a Ciphertext, steps []int) ([]Ciphertext
 	cts, err := c.inner.RotateHoisted(a, steps)
 	if err == nil {
 		slots := c.inner.Slots()
-		n := 0
-		for _, s := range steps {
+		n, limbSum := 0, 0
+		for i, s := range steps {
 			if ((s%slots)+slots)%slots != 0 {
 				n++
+				limbSum += c.limbs(cts[i])
 			}
 		}
 		c.CountRotateHoisted(n)
+		c.CountLimbs(limbSum)
 	}
 	return cts, err
 }
@@ -268,7 +457,7 @@ func (c *CountingBackend) RotateHoisted(a Ciphertext, steps []int) ([]Ciphertext
 // Counter is an embeddable atomic operation counter for backends.
 type Counter struct {
 	encrypt, rotate, add, constAdd, mul, constMul atomic.Int64
-	maxDepth, rotateHoisted, relin                atomic.Int64
+	maxDepth, rotateHoisted, relin, limbOps       atomic.Int64
 }
 
 // CountEncrypt records one encryption.
@@ -300,6 +489,14 @@ func (c *Counter) CountRelin() { c.relin.Add(1) }
 // CountConstMul records one plaintext multiplication.
 func (c *Counter) CountConstMul() { c.constMul.Add(1) }
 
+// CountLimbs adds n to the limb·op integral (the active-limb count of
+// the ciphertext an operation just produced; see OpCounts.LimbOps).
+func (c *Counter) CountLimbs(n int) {
+	if n > 0 {
+		c.limbOps.Add(int64(n))
+	}
+}
+
 // NoteDepth records an observed multiplicative depth.
 func (c *Counter) NoteDepth(d int) {
 	for {
@@ -322,6 +519,7 @@ func (c *Counter) Counts() OpCounts {
 		MaxDepth:      c.maxDepth.Load(),
 		RotateHoisted: c.rotateHoisted.Load(),
 		Relin:         c.relin.Load(),
+		LimbOps:       c.limbOps.Load(),
 	}
 }
 
@@ -336,4 +534,5 @@ func (c *Counter) ResetCounts() {
 	c.maxDepth.Store(0)
 	c.rotateHoisted.Store(0)
 	c.relin.Store(0)
+	c.limbOps.Store(0)
 }

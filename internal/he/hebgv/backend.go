@@ -16,10 +16,12 @@ import (
 // concurrency contract: the evaluator holds only read-only key
 // material, per-operation scratch polynomials come from the ring
 // context's sync.Pool (never from evaluator fields), plaintext lift
-// caches are mutex-guarded, and the one genuinely stateful component —
-// the encryptor's noise sampler — is serialized behind encMu. Concurrent
-// Classify traffic over one shared Backend is the serving layer's
-// normal mode (verified under -race by TestServiceConcurrentClassifyBGV).
+// caches are lock-free copy-on-write tables (populated up front by
+// level-scheduled staging, see EncodePlainAtLevel), and the one
+// genuinely stateful component — the encryptor's noise sampler — is
+// serialized behind encMu. Concurrent Classify traffic over one shared
+// Backend is the serving layer's normal mode (verified under -race by
+// TestServiceConcurrentClassifyBGV).
 type Backend struct {
 	he.Counter
 
@@ -114,6 +116,73 @@ func (b *Backend) PlainModulus() uint64 { return b.params.T }
 // Parameters exposes the underlying BGV parameters.
 func (b *Backend) Parameters() *bgv.Parameters { return b.params }
 
+// MaxLevel implements he.LevelDropper: the top of the modulus chain.
+func (b *Backend) MaxLevel() int { return b.params.MaxLevel() }
+
+// CiphertextLevel implements he.LevelDropper.
+func (b *Backend) CiphertextLevel(ct he.Ciphertext) (int, error) {
+	c, err := b.cast(ct)
+	if err != nil {
+		return 0, err
+	}
+	return c.ct.Level(), nil
+}
+
+// DropToLevel implements he.LevelDropper: it modulus-switches a copy of
+// ct down to the given level (already-lower ciphertexts pass through
+// unchanged), so a pipeline stage whose noise budget needs only a
+// fraction of the chain can run every subsequent NTT and key switch over
+// that fraction.
+func (b *Backend) DropToLevel(ct he.Ciphertext, level int) (he.Ciphertext, error) {
+	c, err := b.cast(ct)
+	if err != nil {
+		return nil, err
+	}
+	if level < 0 {
+		level = 0
+	}
+	if c.ct.Level() <= level {
+		return ct, nil
+	}
+	cp := c.ct.Copy()
+	if err := b.evaluator.DropToLevel(cp, level); err != nil {
+		return nil, err
+	}
+	return &ciphertext{ct: cp, depth: c.depth}, nil
+}
+
+// EncryptAtLevel implements he.LevelEncrypter: a fresh encryption landed
+// directly at the scheduled level, skipping the modulus switches a
+// top-level encryption followed by a drop would pay.
+func (b *Backend) EncryptAtLevel(vals []uint64, level int) (he.Ciphertext, error) {
+	pt, err := b.encoder.Encode(vals)
+	if err != nil {
+		return nil, err
+	}
+	b.encMu.Lock()
+	ct := b.encryptor.EncryptAtLevel(pt, level)
+	b.encMu.Unlock()
+	b.CountEncrypt()
+	b.CountLimbs(ct.Level() + 1)
+	return &ciphertext{ct: ct}, nil
+}
+
+// EncodePlainAtLevel implements he.LevelEncrypter: the encoding is
+// eagerly lifted into the ciphertext ring at the scheduled level and the
+// level below it (where operands aligned by one modulus switch land), so
+// serving-time plaintext multiplies and additions are cache hits.
+func (b *Backend) EncodePlainAtLevel(vals []uint64, level int) (he.Plain, error) {
+	pt, err := b.encoder.Encode(vals)
+	if err != nil {
+		return nil, err
+	}
+	if level > b.params.MaxLevel() {
+		level = b.params.MaxLevel()
+	}
+	pt.PreLift(b.params.RingCtx, level, level-1)
+	return pt, nil
+}
+
 // NoiseBudget reports the measured remaining noise budget of ct in bits.
 func (b *Backend) NoiseBudget(ct he.Ciphertext) (int, error) {
 	c, err := b.cast(ct)
@@ -152,6 +221,7 @@ func (b *Backend) Encrypt(vals []uint64) (he.Ciphertext, error) {
 	ct := b.encryptor.Encrypt(pt)
 	b.encMu.Unlock()
 	b.CountEncrypt()
+	b.CountLimbs(ct.Level() + 1)
 	return &ciphertext{ct: ct}, nil
 }
 
@@ -187,6 +257,7 @@ func (b *Backend) Add(x, y he.Ciphertext) (he.Ciphertext, error) {
 		return nil, err
 	}
 	b.CountAdd()
+	b.CountLimbs(out.Level() + 1)
 	return &ciphertext{ct: out, depth: max(cx.depth, cy.depth)}, nil
 }
 
@@ -205,6 +276,7 @@ func (b *Backend) Sub(x, y he.Ciphertext) (he.Ciphertext, error) {
 		return nil, err
 	}
 	b.CountAdd()
+	b.CountLimbs(out.Level() + 1)
 	return &ciphertext{ct: out, depth: max(cx.depth, cy.depth)}, nil
 }
 
@@ -219,6 +291,7 @@ func (b *Backend) Neg(x he.Ciphertext) (he.Ciphertext, error) {
 		return nil, err
 	}
 	b.CountAdd()
+	b.CountLimbs(out.Level() + 1)
 	return &ciphertext{ct: out, depth: cx.depth}, nil
 }
 
@@ -237,6 +310,7 @@ func (b *Backend) AddPlain(x he.Ciphertext, p he.Plain) (he.Ciphertext, error) {
 		return nil, err
 	}
 	b.CountConstAdd()
+	b.CountLimbs(out.Level() + 1)
 	return &ciphertext{ct: out, depth: cx.depth}, nil
 }
 
@@ -255,6 +329,7 @@ func (b *Backend) MulPlain(x he.Ciphertext, p he.Plain) (he.Ciphertext, error) {
 		return nil, err
 	}
 	b.CountConstMul()
+	b.CountLimbs(out.Level() + 1)
 	return &ciphertext{ct: out, depth: cx.depth}, nil
 }
 
@@ -273,6 +348,7 @@ func (b *Backend) Mul(x, y he.Ciphertext) (he.Ciphertext, error) {
 		return nil, err
 	}
 	b.CountMul()
+	b.CountLimbs(out.Level() + 1)
 	d := max(cx.depth, cy.depth) + 1
 	b.NoteDepth(d)
 	return &ciphertext{ct: out, depth: d}, nil
@@ -294,6 +370,7 @@ func (b *Backend) MulLazy(x, y he.Ciphertext) (he.Ciphertext, error) {
 		return nil, err
 	}
 	b.CountMul()
+	b.CountLimbs(out.Level() + 1)
 	d := max(cx.depth, cy.depth) + 1
 	b.NoteDepth(d)
 	return &ciphertext{ct: out, depth: d}, nil
@@ -313,6 +390,7 @@ func (b *Backend) Relinearize(x he.Ciphertext) (he.Ciphertext, error) {
 		return nil, err
 	}
 	b.CountRelin()
+	b.CountLimbs(out.Level() + 1)
 	return &ciphertext{ct: out, depth: cx.depth}, nil
 }
 
@@ -342,9 +420,16 @@ func (b *Backend) RotateHoisted(x he.Ciphertext, steps []int) ([]he.Ciphertext, 
 	}
 	b.CountRotateHoisted(hoisted)
 	outs := make([]he.Ciphertext, len(cts))
+	limbSum := 0
 	for i, ct := range cts {
 		outs[i] = &ciphertext{ct: ct, depth: cx.depth}
+		// Step-0 copies rotate nothing; like the rotation counters (and
+		// the he.CountingBackend wrapper), they contribute no limb·ops.
+		if rotates, _ := b.evaluator.HoistableStep(steps[i]); rotates {
+			limbSum += ct.Level() + 1
+		}
 	}
+	b.CountLimbs(limbSum)
 	return outs, nil
 }
 
@@ -359,5 +444,6 @@ func (b *Backend) Rotate(x he.Ciphertext, k int) (he.Ciphertext, error) {
 		return nil, err
 	}
 	b.CountRotate()
+	b.CountLimbs(out.Level() + 1)
 	return &ciphertext{ct: out, depth: cx.depth}, nil
 }

@@ -191,3 +191,104 @@ func TestCountsOnBGV(t *testing.T) {
 		t.Errorf("depth: %d", c.MaxDepth)
 	}
 }
+
+// TestLevelCapabilities: the BGV backend implements the optional level
+// interfaces — proactive drops, leveled encryption, pre-lifted plaintext
+// encoding — and the CountingBackend wrapper passes them through with
+// limb accounting; the clear backend stays a no-op.
+func TestLevelCapabilities(t *testing.T) {
+	b := newBackend(t, 6, []int{2})
+	var backend he.Backend = b
+	ld, ok := backend.(he.LevelDropper)
+	if !ok {
+		t.Fatal("BGV backend does not implement he.LevelDropper")
+	}
+	if _, ok := backend.(he.LevelEncrypter); !ok {
+		t.Fatal("BGV backend does not implement he.LevelEncrypter")
+	}
+	if ld.MaxLevel() != 5 {
+		t.Fatalf("MaxLevel = %d, want 5", ld.MaxLevel())
+	}
+
+	vals := make([]uint64, b.Slots())
+	for i := range vals {
+		vals[i] = uint64(i % 17)
+	}
+	ct, err := he.EncryptAtLevel(backend, vals, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level, err := ld.CiphertextLevel(ct); err != nil || level != 2 {
+		t.Fatalf("CiphertextLevel = %d, %v; want 2", level, err)
+	}
+	got, err := b.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("slot %d = %d, want %d", i, got[i], vals[i])
+		}
+	}
+
+	// DropToLevel is functional: the input keeps its level.
+	top, err := b.Encrypt(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := ld.DropToLevel(top, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level, _ := ld.CiphertextLevel(dropped); level != 1 {
+		t.Fatalf("dropped level = %d, want 1", level)
+	}
+	if level, _ := ld.CiphertextLevel(top); level != 5 {
+		t.Fatalf("DropToLevel mutated its input (level %d)", level)
+	}
+	if same, err := ld.DropToLevel(dropped, 3); err != nil || same != dropped {
+		t.Fatalf("DropToLevel below target should pass through unchanged (%v)", err)
+	}
+	got, err = b.Decrypt(dropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("dropped slot %d = %d, want %d", i, got[i], vals[i])
+		}
+	}
+
+	// Operand helpers + counting wrapper limb integral.
+	cb := he.WithCounts(b)
+	op, err := he.DropToLevel(cb, he.Cipher(top), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limbs := he.OperandLimbs(cb, op); limbs != 3 {
+		t.Fatalf("OperandLimbs = %d, want 3", limbs)
+	}
+	if _, err := cb.Add(op.Ct, op.Ct); err != nil {
+		t.Fatal(err)
+	}
+	if counts := cb.Counts(); counts.LimbOps != 3 {
+		t.Fatalf("counting wrapper LimbOps = %d, want 3", counts.LimbOps)
+	}
+
+	// The clear backend has no level structure: helpers are no-ops.
+	clear := heclear.Default()
+	cct, err := clear.Encrypt(vals[:clear.Slots()])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := interface{}(clear).(he.LevelDropper); ok {
+		t.Fatal("clear backend unexpectedly leveled")
+	}
+	cop, err := he.DropToLevel(clear, he.Cipher(cct), 1)
+	if err != nil || cop.Ct != cct {
+		t.Fatalf("clear DropToLevel should pass through (%v)", err)
+	}
+	if limbs := he.OperandLimbs(clear, cop); limbs != 0 {
+		t.Fatalf("clear OperandLimbs = %d, want 0", limbs)
+	}
+}

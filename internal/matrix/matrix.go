@@ -188,6 +188,16 @@ func checkSpan(b he.Backend, m *Bool, period, span int) error {
 // for exactly this reason). If encrypt is true the diagonals are
 // encrypted; otherwise they are encoded plaintexts.
 func PrepareDiagonalsSpan(b he.Backend, m *Bool, period, span int, encrypt bool) (*Diagonals, error) {
+	return PrepareDiagonalsSpanAt(b, m, period, span, encrypt, -1)
+}
+
+// PrepareDiagonalsSpanAt is PrepareDiagonalsSpan with the operands
+// produced at the given scheme level (the stage level a compile-time
+// plan assigned the matrix product; see Meta.LevelPlan): encrypted
+// diagonals are encrypted there directly and plaintext diagonals are
+// pre-lifted there. A negative level (or a backend without levels)
+// stages at the top as before.
+func PrepareDiagonalsSpanAt(b he.Backend, m *Bool, period, span int, encrypt bool, level int) (*Diagonals, error) {
 	if err := checkSpan(b, m, period, span); err != nil {
 		return nil, err
 	}
@@ -210,7 +220,7 @@ func PrepareDiagonalsSpan(b he.Backend, m *Bool, period, span int, encrypt bool)
 			}
 		}
 		d.Zero[i] = allZero
-		op, err := makeDiagOperand(b, ext, encrypt)
+		op, err := makeDiagOperand(b, ext, encrypt, level)
 		if err != nil {
 			return nil, err
 		}
@@ -219,15 +229,15 @@ func PrepareDiagonalsSpan(b he.Backend, m *Bool, period, span int, encrypt bool)
 	return d, nil
 }
 
-func makeDiagOperand(b he.Backend, vals []uint64, encrypt bool) (he.Operand, error) {
+func makeDiagOperand(b he.Backend, vals []uint64, encrypt bool, level int) (he.Operand, error) {
 	if encrypt {
-		ct, err := b.Encrypt(vals)
+		ct, err := he.EncryptAtLevel(b, vals, level)
 		if err != nil {
 			return he.Operand{}, err
 		}
 		return he.Cipher(ct), nil
 	}
-	return he.NewPlain(b, vals)
+	return he.NewPlainAtLevel(b, vals, level)
 }
 
 // PrepareDiagonalsBSGS builds the baby-step/giant-step operand form of
@@ -250,6 +260,13 @@ func PrepareDiagonalsBSGS(b he.Backend, m *Bool, period, baby, giant int, encryp
 // independent product per block. The caller guarantees the block absorbs
 // every read: Rows − 1 + period − 1 < span.
 func PrepareDiagonalsBSGSSpan(b he.Backend, m *Bool, period, baby, giant, span int, encrypt bool) (*Diagonals, error) {
+	return PrepareDiagonalsBSGSSpanAt(b, m, period, baby, giant, span, encrypt, -1)
+}
+
+// PrepareDiagonalsBSGSSpanAt is PrepareDiagonalsBSGSSpan with the
+// operands produced at the given scheme level (negative = top); see
+// PrepareDiagonalsSpanAt.
+func PrepareDiagonalsBSGSSpanAt(b he.Backend, m *Bool, period, baby, giant, span int, encrypt bool, level int) (*Diagonals, error) {
 	if err := checkSpan(b, m, period, span); err != nil {
 		return nil, err
 	}
@@ -276,7 +293,7 @@ func PrepareDiagonalsBSGSSpan(b he.Backend, m *Bool, period, baby, giant, span i
 			}
 		}
 		d.BsgsZero[i] = allZero
-		op, err := makeDiagOperand(b, ext, encrypt)
+		op, err := makeDiagOperand(b, ext, encrypt, level)
 		if err != nil {
 			return nil, err
 		}

@@ -61,15 +61,16 @@ type servedModel struct {
 }
 
 type serviceConfig struct {
-	backend         BackendKind
-	scenario        Scenario
-	security        SecurityPreset
-	workers         int
-	maxInFlight     int
-	levels          int
-	seed            uint64
-	reuseRotations  bool
-	disableHoisting bool
+	backend          BackendKind
+	scenario         Scenario
+	security         SecurityPreset
+	workers          int
+	maxInFlight      int
+	levels           int
+	seed             uint64
+	reuseRotations   bool
+	disableHoisting  bool
+	disableLevelPlan bool
 }
 
 // Option configures a Service (functional options).
@@ -110,6 +111,13 @@ func WithReuseRotations(on bool) Option { return func(c *serviceConfig) { c.reus
 // is the ablation knob of DESIGN.md §6.
 func WithHoisting(on bool) Option { return func(c *serviceConfig) { c.disableHoisting = !on } }
 
+// WithLevelPlan toggles static level scheduling (default on): with a
+// plan-carrying model, operands are staged at their scheduled levels,
+// the engine drops ciphertexts at stage boundaries, and the BGV chain is
+// sized to the plan's top instead of the reactive recommendation.
+// Disabling it is the -nolevelplan ablation knob of DESIGN.md §8.
+func WithLevelPlan(on bool) Option { return func(c *serviceConfig) { c.disableLevelPlan = !on } }
+
 // NewService returns an empty service. The backend (and, for BGV, the
 // key set) is created by the first Register call, which fixes the slot
 // count; every later model must be staged for the same count.
@@ -134,6 +142,15 @@ func (s *Service) newBackend(c *Compiled) (he.Backend, error) {
 		levels := s.cfg.levels
 		if levels == 0 {
 			levels = c.Meta.RecommendedLevels
+			if plan := c.Meta.LevelPlan; plan != nil && !s.cfg.disableLevelPlan {
+				// The scheduled pipeline tops out at the plan's compare
+				// entry: a shorter chain means smaller keys, cheaper key
+				// generation, and every top-level op running over the
+				// fraction of the chain the schedule actually uses.
+				if encModel, _, err := scenarioEncryption(s.cfg.scenario); err == nil {
+					levels = min(plan.ChainLevels(encModel), levels)
+				}
+			}
 		}
 		var params bgv.Params
 		switch s.cfg.security {
@@ -162,11 +179,14 @@ func (s *Service) newBackend(c *Compiled) (he.Backend, error) {
 // Register stages a compiled model under a name, sharing the service's
 // backend and key set with every other registered model. The first
 // registration creates the backend (generating Galois keys for that
-// model's rotation-step set plus the power-of-two ladder); later models
-// must be staged for the same slot count, and any rotation step they
-// need beyond the first model's key set is composed from power-of-two
-// hops — exact steps, a few extra key switches. Register a service's
-// largest model first to give it the exact keys.
+// model's rotation-step set plus the power-of-two ladder, on a modulus
+// chain sized to that model's level plan); later models must be staged
+// for the same slot count, any rotation step they need beyond the first
+// model's key set is composed from power-of-two hops — exact steps, a
+// few extra key switches — and a later model needing a deeper chain
+// than the first model's plan has its schedule clamped to the available
+// top. Register a service's largest/deepest model first to give it the
+// exact keys and chain (or fix the chain with WithLevels).
 func (s *Service) Register(name string, c *Compiled) error {
 	if name == "" {
 		return fmt.Errorf("copse: empty model name")
@@ -191,7 +211,11 @@ func (s *Service) Register(name string, c *Compiled) error {
 		return fmt.Errorf("copse: model %q staged for %d slots but service backend has %d",
 			name, c.Meta.Slots, s.backend.Slots())
 	}
-	operands, err := core.Prepare(s.backend, c, encryptModel)
+	plan := c.Meta.LevelPlan
+	if s.cfg.disableLevelPlan {
+		plan = nil
+	}
+	operands, err := core.PrepareWithPlan(s.backend, c, encryptModel, plan)
 	if err != nil {
 		return err
 	}
@@ -204,6 +228,7 @@ func (s *Service) Register(name string, c *Compiled) error {
 			SkipZeroDiagonals: !encryptModel,
 			ReuseRotations:    s.cfg.reuseRotations,
 			DisableHoisting:   s.cfg.disableHoisting,
+			DisableLevelPlan:  s.cfg.disableLevelPlan,
 		},
 	}
 	return nil
@@ -312,7 +337,9 @@ func (s *Service) Classify(ctx context.Context, name string, q *Query) (*Encrypt
 	// inflate the throughput counters or dilute the latency means.
 	s.requests.Add(1)
 	s.queries.Add(int64(max(q.Batch, 1)))
-	s.queueNS.Add(time.Since(enqueued).Nanoseconds())
+	if s.sem != nil {
+		s.queueNS.Add(time.Since(enqueued).Nanoseconds())
+	}
 
 	s.inFlight.Add(1)
 	start := time.Now()
