@@ -36,12 +36,16 @@ func main() {
 	serveJSON := flag.String("servejson", "", "also write serving throughput (queries/sec at batch sizes 1, 4, max) to this file (e.g. BENCH_serving.json)")
 	levelJSON := flag.String("leveljson", "", "also write the level-scheduling record (per-stage limbs + limb-op integrals, planned vs -nolevelplan, BGV backend) to this file (e.g. BENCH_levels.json)")
 	noLevelPlan := flag.Bool("nolevelplan", false, "disable static level scheduling (reactive noise management; the DESIGN.md §8 ablation)")
+	nttJSON := flag.String("nttjson", "", "also write the intra-op parallelism record (serial vs fused vs limb-parallel ring kernels, classify ablation, Galois-key budget) to this file (e.g. BENCH_ntt.json)")
+	intraOp := flag.Int("intraop", 0, "ring-layer limb workers for BGV runs (default/1 = serial so ablation baselines stay single-threaded; n >= 2 enables the pool)")
+	secure128 := flag.Bool("secure128", false, "with -nttjson: also run the offline Security128 (N=32768) end-to-end classify (slow)")
 	flag.Parse()
 
 	cfg := experiments.Config{
 		Backend:        *backend,
 		Queries:        *queries,
 		Workers:        *workers,
+		IntraOp:        *intraOp,
 		Seed:           *seed,
 		RealWorldScale: *scale,
 		NoLevelPlan:    *noLevelPlan,
@@ -150,5 +154,23 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *levelJSON)
+	}
+
+	if *nttJSON != "" {
+		report, err := experiments.NTTReport(cfg, *intraOp, *secure128)
+		if err != nil {
+			log.Fatalf("ntt report: %v", err)
+		}
+		f, err := os.Create(*nttJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *nttJSON)
 	}
 }

@@ -60,6 +60,7 @@ func main() {
 	backendArg := flag.String("backend", "bgv", "bgv or clear")
 	scenarioArg := flag.String("scenario", "offload", "offload, servermodel, or clienteval")
 	workers := flag.Int("workers", 0, "intra-query parallelism (0 = GOMAXPROCS)")
+	intraOp := flag.Int("intraop", 0, "ring-layer limb workers per op (0 = core budget, 1 = serial)")
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent classification cap (0 = unlimited)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request classification timeout")
 	seed := flag.Uint64("seed", 0, "deterministic keys/encryption when non-zero")
@@ -74,6 +75,7 @@ func main() {
 	}
 	opts := []copse.Option{
 		copse.WithWorkers(*workers),
+		copse.WithIntraOpWorkers(*intraOp),
 		copse.WithMaxInFlight(*maxInFlight),
 		copse.WithSeed(*seed),
 	}

@@ -213,6 +213,11 @@ type SystemConfig struct {
 	// Workers is the intra-query parallelism (the paper's
 	// multithreaded mode); 0 or 1 means single-threaded.
 	Workers int
+	// IntraOpWorkers is the ring-layer limb parallelism of the BGV
+	// backend (see WithIntraOpWorkers): 0 derives it from the shared
+	// core budget, 1 forces serial, n ≥ 2 fans every op's RNS limbs
+	// across n workers.
+	IntraOpWorkers int
 	// ReuseRotations enables the naive-kernel rotation-reuse ablation
 	// (DESIGN.md §6); it has no effect on BSGS-staged models, which
 	// always share the baby-step rotations across levels.
@@ -274,6 +279,7 @@ func NewSystem(c *Compiled, cfg SystemConfig) (*System, error) {
 		WithScenario(cfg.Scenario),
 		WithSecurity(cfg.Security),
 		WithWorkers(cfg.Workers),
+		WithIntraOpWorkers(cfg.IntraOpWorkers),
 		WithLevels(cfg.Levels),
 		WithSeed(cfg.Seed),
 		WithReuseRotations(cfg.ReuseRotations),

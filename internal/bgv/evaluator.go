@@ -348,7 +348,13 @@ func (ev *Evaluator) Rotate(ct *Ciphertext, step int) (*Ciphertext, error) {
 	if s == 0 {
 		return ct.Copy(), nil
 	}
-	if elt := ev.params.GaloisElt(s); ev.keys.Galois[elt] != nil {
+	// A direct key is only usable if it covers the ciphertext's level:
+	// keys for back-half rotation steps are generated at their scheduled
+	// stage level (GenEvaluationKeysAt), and a rotation arriving above
+	// that — a second registered model with a different schedule, or a
+	// reactive caller — falls back to the composed path, whose
+	// power-of-two ladder keys always live at the chain top.
+	if elt := ev.params.GaloisElt(s); ev.keys.Galois[elt] != nil && ev.keys.Galois[elt].Level() >= ct.Level() {
 		return ev.applyGalois(ct, elt)
 	}
 	// Compose from power-of-two hops.
@@ -391,8 +397,13 @@ func (ev *Evaluator) applyGalois(ct *Ciphertext, elt uint64) (*Ciphertext, error
 // switch adds ~ksNoiseBits of absolute noise; refuse to rotate when the
 // current modulus cannot absorb it.
 func (ev *Evaluator) checkGalois(ct *Ciphertext, elt uint64) error {
-	if ev.keys.Galois[elt] == nil {
+	key := ev.keys.Galois[elt]
+	if key == nil {
 		return fmt.Errorf("bgv: no Galois key for element %d", elt)
+	}
+	if key.Level() < ct.Level() {
+		return fmt.Errorf("bgv: Galois key for element %d generated at level %d cannot serve a rotation at level %d",
+			elt, key.Level(), ct.Level())
 	}
 	if len(ct.C) != 2 {
 		return fmt.Errorf("bgv: rotation requires a degree-1 ciphertext")
@@ -461,12 +472,12 @@ func (ev *Evaluator) galoisFromDigits(ct *Ciphertext, c0 *ring.Poly, digits []*r
 	return out, ev.manage(out)
 }
 
-// HoistableStep classifies a rotation step for op accounting: it
-// returns (false, false) for a no-op step (0 mod slots), (true, true)
-// when a direct Galois key exists so the step rides the hoisted path,
-// and (true, false) when the step must be composed from power-of-two
-// hops instead.
-func (ev *Evaluator) HoistableStep(step int) (rotates, hoisted bool) {
+// HoistableStepAt classifies a rotation step at a level for op
+// accounting: it returns (false, false) for a no-op step (0 mod slots),
+// (true, true) when a direct Galois key exists covering the level so
+// the step rides the hoisted path, and (true, false) when the step must
+// be composed from power-of-two hops instead.
+func (ev *Evaluator) HoistableStepAt(step, level int) (rotates, hoisted bool) {
 	slots := ev.params.Slots()
 	s := ((step % slots) + slots) % slots
 	if s == 0 {
@@ -475,7 +486,8 @@ func (ev *Evaluator) HoistableStep(step int) (rotates, hoisted bool) {
 	if ev.keys == nil {
 		return true, false
 	}
-	return true, ev.keys.Galois[ev.params.GaloisElt(s)] != nil
+	key := ev.keys.Galois[ev.params.GaloisElt(s)]
+	return true, key != nil && key.Level() >= level
 }
 
 // RotateHoisted rotates ct left by every step in steps with hoisted key
@@ -511,7 +523,7 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) ([]*Ciphertext, 
 			continue
 		}
 		elt := ev.params.GaloisElt(s)
-		if ev.keys.Galois[elt] == nil {
+		if key := ev.keys.Galois[elt]; key == nil || key.Level() < level {
 			outs[i], err = ev.Rotate(ct, s)
 		} else if err = ev.checkGalois(ct, elt); err == nil {
 			if digits == nil {

@@ -20,9 +20,13 @@ type PublicKey struct {
 
 // SwitchingKey re-encrypts a "foreign" secret (s², or an automorphism
 // image of s) under s, one entry per base-2^w gadget digit:
-// B[k] = -(A[k]·s + t·e_k) + 2^{kw}·target. Keys are generated at the top
-// level; at lower levels the unused prime residues are simply ignored,
-// which is sound because the gadget digits are level-independent.
+// B[k] = -(A[k]·s + t·e_k) + 2^{kw}·target. A key generated at level ℓ
+// serves every level ≤ ℓ (the gadget digits are level-independent; at
+// lower levels the unused prime residues are simply ignored) but cannot
+// serve levels above ℓ — it has no residues for those primes. Keys for
+// rotation steps used only by the scheduled back half of the pipeline
+// are therefore generated directly at their stage level, cutting key
+// material (GenEvaluationKeysAt).
 // BS and AS are the Shoup companion tables of B and A, letting the
 // evaluator's digit ⊙ key inner products run division-free.
 type SwitchingKey struct {
@@ -30,6 +34,20 @@ type SwitchingKey struct {
 	BS, AS []*ring.PolyShoup
 
 	views atomic.Pointer[[]*SwitchingKey] // level-indexed truncated views
+}
+
+// Level returns the highest level this key can serve (the level it was
+// generated at).
+func (k *SwitchingKey) Level() int { return k.B[0].Level() }
+
+// MaterialBytes returns the in-memory size of the key's polynomials
+// (B, A and their Shoup companions).
+func (k *SwitchingKey) MaterialBytes() int64 {
+	var total int64
+	for d := range k.B {
+		total += int64(len(k.B[d].Coeffs)) * int64(len(k.B[d].Coeffs[0])) * 8 * 4
+	}
+	return total
 }
 
 // AtLevel returns a view of k truncated to the given level for base-2^w
@@ -71,6 +89,31 @@ func (k *SwitchingKey) AtLevel(ctx *ring.Context, w, level int) *SwitchingKey {
 type EvaluationKeys struct {
 	Relin  *SwitchingKey
 	Galois map[uint64]*SwitchingKey
+}
+
+// MaterialBytes returns the total in-memory key material (relin + all
+// Galois keys, Shoup companions included).
+func (ek *EvaluationKeys) MaterialBytes() int64 {
+	var total int64
+	if ek.Relin != nil {
+		total += ek.Relin.MaterialBytes()
+	}
+	for _, k := range ek.Galois {
+		total += k.MaterialBytes()
+	}
+	return total
+}
+
+// TopLevelBytes returns the key material the same key set would occupy
+// had every key been generated at the chain top — the pre-level-budget
+// baseline the -nttjson report compares against.
+func (ek *EvaluationKeys) TopLevelBytes(p *Parameters) int64 {
+	per := p.SwitchingKeyBytes(p.MaxLevel())
+	n := int64(len(ek.Galois))
+	if ek.Relin != nil {
+		n++
+	}
+	return n * per
 }
 
 // KeyGenerator produces key material. It is not safe for concurrent use.
@@ -117,10 +160,18 @@ func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
 // genSwitchingKey builds a key switching key from `target` (NTT domain,
 // top level) to sk.
 func (kg *KeyGenerator) genSwitchingKey(target *ring.Poly, sk *SecretKey) *SwitchingKey {
+	return kg.genSwitchingKeyAt(target, sk, kg.params.MaxLevel())
+}
+
+// genSwitchingKeyAt builds the key at the given level: fewer digits and
+// fewer residues per digit than a top-level key. target and sk may live
+// at the top; only their first level+1 limbs are read.
+func (kg *KeyGenerator) genSwitchingKeyAt(target *ring.Poly, sk *SecretKey, level int) *SwitchingKey {
 	ctx := kg.params.RingCtx
-	level := kg.params.MaxLevel()
 	w := kg.params.DigitBits
 	numDigits := ctx.NumDigits(level, w)
+	tgt := restrict(target, level)
+	s := restrict(sk.S, level)
 	swk := &SwitchingKey{}
 	scaled := ctx.NewPoly(level)
 	factors := make([]uint64, level+1)
@@ -130,14 +181,14 @@ func (kg *KeyGenerator) genSwitchingKey(target *ring.Poly, sk *SecretKey) *Switc
 		ctx.MulScalar(e, kg.params.T, e)
 		ctx.NTT(e)
 		b := ctx.NewPoly(level)
-		ctx.MulCoeffs(a, sk.S, b)
+		ctx.MulCoeffs(a, s, b)
 		ctx.Add(b, e, b)
 		ctx.Neg(b, b)
 		// b += 2^{kw} * target, with the gadget factor reduced per prime.
 		for i := 0; i <= level; i++ {
 			factors[i] = ring.PowMod(2, uint64(k*w), ctx.Moduli[i].Q)
 		}
-		ctx.MulScalarVec(target, factors, scaled)
+		ctx.MulScalarVec(tgt, factors, scaled)
 		ctx.Add(b, scaled, b)
 		swk.B = append(swk.B, b)
 		swk.A = append(swk.A, a)
@@ -156,31 +207,63 @@ func (kg *KeyGenerator) GenRelinKey(sk *SecretKey) *SwitchingKey {
 }
 
 // GenGaloisKey builds the switching key for the Galois element g
-// (switching σ_g(s) to s).
+// (switching σ_g(s) to s) at the chain top.
 func (kg *KeyGenerator) GenGaloisKey(sk *SecretKey, g uint64) *SwitchingKey {
+	return kg.GenGaloisKeyAt(sk, g, kg.params.MaxLevel())
+}
+
+// GenGaloisKeyAt builds the Galois key at the given level. The key can
+// serve rotations at any level ≤ its own; the evaluator falls back to
+// composed power-of-two rotations (whose ladder keys stay at the top)
+// when asked to rotate above a key's level.
+func (kg *KeyGenerator) GenGaloisKeyAt(sk *SecretKey, g uint64, level int) *SwitchingKey {
 	ctx := kg.params.RingCtx
-	sCoeff := sk.S.Copy()
+	sCoeff := restrict(sk.S, level).Copy()
 	ctx.INTT(sCoeff)
-	sg := ctx.NewPoly(kg.params.MaxLevel())
+	sg := ctx.NewPoly(level)
 	ctx.Automorphism(sCoeff, g, sg)
 	ctx.NTT(sg)
-	return kg.genSwitchingKey(sg, sk)
+	return kg.genSwitchingKeyAt(sg, sk, level)
 }
 
 // GenEvaluationKeys builds the relinearization key plus Galois keys for
-// the given rotation steps. Step 0 is ignored.
+// the given rotation steps, all at the chain top. Step 0 is ignored.
 func (kg *KeyGenerator) GenEvaluationKeys(sk *SecretKey, steps []int) (*EvaluationKeys, error) {
+	return kg.GenEvaluationKeysAt(sk, steps, nil)
+}
+
+// GenEvaluationKeysAt is GenEvaluationKeys under a per-step level
+// budget: a step with an entry in stepLevels gets its Galois key
+// generated at that level (clamped to the chain) instead of the top —
+// the right choice for steps a static level schedule proves are only
+// ever rotated in the scheduled-down back half of a pipeline. Steps
+// without an entry (and the relinearization key, which serves every
+// stage) stay at the top. When two steps share a Galois element the
+// deeper requirement wins.
+func (kg *KeyGenerator) GenEvaluationKeysAt(sk *SecretKey, steps []int, stepLevels map[int]int) (*EvaluationKeys, error) {
+	top := kg.params.MaxLevel()
 	ek := &EvaluationKeys{Galois: make(map[uint64]*SwitchingKey)}
 	ek.Relin = kg.GenRelinKey(sk)
+	want := make(map[uint64]int)
+	var order []uint64 // deterministic generation order for seeded runs
 	for _, s := range steps {
 		if s%kg.params.Slots() == 0 {
 			continue
 		}
-		g := kg.params.GaloisElt(s)
-		if _, ok := ek.Galois[g]; ok {
-			continue
+		lvl := top
+		if l, ok := stepLevels[s]; ok {
+			lvl = min(max(l, 0), top)
 		}
-		ek.Galois[g] = kg.GenGaloisKey(sk, g)
+		g := kg.params.GaloisElt(s)
+		if cur, seen := want[g]; !seen {
+			want[g] = lvl
+			order = append(order, g)
+		} else if lvl > cur {
+			want[g] = lvl
+		}
+	}
+	for _, g := range order {
+		ek.Galois[g] = kg.GenGaloisKeyAt(sk, g, want[g])
 	}
 	return ek, nil
 }

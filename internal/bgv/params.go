@@ -27,6 +27,13 @@ type Params struct {
 	Levels int
 	// DigitBits is the base-2^w digit width used for key switching.
 	DigitBits int
+	// IntraOpWorkers is the ring-layer limb parallelism: 0 or 1 runs
+	// every op's per-limb loop serially; n ≥ 2 attaches an n-way
+	// ring.Workers pool to the context so NTTs, key switches and modulus
+	// switches fan their limbs across cores. Results are bit-identical
+	// either way. Callers that tear backends down repeatedly should
+	// release the pool via RingCtx.CloseWorkers.
+	IntraOpWorkers int
 }
 
 // Validate checks internal consistency.
@@ -45,6 +52,9 @@ func (p Params) Validate() error {
 	}
 	if p.DigitBits < 10 || p.DigitBits > p.PrimeBits {
 		return fmt.Errorf("bgv: DigitBits %d out of range [10,PrimeBits]", p.DigitBits)
+	}
+	if p.IntraOpWorkers < 0 {
+		return fmt.Errorf("bgv: IntraOpWorkers %d is negative", p.IntraOpWorkers)
 	}
 	return nil
 }
@@ -99,6 +109,9 @@ func NewParameters(p Params) (*Parameters, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.IntraOpWorkers > 1 {
+		ctx.SetWorkers(ring.NewWorkers(p.IntraOpWorkers))
+	}
 	return &Parameters{Params: p, RingCtx: ctx}, nil
 }
 
@@ -108,6 +121,15 @@ func (p *Parameters) MaxLevel() int { return p.Levels - 1 }
 // QBits returns the bit length of the ciphertext modulus at the given
 // level.
 func (p *Parameters) QBits(level int) int { return p.RingCtx.BigQ(level).BitLen() }
+
+// SwitchingKeyBytes returns the in-memory size of one switching key
+// generated at the given level: NumDigits(level) digit pairs (B, A),
+// each an (level+1)-limb poly of N uint64 residues, plus the two Shoup
+// companion tables of the same shape.
+func (p *Parameters) SwitchingKeyBytes(level int) int64 {
+	digits := int64(p.RingCtx.NumDigits(level, p.DigitBits))
+	return digits * int64(level+1) * int64(p.N()) * 8 * 4
+}
 
 // GaloisElt returns the Galois group element implementing a cyclic slot
 // rotation by `step` (positive = toward lower slot indices, i.e.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -96,7 +97,7 @@ func TestArtifactV3CarriesLevelPlan(t *testing.T) {
 	if back.Meta.LevelPlan == nil {
 		t.Fatal("level plan lost in round trip")
 	}
-	if *back.Meta.LevelPlan != *c.Meta.LevelPlan {
+	if !reflect.DeepEqual(back.Meta.LevelPlan, c.Meta.LevelPlan) {
 		t.Errorf("level plan changed in round trip: %+v vs %+v", back.Meta.LevelPlan, c.Meta.LevelPlan)
 	}
 }

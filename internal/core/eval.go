@@ -265,7 +265,14 @@ func (e *Engine) ClassifyCtx(ctx context.Context, m *ModelOperands, q *Query) (h
 		}
 	}
 	trace.Limbs.Query = he.OperandLimbs(b, bits[0])
-	decisions, err := seccomp.CompareGT(b, bits, m.Thresholds)
+	// The Sklansky rounds inside the comparison carry their own level
+	// schedule (StageLevels.CompareRounds): the most expensive stage
+	// sheds limbs between prefix rounds, not just at its boundary.
+	var compareRounds []int
+	if stage != nil {
+		compareRounds = stage.CompareRounds
+	}
+	decisions, err := seccomp.CompareGTScheduled(b, bits, m.Thresholds, compareRounds)
 	if err != nil {
 		return he.Operand{}, nil, fmt.Errorf("core: comparison step: %w", err)
 	}

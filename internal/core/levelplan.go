@@ -61,6 +61,14 @@ type StageLevels struct {
 	// needs at entry. With the default minimal schedule the result lands
 	// below it; compile with Options.PlanShuffle to reserve the headroom.
 	Shuffle int
+	// CompareRounds schedules the Sklansky prefix-product tree inside
+	// the compare stage: CompareRounds[r] is the level every prefix
+	// operand is dropped to after round r, so the later rounds of the
+	// single most expensive stage run on 1–2 fewer limbs than reactive
+	// management would keep them at. Derived by lowering each round's
+	// simulated level until the full-pipeline simulation breaks. Nil on
+	// older artifacts (no per-round drops).
+	CompareRounds []int
 }
 
 // For returns the schedule for a scenario.
@@ -179,6 +187,13 @@ type sim struct {
 	nm   noiseModel
 	ok   bool
 	kind int
+
+	// compareTargets, when set, are per-round drop levels applied to the
+	// prefix-product carrier inside compare (mirroring the engine's
+	// CompareGTScheduled); compareLevels records the carrier's level
+	// after each round either way.
+	compareTargets []int
+	compareLevels  []int
 }
 
 func newSim(nm noiseModel) *sim { return &sim{nm: nm, ok: true} }
@@ -372,13 +387,24 @@ func (s *sim) xor(x, y simOp) simOp {
 	return simPlain()
 }
 
-// compare simulates seccomp.CompareGT over p bit planes.
+// compare simulates seccomp.CompareGT over p bit planes. The carrier eq
+// follows the most-multiplied prefix element (every other element has
+// seen a subset of its multiplications, hence no more level or noise).
 func (s *sim) compare(p int, x, y simOp) simOp {
 	eq := s.not(s.xor(x, y))
 	gt := s.mul(x, s.not(y))
-	// Sklansky prefix products over the eq planes.
+	// Sklansky prefix products over the eq planes, with the optional
+	// per-round boundary drops.
 	for round := 0; round < log2Ceil(max(p, 1)); round++ {
 		eq = s.mul(eq, eq)
+		if round < len(s.compareTargets) {
+			eq = s.dropOpTo(eq, s.compareTargets[round])
+		}
+		lvl := 0
+		if eq.cipher {
+			lvl = eq.ct.level
+		}
+		s.compareLevels = append(s.compareLevels, lvl)
 	}
 	out := s.mul(gt, eq)
 	for j := 1; j < p; j++ {
@@ -473,10 +499,13 @@ type simFailure struct {
 }
 
 // simulatePipeline runs the whole pipeline at the candidate entries,
-// with the engine's boundary-drop semantics. It returns the achieved
-// final state, or the failure that makes the candidate infeasible.
-func simulatePipeline(nm noiseModel, sh pipelineShape, encModel bool, e stageEntries) (final simCt, fail simFailure, ok bool) {
+// with the engine's boundary-drop semantics (including the optional
+// per-round compare drops). It returns the achieved final state, the
+// compare carrier's per-round levels, or the failure that makes the
+// candidate infeasible.
+func simulatePipeline(nm noiseModel, sh pipelineShape, encModel bool, e stageEntries, compareTargets []int) (final simCt, rounds []int, fail simFailure, ok bool) {
 	s := newSim(nm)
+	s.compareTargets = compareTargets
 	hot := func(o simOp) bool { return o.cipher && o.ct.noise > nm.floor()+8 }
 	model := simPlain()
 	if encModel {
@@ -487,10 +516,10 @@ func simulatePipeline(nm noiseModel, sh pipelineShape, encModel bool, e stageEnt
 	// Stage 0: compare.
 	decisions := s.compare(sh.precision, query, model)
 	if !s.ok {
-		return simCt{}, simFailure{stage: 0, kind: s.kind}, false
+		return simCt{}, s.compareLevels, simFailure{stage: 0, kind: s.kind}, false
 	}
 	if decisions.cipher && decisions.ct.level < e.reshuffle {
-		return simCt{}, simFailure{stage: 0, kind: failLevel}, false
+		return simCt{}, s.compareLevels, simFailure{stage: 0, kind: failLevel}, false
 	}
 	decisions = s.dropOpTo(decisions, e.reshuffle)
 
@@ -503,10 +532,10 @@ func simulatePipeline(nm noiseModel, sh pipelineShape, encModel bool, e stageEnt
 	branch := s.matVec(decisions, diag, sh.qSplit[0], sh.qSplit[1])
 	branch = s.replicate(branch, sh.reshufRep)
 	if !s.ok {
-		return simCt{}, simFailure{stage: 1, kind: s.kind, hotEntry: entryHot}, false
+		return simCt{}, s.compareLevels, simFailure{stage: 1, kind: s.kind, hotEntry: entryHot}, false
 	}
 	if branch.cipher && branch.ct.level < e.level {
-		return simCt{}, simFailure{stage: 1, kind: failLevel}, false
+		return simCt{}, s.compareLevels, simFailure{stage: 1, kind: failLevel}, false
 	}
 	branch = s.dropOpTo(branch, e.level)
 
@@ -519,10 +548,10 @@ func simulatePipeline(nm noiseModel, sh pipelineShape, encModel bool, e stageEnt
 	entryHot = hot(branch)
 	lvl := s.xor(s.matVec(branch, lvlDiag, sh.bSplit[0], sh.bSplit[1]), mask)
 	if !s.ok {
-		return simCt{}, simFailure{stage: 2, kind: s.kind, hotEntry: entryHot}, false
+		return simCt{}, s.compareLevels, simFailure{stage: 2, kind: s.kind, hotEntry: entryHot}, false
 	}
 	if lvl.cipher && lvl.ct.level < e.accumulate {
-		return simCt{}, simFailure{stage: 2, kind: failLevel}, false
+		return simCt{}, s.compareLevels, simFailure{stage: 2, kind: failLevel}, false
 	}
 	lvl = s.dropOpTo(lvl, e.accumulate)
 
@@ -533,21 +562,21 @@ func simulatePipeline(nm noiseModel, sh pipelineShape, encModel bool, e stageEnt
 		out = s.mul(out, out)
 	}
 	if !s.ok {
-		return simCt{}, simFailure{stage: 3, kind: s.kind, hotEntry: entryHot}, false
+		return simCt{}, s.compareLevels, simFailure{stage: 3, kind: s.kind, hotEntry: entryHot}, false
 	}
 	if out.cipher && out.ct.level < e.final {
-		return simCt{}, simFailure{stage: 3, kind: failLevel}, false
+		return simCt{}, s.compareLevels, simFailure{stage: 3, kind: failLevel}, false
 	}
 	out = s.dropOpTo(out, e.final)
 	if !out.cipher {
-		return simCt{}, simFailure{}, s.ok
+		return simCt{}, s.compareLevels, simFailure{}, s.ok
 	}
 	// Decryptability at the final level.
 	s.manage(&out.ct)
 	if !s.ok {
-		return simCt{}, simFailure{stage: 3, kind: s.kind, hotEntry: entryHot}, false
+		return simCt{}, s.compareLevels, simFailure{stage: 3, kind: s.kind, hotEntry: entryHot}, false
 	}
-	return out.ct, simFailure{}, true
+	return out.ct, s.compareLevels, simFailure{}, true
 }
 
 // simulateShuffle runs the optional result shuffle from the given input.
@@ -591,7 +620,7 @@ func scheduleScenario(nm noiseModel, sh pipelineShape, encModel bool, final int)
 		}
 	}
 	for iter := 0; iter < 16*planCap; iter++ {
-		out, fail, ok := simulatePipeline(nm, sh, encModel, e)
+		out, _, fail, ok := simulatePipeline(nm, sh, encModel, e, nil)
 		if ok {
 			return e, out, true
 		}
@@ -627,6 +656,43 @@ func shuffleEntryLevel(nm noiseModel, sh pipelineShape) int {
 	return planCap
 }
 
+// compareRoundPlan derives the per-round Sklansky drop levels for a
+// feasible schedule: starting from the reactive per-round trajectory the
+// simulator records, it lowers each round's level — last round first,
+// where the remaining circuit is shortest — as far as the full-pipeline
+// simulation stays feasible. The result is what the engine feeds
+// seccomp.CompareGTScheduled; nil (no rounds, or a simulator
+// disagreement) simply means no per-round drops.
+func compareRoundPlan(nm noiseModel, sh pipelineShape, encModel bool, e stageEntries) []int {
+	_, reactive, _, ok := simulatePipeline(nm, sh, encModel, e, nil)
+	if !ok || len(reactive) == 0 {
+		return nil
+	}
+	targets := append([]int(nil), reactive...)
+	feasible := func(t []int) bool {
+		_, _, _, ok := simulatePipeline(nm, sh, encModel, e, t)
+		return ok
+	}
+	for r := len(targets) - 1; r >= 0; r-- {
+		for targets[r] > e.reshuffle {
+			targets[r]--
+			if !feasible(targets) {
+				targets[r]++
+				break
+			}
+		}
+	}
+	// Tidy: a round target above its predecessor's can never bind (the
+	// carrier only descends).
+	for r := 1; r < len(targets); r++ {
+		targets[r] = min(targets[r], targets[r-1])
+	}
+	if !feasible(targets) {
+		return nil
+	}
+	return targets
+}
+
 // computeLevelPlan builds the static schedule for a compiled model, or
 // nil when no feasible schedule exists within the search bound (the
 // engine then falls back to reactive management).
@@ -647,12 +713,13 @@ func computeLevelPlan(m *Meta, planShuffle bool) *LevelPlan {
 			return nil
 		}
 		st := StageLevels{
-			Compare:    e.compare,
-			Reshuffle:  e.reshuffle,
-			Level:      e.level,
-			Accumulate: e.accumulate,
-			Final:      e.final,
-			Shuffle:    shuffleAt,
+			Compare:       e.compare,
+			Reshuffle:     e.reshuffle,
+			Level:         e.level,
+			Accumulate:    e.accumulate,
+			Final:         e.final,
+			Shuffle:       shuffleAt,
+			CompareRounds: compareRoundPlan(nm, sh, encModel, e),
 		}
 		if planShuffle && !simulateShuffle(nm, sh, out) {
 			return nil

@@ -63,6 +63,70 @@ func TestLevelPlanComputed(t *testing.T) {
 			if st.Accumulate+1 > plan.Levels/2 {
 				t.Errorf("%s/%s: product tree enters at %d limbs on a %d-prime chain", name, scenario, st.Accumulate+1, plan.Levels)
 			}
+			// The Sklansky rounds inside compare carry their own
+			// schedule: one entry per round, non-increasing, bracketed by
+			// the stage's own entry and exit, and actually shedding limbs
+			// before the boundary (the compare stage is the expensive
+			// one; per-round drops are its whole point).
+			if len(st.CompareRounds) != log2Ceil(c.Meta.Precision) {
+				t.Errorf("%s/%s: %d compare rounds scheduled, want %d", name, scenario, len(st.CompareRounds), log2Ceil(c.Meta.Precision))
+			}
+			prev := st.Compare
+			for r, lvl := range st.CompareRounds {
+				if lvl > prev || lvl < st.Reshuffle {
+					t.Errorf("%s/%s: compare round %d level %d outside [%d, %d]", name, scenario, r, lvl, st.Reshuffle, prev)
+				}
+				prev = lvl
+			}
+			if n := len(st.CompareRounds); n > 0 && st.CompareRounds[n-1] > st.Reshuffle+1 {
+				t.Errorf("%s/%s: last compare round still at level %d, reshuffle entry is %d", name, scenario, st.CompareRounds[n-1], st.Reshuffle)
+			}
+		}
+	}
+}
+
+// TestRotationStepLevelsAgreeWithRotationSteps pins the Galois-key
+// level budget to the compiler's step enumeration: RotationStepLevels
+// and rotationSteps each enumerate the kernel and replication steps, so
+// a divergence between them would either leave dead map entries
+// (harmless but wrong) or silently forfeit key-material savings. The
+// contract: every map entry names a staged step within the chain, and
+// every staged step that is not a positive power of two (the
+// composition ladder, deliberately kept at the top) carries a level.
+func TestRotationStepLevelsAgreeWithRotationSteps(t *testing.T) {
+	for name, f := range planForests(t, false) {
+		for _, noBSGS := range []bool{false, true} {
+			c, err := Compile(f, Options{Slots: 1024, NoBSGS: noBSGS})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Meta.LevelPlan == nil {
+				t.Fatalf("%s: no level plan", name)
+			}
+			staged := map[int]bool{}
+			for _, s := range c.Meta.RotationSteps {
+				staged[s] = true
+			}
+			for _, encModel := range []bool{true, false} {
+				levels := c.Meta.RotationStepLevels(encModel)
+				top := c.Meta.LevelPlan.For(encModel).Compare
+				for s, lvl := range levels {
+					if !staged[s] {
+						t.Errorf("%s noBSGS=%v enc=%v: leveled step %d is not in RotationSteps", name, noBSGS, encModel, s)
+					}
+					if lvl < 0 || lvl > top {
+						t.Errorf("%s noBSGS=%v enc=%v: step %d level %d outside [0, %d]", name, noBSGS, encModel, s, lvl, top)
+					}
+				}
+				for _, s := range c.Meta.RotationSteps {
+					if s > 0 && s&(s-1) == 0 {
+						continue // ladder steps stay at the top by design
+					}
+					if _, ok := levels[s]; !ok {
+						t.Errorf("%s noBSGS=%v enc=%v: staged step %d has no level budget", name, noBSGS, encModel, s)
+					}
+				}
+			}
 		}
 	}
 }

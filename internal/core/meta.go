@@ -5,7 +5,11 @@
 // engine running Algorithm 1 over any he.Backend.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"copse/internal/matrix"
+)
 
 // Meta carries the public and structural parameters of a compiled model.
 // Which fields are revealed to which party depends on the scenario; see
@@ -103,6 +107,73 @@ func (m *Meta) BatchCapacity() int {
 		return 1
 	}
 	return max(m.Slots/(2*m.SPad()), 1)
+}
+
+// RotationStepLevels returns, for the given scenario, the highest chain
+// level each Galois rotation step is rotated at under the compiled
+// level schedule — the per-step Galois-key budget that
+// hebgv.Config.RotationStepLevels consumes. The compare stage rotates
+// nothing, so every kernel step belongs to a scheduled-down back-half
+// stage: the reshuffle kernel's steps (and the block-replication powers
+// that follow it) cap at the reshuffle entry, the level kernel's at the
+// level entry, and the result-shuffle kernel's (plus its replication
+// powers) at the shuffle entry. Positive power-of-two steps are omitted:
+// they double as the composed-rotation ladder, which must serve any
+// level (second registered models, reactive callers). Steps assigned a
+// level here are still safe for such callers — the evaluator falls back
+// to the ladder when a rotation arrives above a key's level. Nil when
+// the model carries no plan.
+func (m *Meta) RotationStepLevels(encModel bool) map[int]int {
+	if m.LevelPlan == nil {
+		return nil
+	}
+	st := m.LevelPlan.For(encModel)
+	out := map[int]int{}
+	bump := func(step, level int) {
+		if step > 0 && step&(step-1) == 0 {
+			return // composition-ladder steps stay at the chain top
+		}
+		if cur, ok := out[step]; !ok || level > cur {
+			out[step] = level
+		}
+	}
+	kernel := func(baby, giant, level int) {
+		for j := 1; j < baby; j++ {
+			bump(j, level)
+		}
+		for g := 1; g < giant; g++ {
+			bump(g*baby, level)
+		}
+	}
+	split := func(period int) (int, int) {
+		if !m.UseBSGS {
+			return period, 1 // naive kernel: steps 1..period−1
+		}
+		if baby, giant, ok := m.BSGSFor(period); ok {
+			return baby, giant
+		}
+		return matrix.BSGSSplit(period)
+	}
+	replicate := func(from, to, level int) {
+		for p := from; p < to; p <<= 1 {
+			bump(-p, level)
+		}
+	}
+
+	qb, qg := split(m.QPad)
+	kernel(qb, qg, st.Reshuffle)
+	bb, bg := split(m.BPad)
+	kernel(bb, bg, st.Level)
+	replicate(m.BPad, m.BatchBlock(), st.Reshuffle)
+
+	// The result shuffle always stages a BSGS kernel over the padded
+	// leaf period and replicates across the whole ciphertext; its entry
+	// level is scenario-independent (ShuffleResult drops to it).
+	nb, ng := matrix.BSGSSplit(m.LPad())
+	shuffleAt := m.LevelPlan.ShuffleLevel()
+	kernel(nb, ng, shuffleAt)
+	replicate(m.LPad(), m.Slots, shuffleAt)
+	return out
 }
 
 // BSGSPlan is the staged baby-step/giant-step split for one matrix

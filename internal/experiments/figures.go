@@ -28,6 +28,7 @@ func Fig6(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		copseTimes, _, err := cr.run(cfg.Queries, cfg.Seed)
+		cr.close()
 		if err != nil {
 			return nil, err
 		}
@@ -175,6 +176,7 @@ func medianCopseTime(cs Case, cfg Config, workers int, scenario copse.Scenario) 
 		return 0, err
 	}
 	times, _, err := r.run(cfg.Queries, cfg.Seed)
+	r.close()
 	if err != nil {
 		return 0, err
 	}
@@ -219,6 +221,7 @@ func Fig10(cfg Config, which string) (*Table, error) {
 			return nil, err
 		}
 		_, traces, err := r.run(cfg.Queries, cfg.Seed)
+		r.close()
 		if err != nil {
 			return nil, err
 		}

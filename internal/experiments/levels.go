@@ -49,6 +49,9 @@ type LevelPlanRecord struct {
 	Level      int `json:"level"`
 	Accumulate int `json:"accumulate"`
 	Final      int `json:"final"`
+	// CompareRounds are the per-round drop levels of the Sklansky
+	// prefix tree inside the compare stage.
+	CompareRounds []int `json:"compare_rounds,omitempty"`
 }
 
 // LevelRun is one configuration's measurements.
@@ -88,6 +91,7 @@ func LevelReport(cfg Config) (*LevelBench, error) {
 			}
 			times, traces, err := r.run(cfg.Queries, cfg.Seed)
 			if err != nil {
+				r.close()
 				return nil, err
 			}
 			meta := r.sys.Sally.Meta()
@@ -100,15 +104,17 @@ func LevelReport(cfg Config) (*LevelBench, error) {
 				if plan := meta.LevelPlan; plan != nil {
 					lc.PlanLevels = plan.Levels
 					lc.Plan = LevelPlanRecord{
-						Compare:    plan.Cipher.Compare,
-						Reshuffle:  plan.Cipher.Reshuffle,
-						Level:      plan.Cipher.Level,
-						Accumulate: plan.Cipher.Accumulate,
-						Final:      plan.Cipher.Final,
+						Compare:       plan.Cipher.Compare,
+						Reshuffle:     plan.Cipher.Reshuffle,
+						Level:         plan.Cipher.Level,
+						Accumulate:    plan.Cipher.Accumulate,
+						Final:         plan.Cipher.Final,
+						CompareRounds: plan.Cipher.CompareRounds,
 					}
 				}
 				lc.Planned = run
 			}
+			r.close()
 		}
 		if lc.Planned.TotalMS > 0 {
 			lc.Speedup = lc.Reactive.TotalMS / lc.Planned.TotalMS

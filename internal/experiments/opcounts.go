@@ -99,6 +99,7 @@ func tracedRun(cfg Config, caseName string) (Case, *copse.Trace, *copse.Meta, er
 			return Case{}, nil, nil, err
 		}
 		_, traces, err := r.run(1, cfg.Seed)
+		r.close()
 		if err != nil {
 			return Case{}, nil, nil, err
 		}

@@ -61,6 +61,7 @@ func RotationReport(cfg Config) (*RotationBench, error) {
 		}
 		times, traces, err := r.run(cfg.Queries, cfg.Seed)
 		if err != nil {
+			r.close()
 			return nil, err
 		}
 		meta := r.sys.Sally.Meta()
@@ -93,6 +94,7 @@ func RotationReport(cfg Config) (*RotationBench, error) {
 		stage("reshuffle", func(tr *copse.Trace) (time.Duration, he.OpCounts) { return tr.Reshuffle, tr.ReshuffleOps })
 		stage("levels", func(tr *copse.Trace) (time.Duration, he.OpCounts) { return tr.Levels, tr.LevelOps })
 		stage("accumulate", func(tr *copse.Trace) (time.Duration, he.OpCounts) { return tr.Accumulate, tr.AccumulateOps })
+		r.close()
 		report.Cases = append(report.Cases, rc)
 	}
 	return report, nil

@@ -34,6 +34,7 @@ func newCopseRunner(cs Case, cfg Config, workers int, scenario copse.Scenario) (
 		Backend:          kind,
 		Scenario:         scenario,
 		Workers:          workers,
+		IntraOpWorkers:   cfg.IntraOp,
 		Seed:             cfg.Seed + 100,
 		DisableLevelPlan: cfg.NoLevelPlan,
 	}
@@ -48,6 +49,14 @@ func newCopseRunner(cs Case, cfg Config, workers int, scenario copse.Scenario) (
 		return nil, fmt.Errorf("experiments: system for %s: %w", cs.Name, err)
 	}
 	return &copseRunner{cs: cs, sys: sys}, nil
+}
+
+// close releases the system's backend resources (the ring worker pool,
+// when IntraOp enabled one). Harness loops create one runner per case ×
+// configuration, so leaving pools attached would accumulate resident
+// goroutines across a full copse-bench run.
+func (r *copseRunner) close() {
+	_ = r.sys.Service().Close()
 }
 
 // run executes `queries` random inference queries, returning the Classify

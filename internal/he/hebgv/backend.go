@@ -30,6 +30,7 @@ type Backend struct {
 	encryptor *bgv.Encryptor
 	evaluator *bgv.Evaluator
 	decryptor *bgv.Decryptor // nil when constructed without the secret key
+	keys      *bgv.EvaluationKeys
 
 	encMu sync.Mutex // the encryptor owns a sampler and is not concurrency-safe
 }
@@ -46,6 +47,19 @@ type Config struct {
 	// PowerOfTwoOnly skips the per-step keys and generates only the
 	// power-of-two ladder (smaller keys, slower rotations).
 	PowerOfTwoOnly bool
+	// RotationStepLevels assigns individual rotation steps a maximum
+	// chain level: the step's Galois key is generated at that level
+	// instead of the top, cutting key material for steps a static level
+	// schedule proves are only rotated in the scheduled-down back half
+	// (core.Meta.RotationStepLevels computes the map from a compiled
+	// plan). Steps without an entry — including the whole power-of-two
+	// composition ladder — stay at the top; rotations arriving above a
+	// leveled key fall back to the composed ladder path.
+	RotationStepLevels map[int]int
+	// IntraOpWorkers is the ring-layer limb parallelism (see
+	// bgv.Params.IntraOpWorkers); 0 or 1 is serial. Pools are released
+	// by Close.
+	IntraOpWorkers int
 	// Seed, when non-zero, makes key generation and encryption
 	// deterministic (tests and reproducible experiments only).
 	Seed uint64
@@ -55,6 +69,9 @@ type Config struct {
 // secret material (the two-party configurations of the paper share one
 // key pair between model and data owner).
 func New(cfg Config) (*Backend, error) {
+	if cfg.IntraOpWorkers > cfg.Params.IntraOpWorkers {
+		cfg.Params.IntraOpWorkers = cfg.IntraOpWorkers
+	}
 	params, err := bgv.NewParameters(cfg.Params)
 	if err != nil {
 		return nil, err
@@ -71,7 +88,7 @@ func New(cfg Config) (*Backend, error) {
 	if !cfg.PowerOfTwoOnly {
 		steps = append(steps, cfg.RotationSteps...)
 	}
-	keys, err := kg.GenEvaluationKeys(sk, steps)
+	keys, err := kg.GenEvaluationKeysAt(sk, steps, cfg.RotationStepLevels)
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +108,28 @@ func New(cfg Config) (*Backend, error) {
 		encryptor: encryptor,
 		evaluator: bgv.NewEvaluator(params, keys),
 		decryptor: bgv.NewDecryptor(params, sk),
+		keys:      keys,
 	}, nil
+}
+
+// Close releases the ring context's intra-op worker pool (a no-op when
+// the backend was built serial). The backend must not be used after
+// Close.
+func (b *Backend) Close() error {
+	b.params.RingCtx.CloseWorkers()
+	return nil
+}
+
+// IntraOpWorkers reports the ring-layer limb concurrency in effect
+// (1 = serial).
+func (b *Backend) IntraOpWorkers() int { return b.params.RingCtx.WorkerCount() }
+
+// KeyMaterial reports the in-memory evaluation-key bytes (relin plus
+// Galois keys, Shoup companions included) and the bytes the same key
+// set would occupy with every key generated at the chain top — the
+// before/after gauge for the Galois-key level budget.
+func (b *Backend) KeyMaterial() (actual, topLevel int64) {
+	return b.keys.MaterialBytes(), b.keys.TopLevelBytes(b.params)
 }
 
 type ciphertext struct {
@@ -406,10 +444,12 @@ func (b *Backend) RotateHoisted(x he.Ciphertext, steps []int) ([]he.Ciphertext, 
 		return nil, err
 	}
 	// Attribute each step where it actually went: step-0 copies rotate
-	// nothing, keyless steps took the composed per-step path.
+	// nothing, keyless (or key-below-level) steps took the composed
+	// per-step path.
 	hoisted := 0
+	level := cx.ct.Level()
 	for _, step := range steps {
-		rotates, viaHoist := b.evaluator.HoistableStep(step)
+		rotates, viaHoist := b.evaluator.HoistableStepAt(step, level)
 		switch {
 		case !rotates:
 		case viaHoist:
@@ -425,7 +465,7 @@ func (b *Backend) RotateHoisted(x he.Ciphertext, steps []int) ([]he.Ciphertext, 
 		outs[i] = &ciphertext{ct: ct, depth: cx.depth}
 		// Step-0 copies rotate nothing; like the rotation counters (and
 		// the he.CountingBackend wrapper), they contribute no limb·ops.
-		if rotates, _ := b.evaluator.HoistableStep(steps[i]); rotates {
+		if rotates, _ := b.evaluator.HoistableStepAt(steps[i], level); rotates {
 			limbSum += ct.Level() + 1
 		}
 	}

@@ -182,8 +182,23 @@ func (ctx *Context) MaxCenteredBits(p *Poly) int {
 //
 // The digit polynomials come from the context's pool; callers done with
 // them may PutPoly them back (or simply drop them).
+//
+// With a worker pool attached the digit NTTs are fanned out as one flat
+// digits × limbs task set — the largest single batch of independent
+// transforms in the evaluator (a key switch at level ℓ runs
+// NumDigits(ℓ)·(ℓ+1) of them).
 func (ctx *Context) DecomposeBase2w(p *Poly, w int) []*Poly {
 	digits := ctx.DecomposeBase2wCoeff(p, w)
+	limbs := p.Level() + 1
+	if ws := ctx.limbWorkers(len(digits)*limbs, false); ws != nil {
+		ws.Run(len(digits)*limbs, func(t int) {
+			ctx.Moduli[t%limbs].NTT(digits[t/limbs].Coeffs[t%limbs])
+		})
+		for _, d := range digits {
+			d.IsNTT = true
+		}
+		return digits
+	}
 	for k := range digits {
 		ctx.NTT(digits[k])
 	}
@@ -205,9 +220,29 @@ func (ctx *Context) DecomposeBase2wCoeff(p *Poly, w int) []*Poly {
 	for k := range digits {
 		digits[k] = ctx.GetPoly(level)
 	}
+	// The per-coefficient reconstruction dominates; with a pool attached
+	// the coefficient range is split into one contiguous block per worker
+	// (each with private scratch — coefficient j writes only column j of
+	// every digit, so blocks never interfere and the result is
+	// bit-identical to the serial order).
+	if ws := ctx.limbWorkers(level+1, false); ws != nil {
+		shards := min(ws.Size(), ctx.N)
+		ws.Run(shards, func(s int) {
+			ctx.decomposeRange(p, cl, digits, w, numDigits, s*ctx.N/shards, (s+1)*ctx.N/shards)
+		})
+	} else {
+		ctx.decomposeRange(p, cl, digits, w, numDigits, 0, ctx.N)
+	}
+	return digits
+}
+
+// decomposeRange runs the base-2^w digit extraction for coefficients
+// [lo, hi) with private scratch.
+func (ctx *Context) decomposeRange(p *Poly, cl *crtLevel, digits []*Poly, w, numDigits, lo, hi int) {
+	level := p.Level()
 	acc := make([]uint64, cl.words+1)
 	res := make([]uint64, level+1)
-	for j := 0; j < ctx.N; j++ {
+	for j := lo; j < hi; j++ {
 		for i := range res {
 			res[i] = p.Coeffs[i][j]
 		}
@@ -224,7 +259,6 @@ func (ctx *Context) DecomposeBase2wCoeff(p *Poly, w int) []*Poly {
 			}
 		}
 	}
-	return digits
 }
 
 // extractBitsWords reads `width` bits starting at bit offset `start` from
@@ -286,9 +320,13 @@ func (ctx *Context) ModSwitchDown(p *Poly) {
 		}
 	}
 
-	delta := ctx.getRow()
-	defer ctx.putRow(delta)
-	for i := 0; i < l; i++ {
+	// Each remaining prime's work — build δ mod q_i, forward-NTT it, and
+	// rescale p's residue row — is independent of every other prime's, so
+	// it fans out across the worker pool (each limb takes a private
+	// scratch row from the pool; rowPool is a sync.Pool and safe for
+	// concurrent use).
+	perPrime := func(i int) {
+		delta := ctx.getRow()
 		qi := ctx.Moduli[i].Q
 		invQl := InvMod(ql%qi, qi)
 		invQlS := ShoupPrecomp(invQl, qi)
@@ -302,6 +340,14 @@ func (ctx *Context) ModSwitchDown(p *Poly) {
 		pi := p.Coeffs[i]
 		for j := range pi {
 			pi[j] = MulModShoup(SubMod(pi[j], delta[j], qi), invQl, invQlS, qi)
+		}
+		ctx.putRow(delta)
+	}
+	if ws := ctx.limbWorkers(l, false); ws != nil {
+		ws.Run(l, perPrime)
+	} else {
+		for i := 0; i < l; i++ {
+			perPrime(i)
 		}
 	}
 	p.Coeffs = p.Coeffs[:l]

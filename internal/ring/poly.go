@@ -1,6 +1,9 @@
 package ring
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Poly is a polynomial in Z_Q[x]/(x^N+1) stored in RNS form: Coeffs[i][j]
 // is coefficient j reduced modulo the i-th prime of the chain. A Poly
@@ -47,6 +50,11 @@ type Context struct {
 	crt  []*crtLevel // per-level CRT reconstruction tables
 	pool polyPools   // level-keyed polynomial recycling (pool.go)
 	rows rowPool     // single-prime scratch rows
+
+	// workers is the optional intra-op pool fanning per-limb work across
+	// cores (workers.go). Atomic so attachment races with concurrent op
+	// traffic are safe; nil means every op runs its serial loop.
+	workers atomic.Pointer[Workers]
 }
 
 // NewContext creates a ring context for degree n = 2^logN with the given
@@ -76,6 +84,44 @@ func NewContext(logN int, primes []uint64, t uint64) (*Context, error) {
 	return ctx, nil
 }
 
+// SetWorkers attaches an intra-op worker pool: NTTs, key-switch inner
+// products, modulus switches and (above a size cutoff) pointwise ops run
+// their per-limb loops on the pool instead of serially. nil detaches.
+// Results are bit-identical either way (each limb writes only its own
+// row). Safe to call concurrently with op traffic.
+func (ctx *Context) SetWorkers(ws *Workers) { ctx.workers.Store(ws) }
+
+// WorkerCount reports the attached pool's concurrency (1 = serial).
+func (ctx *Context) WorkerCount() int { return ctx.workers.Load().Size() }
+
+// CloseWorkers detaches and closes the attached pool, releasing its
+// resident goroutines; it blocks until in-flight fan-outs drain (ops
+// racing the close fall back to their serial loops). A no-op when no
+// pool is attached.
+func (ctx *Context) CloseWorkers() {
+	if ws := ctx.workers.Swap(nil); ws != nil {
+		ws.Close()
+	}
+}
+
+// pointwiseParCutoff is the total element count (limbs × N) below which
+// pointwise ops stay on the serial path: the small back-half ops of a
+// level-scheduled pipeline (2 limbs at N=2048) finish faster than a
+// dispatch round-trip.
+const pointwiseParCutoff = 1 << 14
+
+// limbWorkers returns the pool when fanning m limbs out is worthwhile,
+// nil otherwise. Pointwise ops (a few ns per element) additionally
+// require the total element count to clear pointwiseParCutoff; the
+// transform-sized ops (NTT, modulus switch, decompose) parallelize
+// whenever more than one limb is active.
+func (ctx *Context) limbWorkers(m int, pointwise bool) *Workers {
+	if m <= 1 || (pointwise && m*ctx.N < pointwiseParCutoff) {
+		return nil
+	}
+	return ctx.workers.Load()
+}
+
 // MaxLevel returns the highest level supported by the chain.
 func (ctx *Context) MaxLevel() int { return len(ctx.Moduli) - 1 }
 
@@ -88,35 +134,94 @@ func (ctx *Context) NewPoly(level int) *Poly {
 	return p
 }
 
-// NTT converts p to evaluation domain in place.
+// NTT converts p to evaluation domain in place, transforming limbs
+// concurrently when a worker pool is attached.
 func (ctx *Context) NTT(p *Poly) {
 	if p.IsNTT {
 		panic("ring: NTT of a poly already in NTT domain")
 	}
-	for i := range p.Coeffs {
-		ctx.Moduli[i].NTT(p.Coeffs[i])
+	m := len(p.Coeffs)
+	if ws := ctx.limbWorkers(m, false); ws != nil {
+		ws.Run(m, func(i int) { ctx.Moduli[i].NTT(p.Coeffs[i]) })
+	} else {
+		for i := 0; i < m; i++ {
+			ctx.Moduli[i].NTT(p.Coeffs[i])
+		}
 	}
 	p.IsNTT = true
 }
 
-// INTT converts p to coefficient domain in place.
+// INTT converts p to coefficient domain in place, transforming limbs
+// concurrently when a worker pool is attached.
 func (ctx *Context) INTT(p *Poly) {
 	if !p.IsNTT {
 		panic("ring: INTT of a poly already in coefficient domain")
 	}
-	for i := range p.Coeffs {
-		ctx.Moduli[i].INTT(p.Coeffs[i])
+	m := len(p.Coeffs)
+	if ws := ctx.limbWorkers(m, false); ws != nil {
+		ws.Run(m, func(i int) { ctx.Moduli[i].INTT(p.Coeffs[i]) })
+	} else {
+		for i := 0; i < m; i++ {
+			ctx.Moduli[i].INTT(p.Coeffs[i])
+		}
 	}
 	p.IsNTT = false
 }
 
+// Per-limb pointwise kernels. Free functions over plain rows keep the
+// serial paths closure-free (no allocation) and give the parallel paths
+// one shared body.
+
+func addRow(q uint64, a, b, out []uint64) {
+	for j := range out {
+		out[j] = AddMod(a[j], b[j], q)
+	}
+}
+
+func subRow(q uint64, a, b, out []uint64) {
+	for j := range out {
+		out[j] = SubMod(a[j], b[j], q)
+	}
+}
+
+func negRow(q uint64, a, out []uint64) {
+	for j := range out {
+		out[j] = NegMod(a[j], q)
+	}
+}
+
+func mulRow(q uint64, a, b, out []uint64) {
+	for j := range out {
+		out[j] = MulMod(a[j], b[j], q)
+	}
+}
+
+func mulAddRow(q uint64, a, b, out []uint64) {
+	for j := range out {
+		out[j] = AddMod(out[j], MulMod(a[j], b[j], q), q)
+	}
+}
+
+func mulShoupAddRow(q uint64, a, b, bs, out []uint64) {
+	for j := range out {
+		out[j] = AddMod(out[j], MulModShoup(a[j], b[j], bs[j], q), q)
+	}
+}
+
+func mulScalarRow(q, c, cs uint64, a, out []uint64) {
+	for j := range out {
+		out[j] = MulModShoup(a[j], c, cs, q)
+	}
+}
+
 // Add sets out = a + b. All three must share a level and domain.
 func (ctx *Context) Add(a, b, out *Poly) {
-	for i := range out.Coeffs {
-		q := ctx.Moduli[i].Q
-		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := range oi {
-			oi[j] = AddMod(ai[j], bi[j], q)
+	m := len(out.Coeffs)
+	if ws := ctx.limbWorkers(m, true); ws != nil {
+		ws.Run(m, func(i int) { addRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
+	} else {
+		for i := 0; i < m; i++ {
+			addRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = a.IsNTT
@@ -124,11 +229,12 @@ func (ctx *Context) Add(a, b, out *Poly) {
 
 // Sub sets out = a - b.
 func (ctx *Context) Sub(a, b, out *Poly) {
-	for i := range out.Coeffs {
-		q := ctx.Moduli[i].Q
-		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := range oi {
-			oi[j] = SubMod(ai[j], bi[j], q)
+	m := len(out.Coeffs)
+	if ws := ctx.limbWorkers(m, true); ws != nil {
+		ws.Run(m, func(i int) { subRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
+	} else {
+		for i := 0; i < m; i++ {
+			subRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = a.IsNTT
@@ -136,11 +242,12 @@ func (ctx *Context) Sub(a, b, out *Poly) {
 
 // Neg sets out = -a.
 func (ctx *Context) Neg(a, out *Poly) {
-	for i := range out.Coeffs {
-		q := ctx.Moduli[i].Q
-		ai, oi := a.Coeffs[i], out.Coeffs[i]
-		for j := range oi {
-			oi[j] = NegMod(ai[j], q)
+	m := len(out.Coeffs)
+	if ws := ctx.limbWorkers(m, true); ws != nil {
+		ws.Run(m, func(i int) { negRow(ctx.Moduli[i].Q, a.Coeffs[i], out.Coeffs[i]) })
+	} else {
+		for i := 0; i < m; i++ {
+			negRow(ctx.Moduli[i].Q, a.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = a.IsNTT
@@ -152,11 +259,12 @@ func (ctx *Context) MulCoeffs(a, b, out *Poly) {
 	if !a.IsNTT || !b.IsNTT {
 		panic("ring: MulCoeffs requires NTT-domain operands")
 	}
-	for i := range out.Coeffs {
-		q := ctx.Moduli[i].Q
-		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := range oi {
-			oi[j] = MulMod(ai[j], bi[j], q)
+	m := len(out.Coeffs)
+	if ws := ctx.limbWorkers(m, true); ws != nil {
+		ws.Run(m, func(i int) { mulRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
+	} else {
+		for i := 0; i < m; i++ {
+			mulRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = true
@@ -167,11 +275,12 @@ func (ctx *Context) MulCoeffsAdd(a, b, out *Poly) {
 	if !a.IsNTT || !b.IsNTT {
 		panic("ring: MulCoeffsAdd requires NTT-domain operands")
 	}
-	for i := range out.Coeffs {
-		q := ctx.Moduli[i].Q
-		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := range oi {
-			oi[j] = AddMod(oi[j], MulMod(ai[j], bi[j], q), q)
+	m := len(out.Coeffs)
+	if ws := ctx.limbWorkers(m, true); ws != nil {
+		ws.Run(m, func(i int) { mulAddRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
+	} else {
+		for i := 0; i < m; i++ {
+			mulAddRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = true
@@ -203,16 +312,20 @@ func (ctx *Context) ShoupPoly(p *Poly) *PolyShoup {
 
 // MulCoeffsShoupAdd sets out += a ⊙ b (pointwise, NTT domain), where bs
 // is b's Shoup companion table. b may live at a higher level than out;
-// only out's active primes are touched.
+// only out's active primes are touched. This is the key-switch inner
+// product, the hottest pointwise loop of the evaluator.
 func (ctx *Context) MulCoeffsShoupAdd(a, b *Poly, bs *PolyShoup, out *Poly) {
 	if !a.IsNTT || !b.IsNTT {
 		panic("ring: MulCoeffsShoupAdd requires NTT-domain operands")
 	}
-	for i := range out.Coeffs {
-		q := ctx.Moduli[i].Q
-		ai, bi, si, oi := a.Coeffs[i], b.Coeffs[i], bs.S[i], out.Coeffs[i]
-		for j := range oi {
-			oi[j] = AddMod(oi[j], MulModShoup(ai[j], bi[j], si[j], q), q)
+	m := len(out.Coeffs)
+	if ws := ctx.limbWorkers(m, true); ws != nil {
+		ws.Run(m, func(i int) {
+			mulShoupAddRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], bs.S[i], out.Coeffs[i])
+		})
+	} else {
+		for i := 0; i < m; i++ {
+			mulShoupAddRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], bs.S[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = true
@@ -220,13 +333,18 @@ func (ctx *Context) MulCoeffsShoupAdd(a, b *Poly, bs *PolyShoup, out *Poly) {
 
 // MulScalar sets out = a * c for a word-sized scalar c.
 func (ctx *Context) MulScalar(a *Poly, c uint64, out *Poly) {
-	for i := range out.Coeffs {
-		q := ctx.Moduli[i].Q
-		cq := c % q
-		cs := ShoupPrecomp(cq, q)
-		ai, oi := a.Coeffs[i], out.Coeffs[i]
-		for j := range oi {
-			oi[j] = MulModShoup(ai[j], cq, cs, q)
+	m := len(out.Coeffs)
+	if ws := ctx.limbWorkers(m, true); ws != nil {
+		ws.Run(m, func(i int) {
+			q := ctx.Moduli[i].Q
+			cq := c % q
+			mulScalarRow(q, cq, ShoupPrecomp(cq, q), a.Coeffs[i], out.Coeffs[i])
+		})
+	} else {
+		for i := 0; i < m; i++ {
+			q := ctx.Moduli[i].Q
+			cq := c % q
+			mulScalarRow(q, cq, ShoupPrecomp(cq, q), a.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = a.IsNTT

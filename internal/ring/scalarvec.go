@@ -4,12 +4,16 @@ package ring
 // (already reduced modulo that prime). It is used for gadget factors
 // 2^{kw} mod q_i that exceed 64 bits as integers.
 func (ctx *Context) MulScalarVec(a *Poly, c []uint64, out *Poly) {
-	for i := range out.Coeffs {
-		q := ctx.Moduli[i].Q
-		cs := ShoupPrecomp(c[i], q)
-		ai, oi := a.Coeffs[i], out.Coeffs[i]
-		for j := range oi {
-			oi[j] = MulModShoup(ai[j], c[i], cs, q)
+	m := len(out.Coeffs)
+	if ws := ctx.limbWorkers(m, true); ws != nil {
+		ws.Run(m, func(i int) {
+			q := ctx.Moduli[i].Q
+			mulScalarRow(q, c[i], ShoupPrecomp(c[i], q), a.Coeffs[i], out.Coeffs[i])
+		})
+	} else {
+		for i := 0; i < m; i++ {
+			q := ctx.Moduli[i].Q
+			mulScalarRow(q, c[i], ShoupPrecomp(c[i], q), a.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = a.IsNTT

@@ -1,0 +1,127 @@
+package ring
+
+import (
+	"sync"
+)
+
+// Workers is a sharded pool of resident goroutines that fans independent
+// per-limb work across cores. RNS arithmetic is embarrassingly parallel
+// across the prime chain — every limb of an NTT, key-switch inner
+// product or modulus switch touches only its own residue row — yet the
+// serial loops in Context process limbs one after another. A Context
+// with an attached pool runs those loops concurrently instead.
+//
+// Determinism is structural: Run partitions the index space into
+// contiguous spans and every index writes only its own output row, so
+// the result is bit-identical to the serial loop no matter how the
+// spans are scheduled. The pool adds no locks to the data path; the only
+// synchronization is the per-call WaitGroup.
+//
+// The pool is sharded: each resident goroutine owns its own job channel,
+// so concurrent Runs (the serving layer classifies from many goroutines
+// over one shared Context) never contend on a single queue. The calling
+// goroutine always executes the first span itself — a Run on an
+// otherwise idle pool of n goroutines uses n+1 threads' worth of work
+// only when the caller would otherwise sit blocked, which is why
+// NewWorkers(n) spawns n−1 residents for a concurrency of n.
+type Workers struct {
+	n    int        // total concurrency, calling goroutine included
+	jobs []chan job // one channel per resident goroutine (n-1 of them)
+
+	// mu serializes Close against in-flight Runs: Run holds the read
+	// side across its dispatch + wait, Close takes the write side, so
+	// closing the job channels can never race a pending span send.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// job is one contiguous index span of a Run.
+type job struct {
+	fn     func(int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+// NewWorkers returns a pool of total concurrency n (the calling
+// goroutine plus n−1 resident goroutines). n ≤ 1 returns nil — the nil
+// pool is valid and means "serial", so callers can thread a Workers
+// through unconditionally. Callers that outlive their pool should
+// Close it to release the resident goroutines.
+func NewWorkers(n int) *Workers {
+	if n <= 1 {
+		return nil
+	}
+	ws := &Workers{n: n, jobs: make([]chan job, n-1)}
+	for i := range ws.jobs {
+		ch := make(chan job, 1)
+		ws.jobs[i] = ch
+		go func() {
+			for j := range ch {
+				for i := j.lo; i < j.hi; i++ {
+					j.fn(i)
+				}
+				j.wg.Done()
+			}
+		}()
+	}
+	return ws
+}
+
+// Size returns the pool's total concurrency (1 for the nil pool).
+func (ws *Workers) Size() int {
+	if ws == nil {
+		return 1
+	}
+	return ws.n
+}
+
+// Close releases the resident goroutines, blocking until every
+// in-flight Run has drained. Runs issued after Close fall back to the
+// serial loop; closing twice (or closing the nil pool) is a no-op.
+func (ws *Workers) Close() {
+	if ws == nil {
+		return
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if ws.closed {
+		return
+	}
+	ws.closed = true
+	for _, ch := range ws.jobs {
+		close(ch)
+	}
+}
+
+// Run executes fn(i) for every i in [0, m), fanning contiguous index
+// spans across the pool. fn must be safe to call concurrently for
+// distinct indices (the ring kernels are: each index owns its row).
+// The calling goroutine executes the first span itself. Safe for
+// concurrent use from many goroutines, and against Close (a Run that
+// loses the race to Close runs serially).
+func (ws *Workers) Run(m int, fn func(int)) {
+	shards := ws.Size()
+	if shards > m {
+		shards = m
+	}
+	if ws != nil && shards > 1 {
+		ws.mu.RLock()
+		if !ws.closed {
+			defer ws.mu.RUnlock()
+			var wg sync.WaitGroup
+			wg.Add(shards - 1)
+			for s := 1; s < shards; s++ {
+				ws.jobs[s-1] <- job{fn: fn, lo: s * m / shards, hi: (s + 1) * m / shards, wg: &wg}
+			}
+			for i := 0; i < m/shards; i++ {
+				fn(i)
+			}
+			wg.Wait()
+			return
+		}
+		ws.mu.RUnlock()
+	}
+	for i := 0; i < m; i++ {
+		fn(i)
+	}
+}

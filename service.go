@@ -65,6 +65,7 @@ type serviceConfig struct {
 	scenario         Scenario
 	security         SecurityPreset
 	workers          int
+	intraOpWorkers   int
 	maxInFlight      int
 	levels           int
 	seed             uint64
@@ -90,6 +91,18 @@ func WithSecurity(p SecurityPreset) Option { return func(c *serviceConfig) { c.s
 // WithWorkers sets the intra-query parallelism of each classification
 // (the paper's multithreaded mode); 0 or 1 means single-threaded.
 func WithWorkers(n int) Option { return func(c *serviceConfig) { c.workers = n } }
+
+// WithIntraOpWorkers sets the ring-layer limb parallelism of the BGV
+// backend: every NTT, key switch and modulus switch fans its RNS limbs
+// across an n-way worker pool (results are bit-identical to serial).
+// The default (0) derives n from a shared core budget — query workers ×
+// in-flight passes × limb workers ≤ NumCPU, so the service's layered
+// parallelism does not oversubscribe the host (with no WithMaxInFlight
+// cap the budget assumes one pass at a time) — which on a machine
+// without spare cores per worker means serial. 1 forces serial; n ≥ 2
+// is used as given (explicit oversubscription is allowed, e.g. for
+// tests). The clear backend has no ring layer and ignores this option.
+func WithIntraOpWorkers(n int) Option { return func(c *serviceConfig) { c.intraOpWorkers = n } }
 
 // WithMaxInFlight caps how many classifications run concurrently;
 // excess calls queue (their wait is reported by Stats). 0 means
@@ -167,13 +180,58 @@ func (s *Service) newBackend(c *Compiled) (he.Backend, error) {
 			return nil, fmt.Errorf("copse: model staged for %d slots but preset provides %d; recompile with Slots=%d",
 				c.Meta.Slots, slots, slots)
 		}
+		params.IntraOpWorkers = s.intraOpBudget()
+		// Galois-key level budget: steps the level plan proves are only
+		// rotated in the scheduled-down back half get their keys
+		// generated at that stage's level instead of the chain top
+		// (several-fold less key material on BSGS step sets; the
+		// composed-rotation ladder stays at the top as the fallback for
+		// later-registered models with different schedules).
+		var stepLevels map[int]int
+		if !s.cfg.disableLevelPlan {
+			if encModel, _, err := scenarioEncryption(s.cfg.scenario); err == nil {
+				stepLevels = c.Meta.RotationStepLevels(encModel)
+			}
+		}
 		return hebgv.New(hebgv.Config{
-			Params:        params,
-			RotationSteps: c.Meta.RotationSteps,
-			Seed:          s.cfg.seed,
+			Params:             params,
+			RotationSteps:      c.Meta.RotationSteps,
+			RotationStepLevels: stepLevels,
+			Seed:               s.cfg.seed,
 		})
 	}
 	return nil, fmt.Errorf("copse: unknown backend kind %d", s.cfg.backend)
+}
+
+// intraOpBudget resolves WithIntraOpWorkers against the shared core
+// budget: an explicit setting wins (1 = serial), the default splits
+// NumCPU across the concurrency the service itself creates — intra-
+// query stage workers times the in-flight pass cap — so the layered
+// parallelism does not oversubscribe the host. With no in-flight cap
+// the budget assumes one pass at a time; servers expecting sustained
+// concurrent passes should set WithMaxInFlight (or an explicit
+// intra-op count) to keep the product bounded.
+func (s *Service) intraOpBudget() int {
+	n := s.cfg.intraOpWorkers
+	if n == 0 {
+		n = runtime.NumCPU() / (max(s.cfg.workers, 1) * max(s.cfg.maxInFlight, 1))
+	}
+	if n < 2 {
+		return 0 // serial: no pool
+	}
+	return n
+}
+
+// Close releases backend resources (the ring-layer worker pool); the
+// service must not be used afterwards. Safe to call on a service that
+// never registered a model.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.backend.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // Register stages a compiled model under a name, sharing the service's
