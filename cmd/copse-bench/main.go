@@ -37,6 +37,7 @@ func main() {
 	levelJSON := flag.String("leveljson", "", "also write the level-scheduling record (per-stage limbs + limb-op integrals, planned vs -nolevelplan, BGV backend) to this file (e.g. BENCH_levels.json)")
 	noLevelPlan := flag.Bool("nolevelplan", false, "disable static level scheduling (reactive noise management; the DESIGN.md §8 ablation)")
 	nttJSON := flag.String("nttjson", "", "also write the intra-op parallelism record (serial vs fused vs limb-parallel ring kernels, classify ablation, Galois-key budget) to this file (e.g. BENCH_ntt.json)")
+	shuffleJSON := flag.String("shufflejson", "", "also write the result-shuffle record (per-query shuffle cost at B=1 vs one batched pass at B=max, clear and BGV backends, rotation budget) to this file (e.g. BENCH_shuffle.json)")
 	intraOp := flag.Int("intraop", 0, "ring-layer limb workers for BGV runs (default/1 = serial so ablation baselines stay single-threaded; n >= 2 enables the pool)")
 	secure128 := flag.Bool("secure128", false, "with -nttjson: also run the offline Security128 (N=32768) end-to-end classify (slow)")
 	flag.Parse()
@@ -154,6 +155,24 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *levelJSON)
+	}
+
+	if *shuffleJSON != "" {
+		report, err := experiments.ShuffleReport(cfg)
+		if err != nil {
+			log.Fatalf("shuffle report: %v", err)
+		}
+		f, err := os.Create(*shuffleJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *shuffleJSON)
 	}
 
 	if *nttJSON != "" {

@@ -26,6 +26,7 @@ func main() {
 	modelPath := flag.String("model", "", "input model in COPSE text format")
 	slots := flag.Int("slots", 1024, "target packing width (1024 = BGV test preset, 2048 = demo preset)")
 	padK := flag.Int("padk", 0, "pad feature multiplicity to this bound instead of revealing exact K (0 = exact)")
+	planShuffle := flag.Bool("planshuffle", false, "reserve level headroom for result shuffling (required to serve the artifact with copse-serve -shuffle on the BGV backend)")
 	out := flag.String("out", "", "output artifact path")
 	emit := flag.String("emit", "", "also emit a standalone Go program to this path")
 	flag.Parse()
@@ -46,6 +47,7 @@ func main() {
 	compiled, err := copse.Compile(forest, copse.CompileOptions{
 		Slots:             *slots,
 		PadMultiplicityTo: *padK,
+		PlanShuffle:       *planShuffle,
 	})
 	if err != nil {
 		log.Fatal(err)

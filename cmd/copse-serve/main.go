@@ -63,7 +63,8 @@ func main() {
 	intraOp := flag.Int("intraop", 0, "ring-layer limb workers per op (0 = core budget, 1 = serial)")
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent classification cap (0 = unlimited)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request classification timeout")
-	seed := flag.Uint64("seed", 0, "deterministic keys/encryption when non-zero")
+	seed := flag.Uint64("seed", 0, "deterministic keys/encryption when non-zero (tests only: with -shuffle it also makes every shuffle permutation predictable to anyone who knows the seed, voiding the leakage hardening)")
+	shuffle := flag.Bool("shuffle", false, "shuffle results (leakage hardening, §7.2.2): responses carry per-query codebooks and vote counts instead of per-tree labels; BGV models need CompileOptions.PlanShuffle")
 	flag.Parse()
 
 	if len(models) == 0 {
@@ -78,6 +79,7 @@ func main() {
 		copse.WithIntraOpWorkers(*intraOp),
 		copse.WithMaxInFlight(*maxInFlight),
 		copse.WithSeed(*seed),
+		copse.WithShuffle(*shuffle),
 	}
 	kind, err := copse.ParseBackend(*backendArg)
 	if err != nil {
@@ -143,7 +145,7 @@ func main() {
 		log.Printf("serving %q: %s, batch capacity %d", name, meta, capacity)
 	}
 
-	srv := &server{svc: svc, timeout: *timeout}
+	srv := &server{svc: svc, timeout: *timeout, shuffle: *shuffle}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", srv.classify)
 	mux.HandleFunc("GET /v1/models", srv.models)
@@ -160,6 +162,7 @@ func main() {
 type server struct {
 	svc     *copse.Service
 	timeout time.Duration
+	shuffle bool
 }
 
 type classifyRequest struct {
@@ -171,11 +174,21 @@ type classifyResult struct {
 	Label     int    `json:"label"`
 	LabelName string `json:"labelName,omitempty"`
 	Votes     []int  `json:"votes"`
-	PerTree   []int  `json:"perTree"`
+	// PerTree is omitted on shuffled responses: the shuffle hides tree
+	// boundaries by design, only vote counts survive.
+	PerTree []int `json:"perTree,omitempty"`
+	// Codebook is the query's shuffled decoding table (shuffled
+	// responses only): slot i of the permuted result votes for label
+	// Codebook[i].
+	Codebook []int `json:"codebook,omitempty"`
+	// NumTrees accompanies a codebook so the client can sanity-check the
+	// vote total.
+	NumTrees int `json:"numTrees,omitempty"`
 }
 
 type classifyResponse struct {
 	Model     string           `json:"model"`
+	Shuffled  bool             `json:"shuffled,omitempty"`
 	Results   []classifyResult `json:"results"`
 	Passes    int              `json:"passes"`
 	LatencyMS float64          `json:"latencyMS"`
@@ -227,7 +240,13 @@ func (s *server) classify(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	start := time.Now()
-	results, err := s.svc.ClassifyBatch(ctx, req.Model, req.Queries)
+	var results []*copse.Result
+	var codebooks []*copse.ShuffledCodebook
+	if s.shuffle {
+		results, codebooks, err = s.svc.ClassifyBatchShuffled(ctx, req.Model, req.Queries)
+	} else {
+		results, err = s.svc.ClassifyBatch(ctx, req.Model, req.Queries)
+	}
 	if err != nil {
 		status := http.StatusInternalServerError
 		if ctx.Err() != nil {
@@ -238,13 +257,18 @@ func (s *server) classify(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := classifyResponse{
 		Model:     req.Model,
+		Shuffled:  s.shuffle,
 		Passes:    (len(req.Queries) + capacity - 1) / capacity,
 		LatencyMS: float64(time.Since(start).Microseconds()) / 1000,
 	}
-	for _, res := range results {
+	for i, res := range results {
 		cr := classifyResult{Label: res.Plurality(), Votes: res.Votes, PerTree: res.PerTree}
 		if cr.Label < len(meta.LabelNames) {
 			cr.LabelName = meta.LabelNames[cr.Label]
+		}
+		if codebooks != nil {
+			cr.Codebook = codebooks[i].Slots
+			cr.NumTrees = codebooks[i].NumTrees
 		}
 		resp.Results = append(resp.Results, cr)
 	}

@@ -231,10 +231,21 @@ type SystemConfig struct {
 	// recommendation. Scheduling is on by default; this is the ablation
 	// knob (DESIGN.md §8).
 	DisableLevelPlan bool
+	// Shuffle enables result shuffling (paper §7.2.2) on every
+	// classification pass: per-query permuted results decoded through
+	// per-query codebooks (see WithShuffle). BGV models must be compiled
+	// with CompileOptions.PlanShuffle.
+	Shuffle bool
+	// MeasureNoise records decrypt-side noise-budget margins at every
+	// stage boundary in each Trace (see WithNoiseMeasurement); a
+	// benchmarking knob.
+	MeasureNoise bool
 	// Levels overrides the compiler's recommended BGV chain length.
 	Levels int
 	// Seed, when non-zero, makes key generation and encryption
-	// deterministic (tests and reproducible experiments only).
+	// deterministic (tests and reproducible experiments only). With
+	// Shuffle it also makes every shuffle permutation predictable from
+	// the seed — see WithSeed.
 	Seed uint64
 }
 
@@ -285,6 +296,8 @@ func NewSystem(c *Compiled, cfg SystemConfig) (*System, error) {
 		WithReuseRotations(cfg.ReuseRotations),
 		WithHoisting(!cfg.DisableHoisting),
 		WithLevelPlan(!cfg.DisableLevelPlan),
+		WithShuffle(cfg.Shuffle),
+		WithNoiseMeasurement(cfg.MeasureNoise),
 	)
 	if err := svc.Register(systemModel, c); err != nil {
 		return nil, err
@@ -332,12 +345,25 @@ func (d *DataOwner) EncryptQueryBatch(batch [][]uint64) (*Query, error) {
 	return d.sys.svc.EncryptQueryBatch(systemModel, batch)
 }
 
+// ShuffledCodebook is the public decoding table of one shuffled query:
+// the slot→label map the data owner tallies votes through (paper
+// §7.2.2). Returned per packed query by the shuffled serving path.
+type ShuffledCodebook = core.ShuffledCodebook
+
 // EncryptedResult is Sally's output: the encrypted N-hot leaf
-// bitvector, one per packed query.
+// bitvector, one per packed query. Under WithShuffle each query's leaf
+// slots are permuted and the matching per-query codebooks ride along.
 type EncryptedResult struct {
-	op    he.Operand
-	batch int
+	op        he.Operand
+	batch     int
+	codebooks []*core.ShuffledCodebook // nil unless the pass was shuffled
 }
+
+// Codebooks returns the per-query shuffled codebooks of a shuffled
+// pass, in packing order (nil for unshuffled passes). Together with the
+// decrypted slots these are all the data owner needs to tally votes —
+// and all they can learn: leaf order and tree boundaries stay hidden.
+func (r *EncryptedResult) Codebooks() []*ShuffledCodebook { return r.codebooks }
 
 // Classify runs Algorithm 1 on an encrypted query (or slot-packed
 // batch; one pass classifies every packed query).

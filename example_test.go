@@ -36,6 +36,39 @@ func ExampleService() {
 	// 2 queries, 1 homomorphic pass(es)
 }
 
+// ExampleService_shuffled shows shuffled batched serving (paper
+// §7.2.2 + DESIGN.md §10): WithShuffle permutes every packed query's
+// result slots in one block-diagonal pass, and the per-query codebooks
+// decode vote counts — per-tree labels stay hidden from the data owner.
+func ExampleService_shuffled() {
+	// PlanShuffle reserves the level headroom the shuffle needs on the
+	// BGV backend; the exact clear backend accepts any schedule.
+	compiled, err := copse.Compile(copse.ExampleForest(), copse.CompileOptions{Slots: 1024, PlanShuffle: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := copse.NewService(
+		copse.WithBackend(copse.BackendClear),
+		copse.WithShuffle(true),
+		copse.WithSeed(7), // deterministic permutations, for the example only
+	)
+	if err := svc.Register("figure1", compiled); err != nil {
+		log.Fatal(err)
+	}
+	batch := [][]uint64{{0, 5}, {7, 0}}
+	results, codebooks, err := svc.ClassifyBatchShuffled(context.Background(), "figure1", batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, res := range results {
+		fmt.Printf("Classify(%d, %d) votes %v → L%d (codebook over %d shuffled slots)\n",
+			batch[i][0], batch[i][1], res.Votes, res.Plurality(), len(codebooks[i].Slots))
+	}
+	// Output:
+	// Classify(0, 5) votes [0 0 0 0 1 0] → L4 (codebook over 6 shuffled slots)
+	// Classify(7, 0) votes [0 0 0 1 0 0] → L3 (codebook over 6 shuffled slots)
+}
+
 // Example runs the paper's Figure 1 walkthrough on the exact reference
 // backend: the input (x, y) = (0, 5) classifies as L4.
 func Example() {

@@ -70,6 +70,38 @@ func main() {
 	fmt.Printf("\n%d queries answered in %d homomorphic pass(es), %v per pass\n",
 		st.Queries, st.Requests, st.MeanLatency().Round(1e6))
 	fmt.Printf("FHE operations: %v\n", svc.Backend().Counts())
+
+	// Leakage-hardened serving: the raw leaf bitvector reveals the
+	// order of the labels in the forest's trees, so a shuffled service
+	// permutes every packed query's result — one block-diagonal pass
+	// for the whole batch (DESIGN.md §10) — and hands back per-query
+	// codebooks. Vote counts survive; per-tree labels don't. On BGV the
+	// model must be compiled with PlanShuffle so the result keeps the
+	// shuffle's level headroom.
+	shuffledModel, err := copse.Compile(forest, copse.CompileOptions{Slots: 1024, PlanShuffle: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shuffledSvc := copse.NewService(
+		copse.WithBackend(copse.BackendBGV),
+		copse.WithScenario(copse.ScenarioOffload),
+		copse.WithSecurity(copse.SecurityTest),
+		copse.WithWorkers(8),
+		copse.WithShuffle(true),
+	)
+	if err := shuffledSvc.Register("figure1", shuffledModel); err != nil {
+		log.Fatal(err)
+	}
+	defer shuffledSvc.Close()
+	sResults, codebooks, err := shuffledSvc.ClassifyBatchShuffled(context.Background(), "figure1", batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nshuffled serving (one permutation pass per batch):")
+	for i, res := range sResults {
+		fmt.Printf("Classify(x=%d, y=%d) votes %v → %s  (codebook %v)\n",
+			batch[i][0], batch[i][1], res.Votes, forest.Labels[res.Plurality()], codebooks[i].Slots)
+	}
 }
 
 type logWriter struct{}

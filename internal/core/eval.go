@@ -162,6 +162,14 @@ type Engine struct {
 	// (DESIGN.md §8). Operands staged reactively (ModelOperands.Plan ==
 	// nil) imply it.
 	DisableLevelPlan bool
+	// MeasureNoise records the decrypt-side measured noise budget of the
+	// carrier ciphertext at every stage boundary in Trace.Noise — the
+	// measured-margin complement of the planner's estimates (it grounds
+	// the flat slack in core/levelplan.go against reality). Measurement
+	// decrypts, so it needs the secret key and costs one decryption per
+	// stage: a harness knob (copse-bench -leveljson), not a serving-path
+	// default. Ignored on backends without noise (the clear reference).
+	MeasureNoise bool
 }
 
 // Trace records the per-stage timing and operation counts that
@@ -171,9 +179,35 @@ type Trace struct {
 	Total                                  time.Duration
 	CompareOps, ReshuffleOps               he.OpCounts
 	LevelOps, AccumulateOps                he.OpCounts
+	// Shuffle is the optional result-shuffle pass (paper §7.2.2) the
+	// serving layer runs after the engine when shuffling is enabled;
+	// zero otherwise. Its time is included in Total.
+	Shuffle    time.Duration
+	ShuffleOps he.OpCounts
 	// Limbs is the level plan's runtime footprint (zero-valued on
 	// backends without a modulus chain).
 	Limbs StageLimbs
+	// Noise is the decrypt-side measured noise budget at each stage
+	// boundary, filled only under Engine.MeasureNoise (all -1 otherwise,
+	// and on backends without noise).
+	Noise StageNoise
+}
+
+// StageNoise records the measured remaining noise budget (bits) of the
+// carrier ciphertext at the same boundaries StageLimbs reports limb
+// counts for: the margin each stage actually leaves, versus the slack
+// the planner's noise model reserves. -1 where not measured.
+type StageNoise struct {
+	// Query is the budget of the first query bit plane feeding compare.
+	Query int
+	// Decisions enters the reshuffle mat-vec.
+	Decisions int
+	// BranchVec enters the per-level mat-vecs.
+	BranchVec int
+	// LevelResult enters the accumulation product tree.
+	LevelResult int
+	// Result is the classification output (what decrypt sees).
+	Result int
 }
 
 // StageLimbs records the active RNS limb count of the pipeline's
@@ -240,7 +274,21 @@ func (e *Engine) ClassifyCtx(ctx context.Context, m *ModelOperands, q *Query) (h
 		}
 		return sel(*stage)
 	}
-	trace := &Trace{}
+	trace := &Trace{Noise: StageNoise{Query: -1, Decisions: -1, BranchVec: -1, LevelResult: -1, Result: -1}}
+	// measureNoise reads the carrier's decrypt-side budget at a stage
+	// boundary (the -leveljson margin corpus); -1 when not measuring.
+	// Measurement decrypts, so its elapsed time is tracked and excluded
+	// from Trace.Total — measured and unmeasured runs report comparable
+	// totals (the per-stage windows already exclude it).
+	var noiseOverhead time.Duration
+	measureNoise := func(op he.Operand) int {
+		if !e.MeasureNoise {
+			return -1
+		}
+		mark := time.Now()
+		defer func() { noiseOverhead += time.Since(mark) }()
+		return he.NoiseBudgetOf(e.Backend, op)
+	}
 	start := time.Now()
 	// The stage op counts in the trace come from a per-call counting
 	// wrapper, not deltas of the shared backend counter: under the
@@ -284,6 +332,11 @@ func (e *Engine) ClassifyCtx(ctx context.Context, m *ModelOperands, q *Query) (h
 	snap := b.Counts()
 	trace.CompareOps = snap.Minus(base)
 	base = snap
+	// Noise measurements decrypt, so they run outside the timing windows
+	// (after each stage's duration is captured) to keep the -leveljson
+	// stage medians comparable with unmeasured runs.
+	trace.Noise.Query = measureNoise(bits[0])
+	trace.Noise.Decisions = measureNoise(decisions)
 	if err := ctx.Err(); err != nil {
 		return he.Operand{}, nil, err
 	}
@@ -313,6 +366,7 @@ func (e *Engine) ClassifyCtx(ctx context.Context, m *ModelOperands, q *Query) (h
 	snap = b.Counts()
 	trace.ReshuffleOps = snap.Minus(base)
 	base = snap
+	trace.Noise.BranchVec = measureNoise(branchVec)
 	if err := ctx.Err(); err != nil {
 		return he.Operand{}, nil, err
 	}
@@ -390,6 +444,7 @@ func (e *Engine) ClassifyCtx(ctx context.Context, m *ModelOperands, q *Query) (h
 	snap = b.Counts()
 	trace.LevelOps = snap.Minus(base)
 	base = snap
+	trace.Noise.LevelResult = measureNoise(lvlResults[0])
 	if err := ctx.Err(); err != nil {
 		return he.Operand{}, nil, err
 	}
@@ -407,7 +462,8 @@ func (e *Engine) ClassifyCtx(ctx context.Context, m *ModelOperands, q *Query) (h
 	trace.Accumulate = time.Since(mark)
 	snap = b.Counts()
 	trace.AccumulateOps = snap.Minus(base)
-	trace.Total = time.Since(start)
+	trace.Total = time.Since(start) - noiseOverhead
+	trace.Noise.Result = measureNoise(labels)
 	return labels, trace, nil
 }
 

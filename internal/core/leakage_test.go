@@ -2,9 +2,13 @@ package core
 
 import (
 	"bytes"
+	"fmt"
+	"sync"
 	"testing"
 
+	"copse/internal/he"
 	"copse/internal/he/heclear"
+	"copse/internal/model"
 )
 
 // TestTable3LeakageTwoParty transcribes and checks the paper's Table 3.
@@ -137,5 +141,179 @@ func TestArtifactBadInput(t *testing.T) {
 	}
 	if _, err := ReadArtifact(bytes.NewReader(nil)); err == nil {
 		t.Error("empty input accepted")
+	}
+}
+
+// TestBatchedShuffleLeakage extends the shuffle leakage checks to the
+// batched path: with the same query packed into every block (identical
+// unshuffled leaf patterns), each block's hot slot must move across
+// seeds, and within one seed the blocks must not share a permutation —
+// the data owner cannot link one packed query's shuffled layout to
+// another's. Shuffles run concurrently from several goroutines so the
+// -race suite doubles as the concurrency check for the batched kernel.
+func TestBatchedShuffleLeakage(t *testing.T) {
+	b := heclear.New(64, 65537)
+	c := compileFigure1(t)
+	m, err := Prepare(b, c, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Backend: b}
+	capacity := m.Meta.BatchCapacity() // 4
+	batch := make([][]uint64, capacity)
+	for i := range batch {
+		batch[i] = []uint64{0, 5} // every block classifies as L4
+	}
+	q, err := PrepareQueryBatch(b, &m.Meta, batch, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := e.Classify(m, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const seeds = 8
+	padTo := m.Meta.SPad()
+	hot := make([][]int, seeds) // hot[seed][block]
+	errCh := make(chan error, seeds)
+	var mu sync.Mutex
+	for seed := 0; seed < seeds; seed++ {
+		go func(seed int) {
+			shuffled, cbs, err := ShuffleResultBatch(b, &m.Meta, out, capacity, padTo, uint64(seed+1), 2)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if len(cbs) != capacity {
+				errCh <- fmt.Errorf("seed %d: %d codebooks", seed, len(cbs))
+				return
+			}
+			slots, err := he.Reveal(b, shuffled)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			pos := make([]int, capacity)
+			block := m.Meta.BatchBlock()
+			for k := 0; k < capacity; k++ {
+				pos[k] = -1
+				for i := 0; i < padTo; i++ {
+					if slots[k*block+i] == 1 {
+						pos[k] = i
+						break
+					}
+				}
+				if pos[k] < 0 {
+					errCh <- fmt.Errorf("seed %d block %d: no hot slot", seed, k)
+					return
+				}
+			}
+			mu.Lock()
+			hot[seed] = pos
+			mu.Unlock()
+			errCh <- nil
+		}(seed)
+	}
+	for i := 0; i < seeds; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Across seeds, each block's hot slot must move.
+	for k := 0; k < capacity; k++ {
+		positions := map[int]bool{}
+		for seed := 0; seed < seeds; seed++ {
+			positions[hot[seed][k]] = true
+		}
+		if len(positions) < 3 {
+			t.Errorf("block %d: hot slot landed in only %d positions over %d seeds", k, len(positions), seeds)
+		}
+	}
+	// Within a seed, identical inputs must not land identically in every
+	// block (independent per-block permutations). A full coincidence is
+	// possible by chance ((1/8)^3 per seed here), so assert over the
+	// aggregate: most seeds must show differing blocks.
+	coincidences := 0
+	for seed := 0; seed < seeds; seed++ {
+		allSame := true
+		for k := 1; k < capacity; k++ {
+			if hot[seed][k] != hot[seed][0] {
+				allSame = false
+				break
+			}
+		}
+		if allSame {
+			coincidences++
+		}
+	}
+	if coincidences > seeds/2 {
+		t.Errorf("identical packed queries shared one hot slot across all blocks in %d of %d seeds (linked permutations?)", coincidences, seeds)
+	}
+}
+
+// TestBatchedShuffleLeakageBGV is the same property on real BGV
+// ciphertexts (fewer seeds; the kernel is the slow part).
+func TestBatchedShuffleLeakageBGV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BGV batched shuffle leakage is slow")
+	}
+	forest := model.Figure1()
+	c, err := Compile(forest, Options{Slots: 1024, PlanShuffle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newBGVBackend(t, c)
+	m, err := Prepare(b, c, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Backend: b, Workers: 4}
+	const packed = 3
+	batch := make([][]uint64, packed)
+	for i := range batch {
+		batch[i] = []uint64{0, 5}
+	}
+	q, err := PrepareQueryBatch(b, &m.Meta, batch, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := e.Classify(m, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := m.Meta.BatchBlock()
+	padTo := m.Meta.SPad()
+	differs := false
+	for seed := uint64(1); seed <= 3 && !differs; seed++ {
+		shuffled, _, err := ShuffleResultBatch(b, &m.Meta, out, packed, padTo, seed, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots, err := he.Reveal(b, shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot := make([]int, packed)
+		for k := 0; k < packed; k++ {
+			hot[k] = -1
+			for i := 0; i < padTo; i++ {
+				if slots[k*block+i] == 1 {
+					hot[k] = i
+					break
+				}
+			}
+			if hot[k] < 0 {
+				t.Fatalf("seed %d block %d: no hot slot", seed, k)
+			}
+		}
+		for k := 1; k < packed; k++ {
+			if hot[k] != hot[0] {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Error("identical packed queries always shared a hot slot across blocks")
 	}
 }

@@ -452,8 +452,12 @@ type pipelineShape struct {
 	nSplit     [2]int // shuffle kernel baby/giant
 	levels     int    // D: number of level matrices
 	reshufRep  int    // replicate doublings after the reshuffle
-	shuffleRep int    // replicate doublings before the shuffle
-	batched    bool   // batch capacity > 1 (shuffle pays a selector mul)
+	shuffleRep int    // replicate doublings before the single-query shuffle
+	// shuffleRepB is the block-local doubling count of the batched
+	// shuffle (ReplicateWithin to the batch block instead of the full
+	// ciphertext; it pays no selector mul). Always ≤ shuffleRep.
+	shuffleRepB int
+	batched     bool // batch capacity > 1 (single-query shuffle pays a selector mul)
 }
 
 func shapeOf(m *Meta) pipelineShape {
@@ -471,14 +475,15 @@ func shapeOf(m *Meta) pipelineShape {
 	// The shuffle kernel always stages BSGS diagonals (shuffle.go).
 	nBaby, nGiant := matrix.BSGSSplit(nPad)
 	return pipelineShape{
-		precision:  m.Precision,
-		qSplit:     split(m.QPad),
-		bSplit:     split(m.BPad),
-		nSplit:     [2]int{nBaby, nGiant},
-		levels:     max(m.D, 1),
-		reshufRep:  log2Ceil(m.BatchBlock() / m.BPad),
-		shuffleRep: log2Ceil(m.Slots / nPad),
-		batched:    m.BatchCapacity() > 1,
+		precision:   m.Precision,
+		qSplit:      split(m.QPad),
+		bSplit:      split(m.BPad),
+		nSplit:      [2]int{nBaby, nGiant},
+		levels:      max(m.D, 1),
+		reshufRep:   log2Ceil(m.BatchBlock() / m.BPad),
+		shuffleRep:  log2Ceil(m.Slots / nPad),
+		shuffleRepB: log2Ceil(m.BatchBlock() / nPad),
+		batched:     m.BatchCapacity() > 1,
 	}
 }
 
@@ -579,19 +584,38 @@ func simulatePipeline(nm noiseModel, sh pipelineShape, encModel bool, e stageEnt
 	return out.ct, s.compareLevels, simFailure{}, true
 }
 
-// simulateShuffle runs the optional result shuffle from the given input.
+// simulateShuffle runs the optional result shuffle from the given
+// input, through both kernels that share the Shuffle entry level: the
+// single-query one (selector mul when batched, whole-ciphertext
+// replicate) and the block-local batched one (ReplicateWithin to the
+// batch block, no selector, block-diagonal permutation). The batched
+// kernel does strictly less work, but simulating both keeps the entry
+// level sound if the shapes ever diverge.
 func simulateShuffle(nm noiseModel, sh pipelineShape, in simCt) bool {
-	s := newSim(nm)
-	v := simOp{cipher: true, ct: in}
-	if sh.batched {
-		v = s.mulPlain(v)
+	single := func() bool {
+		s := newSim(nm)
+		v := simOp{cipher: true, ct: in}
+		if sh.batched {
+			v = s.mulPlain(v)
+		}
+		v = s.replicate(v, sh.shuffleRep)
+		v = s.matVec(v, simPlain(), sh.nSplit[0], sh.nSplit[1])
+		if v.cipher {
+			s.manage(&v.ct)
+		}
+		return s.ok
 	}
-	v = s.replicate(v, sh.shuffleRep)
-	v = s.matVec(v, simPlain(), sh.nSplit[0], sh.nSplit[1])
-	if v.cipher {
-		s.manage(&v.ct)
+	batched := func() bool {
+		s := newSim(nm)
+		v := simOp{cipher: true, ct: in}
+		v = s.replicate(v, sh.shuffleRepB)
+		v = s.matVec(v, simPlain(), sh.nSplit[0], sh.nSplit[1])
+		if v.cipher {
+			s.manage(&v.ct)
+		}
+		return s.ok
 	}
-	return s.ok
+	return single() && batched()
 }
 
 // planCap bounds the schedule search: no realistic model needs a deeper
@@ -700,28 +724,46 @@ func computeLevelPlan(m *Meta, planShuffle bool) *LevelPlan {
 	nm := planNoiseModel(m.Slots)
 	sh := shapeOf(m)
 	shuffleAt := shuffleEntryLevel(nm, sh)
-	final := 1
+	minFinal := 1
 	if planShuffle {
 		// Reserve headroom so the classification result can still feed
 		// the result shuffle.
-		final = max(final, shuffleAt)
+		minFinal = max(minFinal, shuffleAt)
 	}
 	plan := &LevelPlan{}
 	for _, encModel := range []bool{true, false} {
-		e, out, ok := scheduleScenario(nm, sh, encModel, final)
-		if !ok {
-			return nil
+		// The shuffle entry level assumes a modulus-switch-floored input,
+		// but a result landing *exactly* at the entry level can arrive
+		// hot (no switch left to cool it — depth-4 forests do). Raising
+		// the final level by one puts a boundary drop between the
+		// pipeline and the shuffle, which floors the carrier; search
+		// upward until the shuffle simulates clean.
+		var st StageLevels
+		found := false
+		for final := minFinal; final <= planCap && !found; final++ {
+			e, out, ok := scheduleScenario(nm, sh, encModel, final)
+			if !ok {
+				break // deeper finals only make the pipeline harder
+			}
+			if planShuffle {
+				s := newSim(nm)
+				s.dropTo(&out, shuffleAt) // ShuffleResult's entry drop
+				if !s.ok || !simulateShuffle(nm, sh, out) {
+					continue
+				}
+			}
+			st = StageLevels{
+				Compare:       e.compare,
+				Reshuffle:     e.reshuffle,
+				Level:         e.level,
+				Accumulate:    e.accumulate,
+				Final:         e.final,
+				Shuffle:       shuffleAt,
+				CompareRounds: compareRoundPlan(nm, sh, encModel, e),
+			}
+			found = true
 		}
-		st := StageLevels{
-			Compare:       e.compare,
-			Reshuffle:     e.reshuffle,
-			Level:         e.level,
-			Accumulate:    e.accumulate,
-			Final:         e.final,
-			Shuffle:       shuffleAt,
-			CompareRounds: compareRoundPlan(nm, sh, encModel, e),
-		}
-		if planShuffle && !simulateShuffle(nm, sh, out) {
+		if !found {
 			return nil
 		}
 		if encModel {

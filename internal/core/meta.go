@@ -167,8 +167,13 @@ func (m *Meta) RotationStepLevels(encModel bool) map[int]int {
 	replicate(m.BPad, m.BatchBlock(), st.Reshuffle)
 
 	// The result shuffle always stages a BSGS kernel over the padded
-	// leaf period and replicates across the whole ciphertext; its entry
-	// level is scenario-independent (ShuffleResult drops to it).
+	// leaf period; its entry level is scenario-independent (both
+	// ShuffleResult and ShuffleResultBatch drop to it). The replication
+	// steps cover the single-query whole-ciphertext replicate, whose
+	// negated powers of two are a superset of the batched kernel's
+	// block-local ReplicateWithin steps (LPad up to BatchBlock), and the
+	// block-diagonal batched kernel reuses the same baby/giant steps —
+	// so one leveled key budget serves both shuffle paths.
 	nb, ng := matrix.BSGSSplit(m.LPad())
 	shuffleAt := m.LevelPlan.ShuffleLevel()
 	kernel(nb, ng, shuffleAt)

@@ -45,6 +45,10 @@ type Config struct {
 	// NoLevelPlan disables static level scheduling (the -nolevelplan
 	// ablation): reactive noise management on the reactive chain length.
 	NoLevelPlan bool
+	// MeasureNoise records decrypt-side noise-budget margins at every
+	// stage boundary of each classify (Trace.Noise) — the -leveljson
+	// margin corpus. BGV only; costs one decryption per stage.
+	MeasureNoise bool
 	// Models, when non-empty, restricts the suite to the named cases.
 	Models []string
 }

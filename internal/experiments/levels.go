@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"time"
 
 	"copse"
@@ -61,17 +62,27 @@ type LevelRun struct {
 }
 
 // LevelStage is one pipeline stage's record: the limb count the stage
-// entered at and its limb·op integral (Σ over ops of active limbs).
+// entered at, its limb·op integral (Σ over ops of active limbs), and
+// the decrypt-side measured noise margin at the same boundary.
 type LevelStage struct {
 	Name     string  `json:"name"`
 	MedianMS float64 `json:"median_ms"`
 	Limbs    int     `json:"limbs"`
 	LimbOps  int64   `json:"limb_ops"`
+	// NoiseBudget is the median measured remaining noise budget (bits)
+	// of the carrier ciphertext at this stage boundary over the corpus —
+	// the margin the planner's flat slack (core/levelplan.go) actually
+	// leaves, and the groundwork for shrinking it per stage.
+	NoiseBudget int `json:"noise_budget"`
 }
 
 // LevelReport measures every configured model with the level schedule
 // active and with reactive management, on the BGV backend (the clear
-// backend has no levels to schedule).
+// backend has no levels to schedule). The report doubles as the
+// measured-noise corpus — per-stage NoiseBudget margins over the suite
+// — collected in a *separate* measuring pass per configuration, so the
+// timed corpus (total_ms, Speedup) never absorbs the measurement
+// decryptions.
 func LevelReport(cfg Config) (*LevelBench, error) {
 	cfg = cfg.withDefaults()
 	cfg.Backend = "bgv"
@@ -96,7 +107,21 @@ func LevelReport(cfg Config) (*LevelBench, error) {
 			}
 			meta := r.sys.Sally.Meta()
 			lc.Depth = meta.D
-			run := levelRun(times, traces)
+			r.close()
+			// The noise corpus comes from its own measured pass over the
+			// same queries.
+			noiseCfg := runCfg
+			noiseCfg.MeasureNoise = true
+			nr, err := newCopseRunner(cs, noiseCfg, defaultWorkers(cfg), copse.ScenarioOffload)
+			if err != nil {
+				return nil, err
+			}
+			_, noiseTraces, err := nr.run(cfg.Queries, cfg.Seed)
+			nr.close()
+			if err != nil {
+				return nil, err
+			}
+			run := levelRun(times, traces, noiseTraces)
 			if reactive {
 				lc.ReactiveLevels = meta.RecommendedLevels
 				lc.Reactive = run
@@ -114,7 +139,6 @@ func LevelReport(cfg Config) (*LevelBench, error) {
 				}
 				lc.Planned = run
 			}
-			r.close()
 		}
 		if lc.Planned.TotalMS > 0 {
 			lc.Speedup = lc.Reactive.TotalMS / lc.Planned.TotalMS
@@ -124,32 +148,63 @@ func LevelReport(cfg Config) (*LevelBench, error) {
 	return report, nil
 }
 
-// levelRun condenses one configuration's traces.
-func levelRun(times []time.Duration, traces []*copse.Trace) LevelRun {
+// levelRun condenses one configuration's traces: timings and limb
+// counts from the timed pass, noise margins from the measuring pass
+// (their decryptions must not contaminate the timings).
+func levelRun(times []time.Duration, traces, noiseTraces []*copse.Trace) LevelRun {
 	run := LevelRun{TotalMS: medianMS(times)}
 	if len(traces) == 0 {
 		return run
 	}
 	last := traces[len(traces)-1]
-	stage := func(name string, limbs int, pick func(*copse.Trace) (time.Duration, he.OpCounts)) {
+	medianNoise := func(noise func(*copse.Trace) int) int {
+		budgets := make([]int, len(noiseTraces))
+		for i, tr := range noiseTraces {
+			budgets[i] = noise(tr)
+		}
+		return medianInt(budgets)
+	}
+	stage := func(name string, limbs int, noise func(*copse.Trace) int, pick func(*copse.Trace) (time.Duration, he.OpCounts)) {
 		durs := make([]time.Duration, len(traces))
 		var ops he.OpCounts
 		for i, tr := range traces {
 			durs[i], ops = pick(tr)
 		}
 		run.Stages = append(run.Stages, LevelStage{
-			Name:     name,
-			MedianMS: medianMS(durs),
-			Limbs:    limbs,
-			LimbOps:  ops.LimbOps,
+			Name:        name,
+			MedianMS:    medianMS(durs),
+			Limbs:       limbs,
+			LimbOps:     ops.LimbOps,
+			NoiseBudget: medianNoise(noise),
 		})
 	}
-	stage("compare", last.Limbs.Query, func(tr *copse.Trace) (time.Duration, he.OpCounts) { return tr.Compare, tr.CompareOps })
-	stage("reshuffle", last.Limbs.Decisions, func(tr *copse.Trace) (time.Duration, he.OpCounts) { return tr.Reshuffle, tr.ReshuffleOps })
-	stage("levels", last.Limbs.BranchVec, func(tr *copse.Trace) (time.Duration, he.OpCounts) { return tr.Levels, tr.LevelOps })
-	stage("accumulate", last.Limbs.LevelResult, func(tr *copse.Trace) (time.Duration, he.OpCounts) { return tr.Accumulate, tr.AccumulateOps })
-	run.Stages = append(run.Stages, LevelStage{Name: "result", Limbs: last.Limbs.Result})
+	stage("compare", last.Limbs.Query,
+		func(tr *copse.Trace) int { return tr.Noise.Query },
+		func(tr *copse.Trace) (time.Duration, he.OpCounts) { return tr.Compare, tr.CompareOps })
+	stage("reshuffle", last.Limbs.Decisions,
+		func(tr *copse.Trace) int { return tr.Noise.Decisions },
+		func(tr *copse.Trace) (time.Duration, he.OpCounts) { return tr.Reshuffle, tr.ReshuffleOps })
+	stage("levels", last.Limbs.BranchVec,
+		func(tr *copse.Trace) int { return tr.Noise.BranchVec },
+		func(tr *copse.Trace) (time.Duration, he.OpCounts) { return tr.Levels, tr.LevelOps })
+	stage("accumulate", last.Limbs.LevelResult,
+		func(tr *copse.Trace) int { return tr.Noise.LevelResult },
+		func(tr *copse.Trace) (time.Duration, he.OpCounts) { return tr.Accumulate, tr.AccumulateOps })
+	run.Stages = append(run.Stages, LevelStage{
+		Name: "result", Limbs: last.Limbs.Result,
+		NoiseBudget: medianNoise(func(tr *copse.Trace) int { return tr.Noise.Result }),
+	})
 	return run
+}
+
+// medianInt returns the median of a small int sample (ties break low).
+func medianInt(vals []int) int {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]int(nil), vals...)
+	sort.Ints(s)
+	return s[len(s)/2]
 }
 
 // WriteJSON writes the report, indented for diff-friendliness.

@@ -37,6 +37,7 @@ func newCopseRunner(cs Case, cfg Config, workers int, scenario copse.Scenario) (
 		IntraOpWorkers:   cfg.IntraOp,
 		Seed:             cfg.Seed + 100,
 		DisableLevelPlan: cfg.NoLevelPlan,
+		MeasureNoise:     cfg.MeasureNoise,
 	}
 	if kind == copse.BackendBGV {
 		sysCfg.Security, err = securityFor(cs.Slots)

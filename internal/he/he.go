@@ -110,6 +110,35 @@ type LevelEncrypter interface {
 	EncodePlainAtLevel(vals []uint64, level int) (Plain, error)
 }
 
+// NoiseMeter is an optional Backend capability for reading the measured
+// decrypt-side noise budget of a ciphertext (requires the secret key).
+// The BGV backend implements it; the exact clear backend has no noise
+// and does not. Measurement is a diagnostic, not an evaluation op: the
+// harness uses it to record per-stage noise margins (BENCH_levels.json)
+// that ground the planner's slack.
+type NoiseMeter interface {
+	// NoiseBudget reports the remaining noise budget of ct in bits.
+	NoiseBudget(ct Ciphertext) (int, error)
+}
+
+// NoiseBudgetOf measures a ciphertext operand's remaining noise budget
+// in bits; plaintext operands and backends without measurement (or
+// without the secret key) report -1.
+func NoiseBudgetOf(b Backend, op Operand) int {
+	if !op.IsCipher() {
+		return -1
+	}
+	nm, ok := b.(NoiseMeter)
+	if !ok {
+		return -1
+	}
+	bits, err := nm.NoiseBudget(op.Ct)
+	if err != nil {
+		return -1
+	}
+	return bits
+}
+
 // DropToLevel switches a ciphertext operand down to the given level on
 // backends with a modulus chain. Plaintext operands, negative levels and
 // non-leveled backends pass through unchanged.
@@ -245,6 +274,17 @@ func WithCounts(b Backend) *CountingBackend {
 	c := &CountingBackend{inner: b}
 	c.leveler, _ = b.(LevelDropper)
 	return c
+}
+
+// NoiseBudget implements NoiseMeter via the inner backend (an error when
+// the inner backend cannot measure). Measurement is free of charge in
+// the op counters.
+func (c *CountingBackend) NoiseBudget(ct Ciphertext) (int, error) {
+	nm, ok := c.inner.(NoiseMeter)
+	if !ok {
+		return 0, fmt.Errorf("he: backend %q cannot measure noise", c.inner.Name())
+	}
+	return nm.NoiseBudget(ct)
 }
 
 // limbs reports ct's active limb count on leveled inner backends, 0

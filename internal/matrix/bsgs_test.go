@@ -254,3 +254,100 @@ func TestPrepareDiagonalsBSGSBadSplit(t *testing.T) {
 		t.Error("period wider than slots accepted")
 	}
 }
+
+// TestPrepareDiagonalsBSGSBlocksMatchesPlain is the block-diagonal
+// staging property test: with an independent random matrix per slot
+// block and a block-periodic vector carrying an independent payload per
+// block, one BSGS kernel pass must compute every block's own M_k·v_k.
+func TestPrepareDiagonalsBSGSBlocksMatchesPlain(t *testing.T) {
+	const slots, span = 64, 16
+	b := heclear.New(slots, 65537)
+	blocks := slots / span
+	f := func(seed uint64, rRaw, cRaw uint8, skipZero bool) bool {
+		r := rand.New(rand.NewPCG(seed, 9))
+		rows := int(rRaw%5) + 1
+		cols := int(cRaw%5) + 1
+		period := bits.NextPow2(cols)
+		if rows+period-2 >= span {
+			rows = span - period + 1 // keep reads inside the block
+		}
+		mats := make([]*Bool, blocks)
+		vecs := make([][]uint64, blocks)
+		packed := make([]uint64, slots)
+		for k := range mats {
+			mats[k] = randBool(r, rows, cols, 0.4)
+			v := make([]uint64, cols)
+			for i := range v {
+				v[i] = uint64(r.IntN(2))
+			}
+			vecs[k] = v
+			// period-periodic within block k only.
+			for off := 0; off < span; off += period {
+				copy(packed[k*span+off:k*span+off+len(v)], v)
+			}
+		}
+		baby, giant := BSGSSplit(period)
+		d, err := PrepareDiagonalsBSGSBlocksAt(b, mats, period, baby, giant, span, false, -1)
+		if err != nil {
+			t.Logf("prepare: %v", err)
+			return false
+		}
+		ct, err := b.Encrypt(packed)
+		if err != nil {
+			return false
+		}
+		got, err := MatVecBSGS(b, d, he.Cipher(ct), skipZero, 2, true)
+		if err != nil {
+			t.Logf("matvec: %v", err)
+			return false
+		}
+		gotVals, err := he.Reveal(b, got)
+		if err != nil {
+			return false
+		}
+		for k := range mats {
+			want, err := mats[k].MulVec(vecs[k])
+			if err != nil {
+				return false
+			}
+			for i := 0; i < rows; i++ {
+				if gotVals[k*span+i] != want[i]%65537 {
+					t.Logf("block %d row %d: got %d want %d", k, i, gotVals[k*span+i], want[i]%65537)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrepareDiagonalsBSGSBlocksErrors(t *testing.T) {
+	b := heclear.New(64, 65537)
+	mk := func(n int, rows, cols int) []*Bool {
+		out := make([]*Bool, n)
+		for i := range out {
+			out[i] = NewBool(rows, cols)
+		}
+		return out
+	}
+	if _, err := PrepareDiagonalsBSGSBlocksAt(b, mk(2, 4, 4), 4, 2, 2, 16, false, -1); err == nil {
+		t.Error("block count not matching slots/span accepted")
+	}
+	if _, err := PrepareDiagonalsBSGSBlocksAt(b, nil, 4, 2, 2, 16, false, -1); err == nil {
+		t.Error("empty block list accepted")
+	}
+	mixed := mk(4, 4, 4)
+	mixed[2] = NewBool(3, 4)
+	if _, err := PrepareDiagonalsBSGSBlocksAt(b, mixed, 4, 2, 2, 16, false, -1); err == nil {
+		t.Error("mismatched block shapes accepted")
+	}
+	if _, err := PrepareDiagonalsBSGSBlocksAt(b, mk(4, 4, 4), 4, 3, 2, 16, false, -1); err == nil {
+		t.Error("split not factoring period accepted")
+	}
+	if _, err := PrepareDiagonalsBSGSBlocksAt(b, mk(4, 15, 8), 8, 4, 2, 16, false, -1); err == nil {
+		t.Error("reads crossing blocks accepted")
+	}
+}

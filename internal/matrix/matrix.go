@@ -302,6 +302,69 @@ func PrepareDiagonalsBSGSSpanAt(b he.Backend, m *Bool, period, baby, giant, span
 	return d, nil
 }
 
+// PrepareDiagonalsBSGSBlocksAt is the block-diagonal variant of
+// PrepareDiagonalsBSGSSpanAt: instead of replicating one matrix into
+// every span-aligned slot block, it stages an *independent* matrix per
+// block — mats[k]'s pre-rotated diagonal values occupy block k's slots —
+// so a single BSGS kernel pass evaluates a different matrix-vector
+// product in every block. This is the staging behind the batched result
+// shuffle (one permutation per packed query, one set of rotations for
+// the whole batch; DESIGN.md §10). len(mats) must equal slots/span and
+// all matrices must share one shape; the span/period/read-containment
+// rules of PrepareDiagonalsBSGSSpanAt apply unchanged. A diagonal is
+// recorded zero (skippable) only when it is zero in every block.
+func PrepareDiagonalsBSGSBlocksAt(b he.Backend, mats []*Bool, period, baby, giant, span int, encrypt bool, level int) (*Diagonals, error) {
+	slots := b.Slots()
+	if len(mats) == 0 {
+		return nil, fmt.Errorf("matrix: no block matrices")
+	}
+	if err := checkSpan(b, mats[0], period, span); err != nil {
+		return nil, err
+	}
+	if len(mats) != slots/span {
+		return nil, fmt.Errorf("matrix: %d block matrices for %d blocks (%d slots / span %d)", len(mats), slots/span, slots, span)
+	}
+	rows, cols := mats[0].Rows, mats[0].Cols
+	for k, m := range mats {
+		if m.Rows != rows || m.Cols != cols {
+			return nil, fmt.Errorf("matrix: block %d is %dx%d, block 0 is %dx%d", k, m.Rows, m.Cols, rows, cols)
+		}
+	}
+	if baby < 1 || giant < 1 || baby*giant != period {
+		return nil, fmt.Errorf("matrix: BSGS split %d×%d does not factor period %d", baby, giant, period)
+	}
+	raw := make([][][]uint64, len(mats))
+	for k, m := range mats {
+		var err error
+		if raw[k], err = m.Diagonals(period); err != nil {
+			return nil, err
+		}
+	}
+	d := &Diagonals{Rows: rows, Period: period, Baby: baby, Giant: giant, BsgsZero: make([]bool, period)}
+	ext := make([]uint64, slots)
+	for i := 0; i < period; i++ {
+		shift := (i / baby) * baby
+		clear(ext)
+		allZero := true
+		for k := range mats {
+			base := k * span
+			for r, v := range raw[k][i] {
+				if v != 0 {
+					allZero = false
+				}
+				ext[(base+r+shift)%slots] = v
+			}
+		}
+		d.BsgsZero[i] = allZero
+		op, err := makeDiagOperand(b, ext, encrypt, level)
+		if err != nil {
+			return nil, err
+		}
+		d.BsgsOps = append(d.BsgsOps, op)
+	}
+	return d, nil
+}
+
 // MatVec computes M·v homomorphically: Σ_i d_i ⊙ rot(v, i). The vector
 // operand must be slot-periodic with period d.Period (see Replicate).
 // When skipZero is true, plaintext-known zero diagonals are skipped —

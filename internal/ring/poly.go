@@ -55,6 +55,11 @@ type Context struct {
 	// cores (workers.go). Atomic so attachment races with concurrent op
 	// traffic are safe; nil means every op runs its serial loop.
 	workers atomic.Pointer[Workers]
+
+	// pointwiseCutoff is the tunable parallelism threshold for pointwise
+	// ops (see SetPointwiseParCutoff); atomic for the same reason as
+	// workers. Zero is never stored (NewContext seeds the default).
+	pointwiseCutoff atomic.Int64
 }
 
 // NewContext creates a ring context for degree n = 2^logN with the given
@@ -80,6 +85,7 @@ func NewContext(logN int, primes []uint64, t uint64) (*Context, error) {
 	if len(ctx.Moduli) == 0 {
 		return nil, fmt.Errorf("ring: empty prime chain")
 	}
+	ctx.pointwiseCutoff.Store(DefaultPointwiseParCutoff)
 	ctx.buildCRT()
 	return ctx, nil
 }
@@ -104,19 +110,39 @@ func (ctx *Context) CloseWorkers() {
 	}
 }
 
-// pointwiseParCutoff is the total element count (limbs × N) below which
-// pointwise ops stay on the serial path: the small back-half ops of a
-// level-scheduled pipeline (2 limbs at N=2048) finish faster than a
-// dispatch round-trip.
-const pointwiseParCutoff = 1 << 14
+// DefaultPointwiseParCutoff is the default total element count
+// (limbs × N) below which pointwise ops stay on the serial path: the
+// small back-half ops of a level-scheduled pipeline (2 limbs at N=2048)
+// finish faster than a dispatch round-trip. Tune per host with
+// SetPointwiseParCutoff.
+const DefaultPointwiseParCutoff = 1 << 14
+
+// SetPointwiseParCutoff tunes the pointwise-parallelism threshold: ops
+// touching fewer than n total elements (limbs × N) run their serial
+// loop even with a worker pool attached. 1 (or any n ≤ N) parallelizes
+// every multi-limb pointwise op; a huge n pins them all serial (the
+// transform-sized ops — NTT, modulus switch, decompose — always
+// parallelize and are not governed by this knob). Results are
+// bit-identical at any cutoff; this trades dispatch overhead against
+// fan-out, so the right value is a per-host measurement. Safe to call
+// concurrently with op traffic; n ≤ 0 restores the default.
+func (ctx *Context) SetPointwiseParCutoff(n int) {
+	if n <= 0 {
+		n = DefaultPointwiseParCutoff
+	}
+	ctx.pointwiseCutoff.Store(int64(n))
+}
+
+// PointwiseParCutoff reports the active pointwise-parallelism threshold.
+func (ctx *Context) PointwiseParCutoff() int { return int(ctx.pointwiseCutoff.Load()) }
 
 // limbWorkers returns the pool when fanning m limbs out is worthwhile,
 // nil otherwise. Pointwise ops (a few ns per element) additionally
-// require the total element count to clear pointwiseParCutoff; the
+// require the total element count to clear the pointwise cutoff; the
 // transform-sized ops (NTT, modulus switch, decompose) parallelize
 // whenever more than one limb is active.
 func (ctx *Context) limbWorkers(m int, pointwise bool) *Workers {
-	if m <= 1 || (pointwise && m*ctx.N < pointwiseParCutoff) {
+	if m <= 1 || (pointwise && int64(m*ctx.N) < ctx.pointwiseCutoff.Load()) {
 		return nil
 	}
 	return ctx.workers.Load()

@@ -159,15 +159,68 @@ func TestParallelOpsDeterministic(t *testing.T) {
 					return out
 				}})
 			}
-			for _, tc := range cases {
-				got := tc.run(par, a.Copy(), b.Copy(), c.Copy())
-				want := tc.run(serial, a.Copy(), b.Copy(), c.Copy())
-				if !polysEqual(got, want) {
-					t.Errorf("%s: parallel result differs from serial", tc.name)
+			// Sweep the pointwise cutoff across its extremes: 1 forces
+			// every multi-limb pointwise op onto the pool, 1<<30 pins
+			// them all serial, and the default exercises the shipped
+			// threshold. Bit-identical results at every setting.
+			for _, cutoff := range []int{1, DefaultPointwiseParCutoff, 1 << 30} {
+				par.SetPointwiseParCutoff(cutoff)
+				for _, tc := range cases {
+					got := tc.run(par, a.Copy(), b.Copy(), c.Copy())
+					want := tc.run(serial, a.Copy(), b.Copy(), c.Copy())
+					if !polysEqual(got, want) {
+						t.Errorf("%s (cutoff %d): parallel result differs from serial", tc.name, cutoff)
+					}
 				}
 			}
+			par.SetPointwiseParCutoff(0) // restore the default
 		})
 	}
+}
+
+// TestPointwiseCutoffTunable pins the cutoff knob's semantics: the
+// shipped default, explicit settings, the reset-to-default rule, and
+// retunes racing live op traffic (the -race suite runs this).
+func TestPointwiseCutoffTunable(t *testing.T) {
+	_, par := testContexts(t, 9, 3, 2)
+	defer par.CloseWorkers()
+	if got := par.PointwiseParCutoff(); got != DefaultPointwiseParCutoff {
+		t.Errorf("default cutoff %d, want %d", got, DefaultPointwiseParCutoff)
+	}
+	par.SetPointwiseParCutoff(64)
+	if got := par.PointwiseParCutoff(); got != 64 {
+		t.Errorf("cutoff %d after Set(64)", got)
+	}
+	par.SetPointwiseParCutoff(-1)
+	if got := par.PointwiseParCutoff(); got != DefaultPointwiseParCutoff {
+		t.Errorf("cutoff %d after reset, want default", got)
+	}
+
+	smp := NewSeededSampler(par, 7)
+	a := smp.UniformPoly(2, false)
+	b := smp.UniformPoly(2, false)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			par.SetPointwiseParCutoff(1 + (i%2)*(1<<30))
+		}
+	}()
+	want := par.NewPoly(2)
+	addRowAll := func(out *Poly) {
+		for i := range out.Coeffs {
+			addRow(par.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
+		}
+	}
+	addRowAll(want)
+	for i := 0; i < 200; i++ {
+		out := par.NewPoly(2)
+		par.Add(a, b, out)
+		if !polysEqual(out, want) {
+			t.Fatalf("iteration %d: Add result changed under a racing cutoff retune", i)
+		}
+	}
+	<-done
 }
 
 // TestFusedNTTMatchesGeneric pins the fused radix-4-style kernels to the

@@ -3,6 +3,7 @@ package copse
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"sort"
 	"sync"
@@ -44,6 +45,8 @@ type Service struct {
 
 	sem chan struct{} // in-flight limiter; nil = unlimited
 
+	shuffleSeq atomic.Uint64 // per-pass shuffle seed sequence
+
 	requests  atomic.Int64
 	queries   atomic.Int64
 	failures  atomic.Int64
@@ -72,6 +75,8 @@ type serviceConfig struct {
 	reuseRotations   bool
 	disableHoisting  bool
 	disableLevelPlan bool
+	shuffle          bool
+	measureNoise     bool
 }
 
 // Option configures a Service (functional options).
@@ -113,7 +118,11 @@ func WithMaxInFlight(n int) Option { return func(c *serviceConfig) { c.maxInFlig
 func WithLevels(n int) Option { return func(c *serviceConfig) { c.levels = n } }
 
 // WithSeed makes key generation and encryption deterministic (tests and
-// reproducible experiments only).
+// reproducible experiments only — never production). Under WithShuffle
+// it also fixes the shuffle-seed sequence, so anyone who knows the seed
+// can regenerate every pass's permutations and undo the §7.2.2 leakage
+// hardening; shuffled production services must leave the seed zero
+// (per-pass random seeds).
 func WithSeed(seed uint64) Option { return func(c *serviceConfig) { c.seed = seed } }
 
 // WithReuseRotations toggles the naive-kernel rotation-reuse ablation
@@ -130,6 +139,26 @@ func WithHoisting(on bool) Option { return func(c *serviceConfig) { c.disableHoi
 // sized to the plan's top instead of the reactive recommendation.
 // Disabling it is the -nolevelplan ablation knob of DESIGN.md §8.
 func WithLevelPlan(on bool) Option { return func(c *serviceConfig) { c.disableLevelPlan = !on } }
+
+// WithShuffle enables result shuffling (paper §7.2.2) on every
+// classification pass: each packed query's leaf slots are permuted by a
+// per-pass, per-block random permutation — one block-diagonal kernel
+// pass for the whole batch (DESIGN.md §10) — so the decrypted result no
+// longer reveals the order of the labels in the forest's trees. Results
+// decode through the per-query codebooks carried on the EncryptedResult
+// (DecryptResult[Batch] handles this transparently); per-tree labels are
+// unrecoverable by design, only vote counts remain. On the BGV backend
+// models must be compiled with CompileOptions.PlanShuffle (or served
+// reactively) so the classification result keeps the shuffle's level
+// headroom — Register rejects models that don't.
+func WithShuffle(on bool) Option { return func(c *serviceConfig) { c.shuffle = on } }
+
+// WithNoiseMeasurement records the decrypt-side measured noise budget of
+// the pipeline carrier at every stage boundary in each pass's
+// Trace.Noise (the BENCH_levels.json margin corpus). Measurement
+// decrypts, so it requires the secret key and costs one decryption per
+// stage — a benchmarking knob, not a serving default.
+func WithNoiseMeasurement(on bool) Option { return func(c *serviceConfig) { c.measureNoise = on } }
 
 // NewService returns an empty service. The backend (and, for BGV, the
 // key set) is created by the first Register call, which fixes the slot
@@ -273,6 +302,18 @@ func (s *Service) Register(name string, c *Compiled) error {
 	if s.cfg.disableLevelPlan {
 		plan = nil
 	}
+	// A shuffled service on a leveled backend needs the classification
+	// result to land at (or above) the shuffle's entry level. A schedule
+	// compiled without PlanShuffle lands it below, and every shuffled
+	// pass would fail — reject the staging mistake up front. Backends
+	// without a level structure (the clear reference) shuffle at any
+	// level.
+	if _, leveled := s.backend.(he.LevelDropper); s.cfg.shuffle && leveled && plan != nil {
+		if st := plan.For(encryptModel); st.Final < plan.ShuffleLevel() {
+			return fmt.Errorf("copse: model %q schedules its result at level %d, below the shuffle entry level %d; recompile with CompileOptions.PlanShuffle for shuffled serving",
+				name, st.Final, plan.ShuffleLevel())
+		}
+	}
 	operands, err := core.PrepareWithPlan(s.backend, c, encryptModel, plan)
 	if err != nil {
 		return err
@@ -287,6 +328,7 @@ func (s *Service) Register(name string, c *Compiled) error {
 			ReuseRotations:    s.cfg.reuseRotations,
 			DisableHoisting:   s.cfg.disableHoisting,
 			DisableLevelPlan:  s.cfg.disableLevelPlan,
+			MeasureNoise:      s.cfg.measureNoise,
 		},
 	}
 	return nil
@@ -376,7 +418,15 @@ func (s *Service) EncryptQueryBatch(name string, batch [][]uint64) (*Query, erro
 // excess calls queue (cancellable while queued) and the wait shows up
 // in Stats. The context is also checked between pipeline stages.
 func (s *Service) Classify(ctx context.Context, name string, q *Query) (*EncryptedResult, *Trace, error) {
-	m, _, err := s.lookup(name)
+	return s.classify(ctx, name, q, 0)
+}
+
+// classify is Classify with an optional shuffle-seed override (0 means
+// draw from the service's per-pass sequence) — classifyChunks pins a
+// deterministic seed per chunk so seeded multi-chunk batches reproduce
+// regardless of which chunk's goroutine runs first.
+func (s *Service) classify(ctx context.Context, name string, q *Query, shuffleSeed uint64) (*EncryptedResult, *Trace, error) {
+	m, backend, err := s.lookup(name)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -402,13 +452,73 @@ func (s *Service) Classify(ctx context.Context, name string, q *Query) (*Encrypt
 	s.inFlight.Add(1)
 	start := time.Now()
 	op, trace, err := m.engine.ClassifyCtx(ctx, m.operands, q)
+	var codebooks []*core.ShuffledCodebook
+	if err == nil && s.cfg.shuffle {
+		// The shuffle is a pipeline stage like any other: honour a
+		// cancellation that landed during accumulation before paying for
+		// the permutation pass.
+		if err = ctx.Err(); err == nil {
+			if shuffleSeed == 0 {
+				shuffleSeed = s.nextShuffleSeed()
+			}
+			op, codebooks, err = s.shufflePass(backend, m, op, max(q.Batch, 1), shuffleSeed, trace)
+		}
+	}
 	s.latencyNS.Add(time.Since(start).Nanoseconds())
 	s.inFlight.Add(-1)
 	if err != nil {
 		s.failures.Add(1)
 		return nil, nil, err
 	}
-	return &EncryptedResult{op: op, batch: max(q.Batch, 1)}, trace, nil
+	return &EncryptedResult{op: op, batch: max(q.Batch, 1), codebooks: codebooks}, trace, nil
+}
+
+// shufflePass applies the per-pass result shuffle: one block-diagonal
+// permutation pass over every packed query, at the model's scheduled
+// shuffle level, under the same stage-worker budget as the pipeline
+// (the ring layer's intra-op pool applies through the shared backend).
+// Each pass gets a fresh seed, so no two passes share permutations;
+// WithSeed makes the seeds deterministic for tests.
+func (s *Service) shufflePass(backend he.Backend, m *servedModel, op he.Operand, batch int, seed uint64, trace *core.Trace) (he.Operand, []*core.ShuffledCodebook, error) {
+	mark := time.Now()
+	counting := he.WithCounts(backend)
+	shuffled, codebooks, err := core.ShuffleResultBatch(counting, &m.operands.Meta, op, batch, 0, seed, max(s.cfg.workers, 1))
+	if err != nil {
+		return he.Operand{}, nil, fmt.Errorf("copse: result shuffle: %w", err)
+	}
+	if trace != nil {
+		trace.Shuffle = time.Since(mark)
+		trace.ShuffleOps = counting.Counts()
+		trace.Total += trace.Shuffle
+	}
+	return shuffled, codebooks, nil
+}
+
+// shuffleSeedStride spaces consecutive seeds of the per-pass sequence
+// (an odd constant, so the walk covers the whole 2^64 ring).
+const shuffleSeedStride = 0x9e3779b97f4a7c15
+
+// nextShuffleSeed returns a fresh per-pass shuffle seed: random by
+// default, the next element of a deterministic sequence under WithSeed
+// (concurrent direct Classify callers draw in completion order; the
+// chunked batch entrypoints reserve a whole block up front instead —
+// shuffleSeedBlock — so seeded ClassifyBatch[Shuffled] runs reproduce
+// exactly regardless of chunk scheduling).
+func (s *Service) nextShuffleSeed() uint64 {
+	return s.shuffleSeedBlock(1)
+}
+
+// shuffleSeedBlock atomically reserves n consecutive seeds of the
+// per-pass sequence and returns the first; the caller derives seed i as
+// base + i·shuffleSeedStride. Distinct calls never overlap (the range
+// is consumed from the shared counter), so no two passes — chunked or
+// direct — share a permutation.
+func (s *Service) shuffleSeedBlock(n int) uint64 {
+	hi := s.shuffleSeq.Add(uint64(n))
+	if s.cfg.seed != 0 {
+		return s.cfg.seed + (hi-uint64(n)+1)*shuffleSeedStride
+	}
+	return rand.Uint64()
 }
 
 // DecryptResult decrypts and decodes a single-query classification.
@@ -421,7 +531,10 @@ func (s *Service) DecryptResult(name string, r *EncryptedResult) (*Result, error
 }
 
 // DecryptResultBatch decrypts one classification pass and decodes every
-// packed query's result, in the order the batch was packed.
+// packed query's result, in the order the batch was packed. Shuffled
+// results (WithShuffle) decode through their per-query codebooks: the
+// Results carry vote counts only — per-tree labels and raw leaf bits
+// are hidden by the shuffle, by design.
 func (s *Service) DecryptResultBatch(name string, r *EncryptedResult) ([]*Result, error) {
 	m, backend, err := s.lookup(name)
 	if err != nil {
@@ -431,7 +544,11 @@ func (s *Service) DecryptResultBatch(name string, r *EncryptedResult) ([]*Result
 	if err != nil {
 		return nil, err
 	}
-	return core.DecodeResultBatch(&m.operands.Meta, slots, max(r.batch, 1))
+	meta := &m.operands.Meta
+	if r.codebooks != nil {
+		return core.DecodeShuffledBatch(r.codebooks, len(meta.LabelNames), slots, meta.BatchBlock())
+	}
+	return core.DecodeResultBatch(meta, slots, max(r.batch, 1))
 }
 
 // ClassifyBatch is the end-to-end serving loop: slot-pack the feature
@@ -441,12 +558,33 @@ func (s *Service) DecryptResultBatch(name string, r *EncryptedResult) ([]*Result
 // independent and Classify is concurrency-safe), bounded by
 // WithMaxInFlight when set and by the host's core count otherwise.
 func (s *Service) ClassifyBatch(ctx context.Context, name string, batch [][]uint64) ([]*Result, error) {
+	results, _, err := s.classifyChunks(ctx, name, batch)
+	return results, err
+}
+
+// ClassifyBatchShuffled is ClassifyBatch with the shuffled decoding
+// surface exposed: alongside each query's decoded Result (vote counts;
+// per-tree labels are hidden by the shuffle) it returns the per-query
+// ShuffledCodebook the result was decoded through — what a deployment
+// hands the data owner together with the shuffled ciphertext. Requires
+// WithShuffle.
+func (s *Service) ClassifyBatchShuffled(ctx context.Context, name string, batch [][]uint64) ([]*Result, []*ShuffledCodebook, error) {
+	if !s.cfg.shuffle {
+		return nil, nil, fmt.Errorf("copse: service built without WithShuffle")
+	}
+	return s.classifyChunks(ctx, name, batch)
+}
+
+// classifyChunks is the shared serving loop behind ClassifyBatch and
+// ClassifyBatchShuffled: slot-pack, classify, decrypt, decode —
+// chunked to the model's capacity, chunks running concurrently.
+func (s *Service) classifyChunks(ctx context.Context, name string, batch [][]uint64) ([]*Result, []*ShuffledCodebook, error) {
 	if len(batch) == 0 {
-		return nil, fmt.Errorf("copse: empty batch")
+		return nil, nil, fmt.Errorf("copse: empty batch")
 	}
 	capacity, err := s.BatchCapacity(name)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	chunks := (len(batch) + capacity - 1) / capacity
 	workers := chunks
@@ -455,6 +593,15 @@ func (s *Service) ClassifyBatch(ctx context.Context, name string, batch [][]uint
 	}
 	workers = min(workers, runtime.GOMAXPROCS(0))
 	out := make([]*Result, len(batch))
+	var codebooks []*ShuffledCodebook
+	var shuffleBase uint64
+	if s.cfg.shuffle {
+		codebooks = make([]*ShuffledCodebook, len(batch))
+		// Reserve one seed per chunk up front: the chunk→seed mapping is
+		// then deterministic under WithSeed no matter which chunk's
+		// goroutine runs first.
+		shuffleBase = s.shuffleSeedBlock(chunks)
+	}
 	err = matrix.ParallelFor(chunks, workers, func(ci int) error {
 		lo := ci * capacity
 		hi := min(lo+capacity, len(batch))
@@ -462,7 +609,11 @@ func (s *Service) ClassifyBatch(ctx context.Context, name string, batch [][]uint
 		if err != nil {
 			return err
 		}
-		enc, _, err := s.Classify(ctx, name, q)
+		var seed uint64
+		if s.cfg.shuffle {
+			seed = shuffleBase + uint64(ci)*shuffleSeedStride
+		}
+		enc, _, err := s.classify(ctx, name, q, seed)
 		if err != nil {
 			return err
 		}
@@ -471,12 +622,15 @@ func (s *Service) ClassifyBatch(ctx context.Context, name string, batch [][]uint
 			return err
 		}
 		copy(out[lo:hi], results)
+		if codebooks != nil {
+			copy(codebooks[lo:hi], enc.Codebooks())
+		}
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	return out, codebooks, nil
 }
 
 // ServiceStats is a snapshot of the serving counters.

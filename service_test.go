@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"strings"
 	"sync"
 	"testing"
 
@@ -329,5 +330,239 @@ func TestServiceConcurrentClassifyIntraOp(t *testing.T) {
 		if err := svc.Close(); err != nil {
 			t.Errorf("Close: %v", err)
 		}
+	}
+}
+
+// TestServiceShuffledServing: the WithShuffle path end to end on the
+// clear backend — per-query codebooks, vote counts matching the
+// plaintext walk, per-tree labels hidden, fresh permutations per pass.
+func TestServiceShuffledServing(t *testing.T) {
+	f, c := trainedModel(t, 47, 256)
+	svc := copse.NewService(
+		copse.WithBackend(copse.BackendClear),
+		copse.WithShuffle(true),
+		copse.WithSeed(9),
+	)
+	if err := svc.Register("m", c); err != nil {
+		t.Fatal(err)
+	}
+	capacity := c.Meta.BatchCapacity()
+	if capacity < 2 {
+		t.Fatalf("capacity %d, want ≥ 2", capacity)
+	}
+	rng := rand.New(rand.NewPCG(5, 3))
+	batch := make([][]uint64, capacity+1) // force two chunks
+	for i := range batch {
+		batch[i] = make([]uint64, f.NumFeatures)
+		for j := range batch[i] {
+			batch[i][j] = rng.Uint64N(1 << uint(f.Precision))
+		}
+	}
+	results, codebooks, err := svc.ClassifyBatchShuffled(context.Background(), "m", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(batch) || len(codebooks) != len(batch) {
+		t.Fatalf("%d results, %d codebooks for %d queries", len(results), len(codebooks), len(batch))
+	}
+	for i, feats := range batch {
+		wantVotes := make([]int, len(f.Labels))
+		for _, lbl := range f.Classify(feats) {
+			wantVotes[lbl]++
+		}
+		for lbl, v := range results[i].Votes {
+			if v != wantVotes[lbl] {
+				t.Errorf("query %d: votes %v, want %v", i, results[i].Votes, wantVotes)
+				break
+			}
+		}
+		if results[i].PerTree != nil {
+			t.Errorf("query %d: shuffled result exposes per-tree labels %v", i, results[i].PerTree)
+		}
+		if codebooks[i] == nil || len(codebooks[i].Slots) == 0 {
+			t.Errorf("query %d: missing codebook", i)
+		}
+	}
+	// ClassifyBatch (codebooks hidden) must serve the same votes.
+	plain, err := svc.ClassifyBatch(context.Background(), "m", batch[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[0].PerTree != nil {
+		t.Error("shuffled service leaked per-tree labels through ClassifyBatch")
+	}
+	// Distinct passes draw distinct permutations: classify the same query
+	// twice and compare codebooks.
+	_, cb1, err := svc.ClassifyBatchShuffled(context.Background(), "m", batch[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cb2, err := svc.ClassifyBatchShuffled(context.Background(), "m", batch[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(cb1[0].Slots) == len(cb2[0].Slots)
+	if same {
+		for i := range cb1[0].Slots {
+			if cb1[0].Slots[i] != cb2[0].Slots[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("two passes shared a shuffle permutation")
+	}
+
+	// Seeded runs reproduce exactly, even across concurrently executed
+	// chunks: a fresh service with the same seed and the same call
+	// sequence must emit identical codebooks.
+	svc2 := copse.NewService(
+		copse.WithBackend(copse.BackendClear),
+		copse.WithShuffle(true),
+		copse.WithSeed(9),
+	)
+	if err := svc2.Register("m", c); err != nil {
+		t.Fatal(err)
+	}
+	_, replay, err := svc2.ClassifyBatchShuffled(context.Background(), "m", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range codebooks {
+		for j := range codebooks[i].Slots {
+			if replay[i].Slots[j] != codebooks[i].Slots[j] {
+				t.Fatalf("query %d: seeded replay produced a different codebook", i)
+			}
+		}
+	}
+}
+
+// TestServiceShuffledServingBGV runs shuffled batched serving on real
+// ciphertexts: a PlanShuffle-compiled model, the scheduled chain, and a
+// full-capacity batch decoded through per-query codebooks.
+func TestServiceShuffledServingBGV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BGV shuffled serving is slow")
+	}
+	forest := copse.ExampleForest()
+	c, err := copse.Compile(forest, copse.CompileOptions{Slots: 1024, PlanShuffle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := copse.NewService(
+		copse.WithBackend(copse.BackendBGV),
+		copse.WithSecurity(copse.SecurityTest),
+		copse.WithShuffle(true),
+		copse.WithWorkers(4),
+		copse.WithSeed(11),
+	)
+	if err := svc.Register("fig1", c); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	rng := rand.New(rand.NewPCG(13, 1))
+	capacity := c.Meta.BatchCapacity()
+	batch := make([][]uint64, capacity)
+	for i := range batch {
+		batch[i] = []uint64{rng.Uint64N(16), rng.Uint64N(16)}
+	}
+	results, codebooks, err := svc.ClassifyBatchShuffled(context.Background(), "fig1", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, feats := range batch {
+		wantVotes := make([]int, len(forest.Labels))
+		for _, lbl := range forest.Classify(feats) {
+			wantVotes[lbl]++
+		}
+		for lbl, v := range results[i].Votes {
+			if v != wantVotes[lbl] {
+				t.Errorf("query %d (%v): votes %v, want %v", i, feats, results[i].Votes, wantVotes)
+				break
+			}
+		}
+		if codebooks[i] == nil {
+			t.Fatalf("query %d: no codebook", i)
+		}
+	}
+}
+
+// TestServiceShuffleRequiresHeadroom: registering a model whose schedule
+// lands the result below the shuffle entry on a shuffled BGV service
+// must fail fast with the PlanShuffle hint.
+func TestServiceShuffleRequiresHeadroom(t *testing.T) {
+	c, err := copse.Compile(copse.ExampleForest(), copse.CompileOptions{Slots: 1024}) // no PlanShuffle
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Meta.LevelPlan == nil {
+		t.Skip("no level plan on this model")
+	}
+	svc := copse.NewService(
+		copse.WithBackend(copse.BackendBGV),
+		copse.WithSecurity(copse.SecurityTest),
+		copse.WithShuffle(true),
+	)
+	err = svc.Register("fig1", c)
+	if err == nil {
+		t.Fatal("shuffled service accepted a model without shuffle headroom")
+	}
+	if !strings.Contains(err.Error(), "PlanShuffle") {
+		t.Errorf("error %q does not name PlanShuffle", err)
+	}
+}
+
+// TestServiceNoiseMeasurement: WithNoiseMeasurement fills Trace.Noise
+// with positive margins on BGV and leaves -1 when off.
+func TestServiceNoiseMeasurement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BGV noise measurement test is slow")
+	}
+	c, err := copse.Compile(copse.ExampleForest(), copse.CompileOptions{Slots: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := copse.NewSystem(c, copse.SystemConfig{
+		Backend: copse.BackendBGV, Scenario: copse.ScenarioOffload,
+		Security: copse.SecurityTest, MeasureNoise: true, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sys.Diane.EncryptQuery([]uint64{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trace, err := sys.Sally.Classify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := trace.Noise
+	for name, v := range map[string]int{
+		"query": n.Query, "decisions": n.Decisions, "branchvec": n.BranchVec,
+		"levelresult": n.LevelResult, "result": n.Result,
+	} {
+		if v <= 0 {
+			t.Errorf("measured %s noise budget %d, want positive", name, v)
+		}
+	}
+	// Off by default.
+	sys2, err := copse.NewSystem(c, copse.SystemConfig{
+		Backend: copse.BackendClear, Scenario: copse.ScenarioOffload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := sys2.Diane.EncryptQuery([]uint64{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trace2, err := sys2.Sally.Classify(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace2.Noise.Result != -1 {
+		t.Errorf("unmeasured trace carries noise %d, want -1", trace2.Noise.Result)
 	}
 }
