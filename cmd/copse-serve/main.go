@@ -7,6 +7,12 @@
 //
 //	copse-serve -listen :8080 -model fraud=fraud.copse -model churn=churn.copse
 //	copse-serve -listen :8080 -model m=income5.copse -backend clear -workers 8
+//	copse-serve -listen :8080 -model m=income5.copse -batchwindow 20ms
+//
+// With -batchwindow, concurrent requests for the same model coalesce
+// into shared slot-packed homomorphic passes (the dynamic batcher):
+// each request waits up to the window for co-riders, then one pass
+// answers every rider's queries.
 //
 // Endpoints:
 //
@@ -65,6 +71,9 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request classification timeout")
 	seed := flag.Uint64("seed", 0, "deterministic keys/encryption when non-zero (tests only: with -shuffle it also makes every shuffle permutation predictable to anyone who knows the seed, voiding the leakage hardening)")
 	shuffle := flag.Bool("shuffle", false, "shuffle results (leakage hardening, §7.2.2): responses carry per-query codebooks and vote counts instead of per-tree labels; BGV models need CompileOptions.PlanShuffle")
+	batchWindow := flag.Duration("batchwindow", 0, "dynamic batching linger: concurrent requests for the same model coalesce into shared slot-packed passes, waiting up to this long for co-riders (0 = off)")
+	batchMax := flag.Int("batchmax", 0, "queries per coalesced pass cap (0 = model batch capacity; needs -batchwindow)")
+	batchMinFill := flag.Int("batchminfill", 0, "fire a coalesced pass early once this many queries are pending (0 = only at capacity or linger expiry; needs -batchwindow)")
 	flag.Parse()
 
 	if len(models) == 0 {
@@ -80,6 +89,11 @@ func main() {
 		copse.WithMaxInFlight(*maxInFlight),
 		copse.WithSeed(*seed),
 		copse.WithShuffle(*shuffle),
+		copse.WithBatchPolicy(copse.BatchPolicy{
+			Window:   *batchWindow,
+			MaxBatch: *batchMax,
+			MinFill:  *batchMinFill,
+		}),
 	}
 	kind, err := copse.ParseBackend(*backendArg)
 	if err != nil {
@@ -143,6 +157,10 @@ func main() {
 		capacity, _ := svc.BatchCapacity(name)
 		meta, _ := svc.Meta(name)
 		log.Printf("serving %q: %s, batch capacity %d", name, meta, capacity)
+	}
+
+	if *batchWindow > 0 {
+		log.Printf("dynamic batching on: linger %v, max %d, minfill %d", *batchWindow, *batchMax, *batchMinFill)
 	}
 
 	srv := &server{svc: svc, timeout: *timeout, shuffle: *shuffle}
@@ -309,17 +327,26 @@ type statsResponse struct {
 	InFlight        int64   `json:"inFlight"`
 	MeanLatencyMS   float64 `json:"meanLatencyMS"`
 	MeanQueueWaitMS float64 `json:"meanQueueWaitMS"`
+	// Dynamic batcher counters (zero unless -batchwindow is set).
+	BatcherPasses    int64   `json:"batcherPasses"`
+	CoalescedQueries int64   `json:"coalescedQueries"`
+	BatchFill        float64 `json:"batchFill"`
+	MeanBatchWaitMS  float64 `json:"meanBatchWaitMS"`
 }
 
 func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 	st := s.svc.Stats()
 	writeJSON(w, statsResponse{
-		Requests:        st.Requests,
-		Queries:         st.Queries,
-		Failures:        st.Failures,
-		InFlight:        st.InFlight,
-		MeanLatencyMS:   float64(st.MeanLatency().Microseconds()) / 1000,
-		MeanQueueWaitMS: float64(st.MeanQueueWait().Microseconds()) / 1000,
+		Requests:         st.Requests,
+		Queries:          st.Queries,
+		Failures:         st.Failures,
+		InFlight:         st.InFlight,
+		MeanLatencyMS:    float64(st.MeanLatency().Microseconds()) / 1000,
+		MeanQueueWaitMS:  float64(st.MeanQueueWait().Microseconds()) / 1000,
+		BatcherPasses:    st.BatcherPasses,
+		CoalescedQueries: st.CoalescedQueries,
+		BatchFill:        st.BatchFill,
+		MeanBatchWaitMS:  float64(st.MeanBatchWait().Microseconds()) / 1000,
 	})
 }
 

@@ -240,6 +240,10 @@ type SystemConfig struct {
 	// stage boundary in each Trace (see WithNoiseMeasurement); a
 	// benchmarking knob.
 	MeasureNoise bool
+	// Batch configures the dynamic batcher (see WithBatchPolicy): a
+	// non-zero Window lets concurrent Classify calls coalesce into
+	// shared slot-packed passes.
+	Batch BatchPolicy
 	// Levels overrides the compiler's recommended BGV chain length.
 	Levels int
 	// Seed, when non-zero, makes key generation and encryption
@@ -298,6 +302,7 @@ func NewSystem(c *Compiled, cfg SystemConfig) (*System, error) {
 		WithLevelPlan(!cfg.DisableLevelPlan),
 		WithShuffle(cfg.Shuffle),
 		WithNoiseMeasurement(cfg.MeasureNoise),
+		WithBatchPolicy(cfg.Batch),
 	)
 	if err := svc.Register(systemModel, c); err != nil {
 		return nil, err
@@ -353,17 +358,38 @@ type ShuffledCodebook = core.ShuffledCodebook
 // EncryptedResult is Sally's output: the encrypted N-hot leaf
 // bitvector, one per packed query. Under WithShuffle each query's leaf
 // slots are permuted and the matching per-query codebooks ride along.
+// A request larger than the model's batch capacity classifies as a
+// chain of passes whose results ride in one EncryptedResult, decoded
+// in packing order by DecryptResultBatch.
 type EncryptedResult struct {
+	segs []resultSeg
+}
+
+// resultSeg is one homomorphic pass's worth of results.
+type resultSeg struct {
 	op        he.Operand
 	batch     int
 	codebooks []*core.ShuffledCodebook // nil unless the pass was shuffled
 }
 
 // Codebooks returns the per-query shuffled codebooks of a shuffled
-// pass, in packing order (nil for unshuffled passes). Together with the
-// decrypted slots these are all the data owner needs to tally votes —
-// and all they can learn: leaf order and tree boundaries stay hidden.
-func (r *EncryptedResult) Codebooks() []*ShuffledCodebook { return r.codebooks }
+// classification, in packing order across every pass (nil for
+// unshuffled passes). Together with the decrypted slots these are all
+// the data owner needs to tally votes — and all they can learn: leaf
+// order and tree boundaries stay hidden.
+func (r *EncryptedResult) Codebooks() []*ShuffledCodebook {
+	if len(r.segs) == 1 {
+		return r.segs[0].codebooks
+	}
+	var out []*ShuffledCodebook
+	for _, seg := range r.segs {
+		if seg.codebooks == nil {
+			return nil
+		}
+		out = append(out, seg.codebooks...)
+	}
+	return out
+}
 
 // Classify runs Algorithm 1 on an encrypted query (or slot-packed
 // batch; one pass classifies every packed query).

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sync"
+	"time"
 
 	"copse"
 )
@@ -67,6 +69,58 @@ func ExampleService_shuffled() {
 	// Output:
 	// Classify(0, 5) votes [0 0 0 0 1 0] → L4 (codebook over 6 shuffled slots)
 	// Classify(7, 0) votes [0 0 0 1 0 0] → L3 (codebook over 6 shuffled slots)
+}
+
+// ExampleService_dynamicBatching shows the dynamic batcher (DESIGN.md
+// §11): four uncoordinated goroutines — think independent HTTP
+// handlers — each submit one query, and the aggregator coalesces them
+// into a single slot-packed homomorphic pass. MinFill pins the pass
+// boundary at exactly the fleet size so the example is deterministic;
+// production configs usually set only WithBatchWindow and let passes
+// fire at capacity or the linger deadline.
+func ExampleService_dynamicBatching() {
+	compiled, err := copse.Compile(copse.ExampleForest(), copse.CompileOptions{Slots: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := copse.NewService(
+		copse.WithBackend(copse.BackendClear),
+		copse.WithBatchPolicy(copse.BatchPolicy{
+			Window:  50 * time.Millisecond, // linger cap for a lone query
+			MinFill: 4,                     // fire as soon as the fleet is in
+		}),
+	)
+	if err := svc.Register("figure1", compiled); err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	queries := [][]uint64{{0, 5}, {7, 0}, {3, 3}, {6, 6}}
+	answers := make([]*copse.Result, len(queries))
+	var wg sync.WaitGroup
+	for i, feats := range queries {
+		wg.Add(1)
+		go func(i int, feats []uint64) {
+			defer wg.Done()
+			results, err := svc.ClassifyBatch(context.Background(), "figure1", [][]uint64{feats})
+			if err != nil {
+				log.Fatal(err)
+			}
+			answers[i] = results[0]
+		}(i, feats)
+	}
+	wg.Wait()
+	for i, res := range answers {
+		fmt.Printf("Classify(%d, %d) = L%d\n", queries[i][0], queries[i][1], res.PerTree[0])
+	}
+	st := svc.Stats()
+	fmt.Printf("%d callers coalesced into %d homomorphic pass(es)\n", st.CoalescedQueries, st.BatcherPasses)
+	// Output:
+	// Classify(0, 5) = L4
+	// Classify(7, 0) = L3
+	// Classify(3, 3) = L2
+	// Classify(6, 6) = L4
+	// 4 callers coalesced into 1 homomorphic pass(es)
 }
 
 // Example runs the paper's Figure 1 walkthrough on the exact reference

@@ -23,6 +23,14 @@ type Query struct {
 	K           int
 	QPad        int
 	Block       int
+
+	// Next chains an overflow continuation: a logical batch larger than
+	// Meta.BatchCapacity is prepared as a linked list of capacity-sized
+	// Query links, each packed from slot block 0 and classified in its
+	// own pass. PrepareQueryBatch itself never chains (it keeps the
+	// one-pass BatchCapacityError contract); the serving layer builds
+	// and walks chains.
+	Next *Query
 }
 
 // BatchCapacityError reports a batch index or size exceeding the staged

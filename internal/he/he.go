@@ -233,6 +233,23 @@ type OpCounts struct {
 	LimbOps int64
 }
 
+// Plus returns c + o field-wise (MaxDepth takes the larger); useful
+// for aggregating the op bills of multi-pass classifications.
+func (c OpCounts) Plus(o OpCounts) OpCounts {
+	return OpCounts{
+		Encrypt:       c.Encrypt + o.Encrypt,
+		Rotate:        c.Rotate + o.Rotate,
+		Add:           c.Add + o.Add,
+		ConstAdd:      c.ConstAdd + o.ConstAdd,
+		Mul:           c.Mul + o.Mul,
+		ConstMul:      c.ConstMul + o.ConstMul,
+		MaxDepth:      max(c.MaxDepth, o.MaxDepth),
+		RotateHoisted: c.RotateHoisted + o.RotateHoisted,
+		Relin:         c.Relin + o.Relin,
+		LimbOps:       c.LimbOps + o.LimbOps,
+	}
+}
+
 // Minus returns c - o field-wise (MaxDepth keeps c's value); useful for
 // measuring a single phase.
 func (c OpCounts) Minus(o OpCounts) OpCounts {

@@ -39,11 +39,19 @@ import (
 type Service struct {
 	cfg serviceConfig
 
-	mu      sync.RWMutex
-	backend he.Backend
-	models  map[string]*servedModel
+	mu          sync.RWMutex
+	backend     he.Backend
+	models      map[string]*servedModel
+	aggregators map[string]*aggregator // per-model dynamic batchers (lazy)
 
 	sem chan struct{} // in-flight limiter; nil = unlimited
+
+	// closing is closed by Close; runCtx is the lifetime context shared
+	// passes run under (a cancelled waiter must not cancel its pass).
+	closing   chan struct{}
+	closeOnce sync.Once
+	runCtx    context.Context
+	runCancel context.CancelFunc
 
 	shuffleSeq atomic.Uint64 // per-pass shuffle seed sequence
 
@@ -53,6 +61,13 @@ type Service struct {
 	inFlight  atomic.Int64
 	queueNS   atomic.Int64
 	latencyNS atomic.Int64
+
+	// Dynamic-batcher counters (DESIGN.md §11).
+	aggPasses  atomic.Int64
+	aggQueries atomic.Int64
+	aggFillNum atomic.Int64
+	aggFillDen atomic.Int64
+	aggWaitNS  atomic.Int64
 }
 
 // servedModel is one registry entry: the compiled model staged onto the
@@ -77,6 +92,7 @@ type serviceConfig struct {
 	disableLevelPlan bool
 	shuffle          bool
 	measureNoise     bool
+	batch            BatchPolicy
 }
 
 // Option configures a Service (functional options).
@@ -168,7 +184,13 @@ func NewService(opts ...Option) *Service {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	s := &Service{cfg: cfg, models: map[string]*servedModel{}}
+	s := &Service{
+		cfg:         cfg,
+		models:      map[string]*servedModel{},
+		aggregators: map[string]*aggregator{},
+		closing:     make(chan struct{}),
+	}
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	if cfg.maxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.maxInFlight)
 	}
@@ -251,10 +273,16 @@ func (s *Service) intraOpBudget() int {
 	return n
 }
 
-// Close releases backend resources (the ring-layer worker pool); the
-// service must not be used afterwards. Safe to call on a service that
-// never registered a model.
+// Close releases backend resources (the ring-layer worker pool) and
+// stops every dynamic-batcher goroutine, failing any callers still
+// lingering in a forming batch; the service must not be used
+// afterwards. Safe to call on a service that never registered a model,
+// and idempotent.
 func (s *Service) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.closing) // aggregator goroutines drain and exit
+		s.runCancel()
+	})
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if c, ok := s.backend.(interface{ Close() error }); ok {
@@ -399,8 +427,13 @@ func (s *Service) EncryptQuery(name string, features []uint64) (*Query, error) {
 	return s.EncryptQueryBatch(name, [][]uint64{features})
 }
 
-// EncryptQueryBatch slot-packs up to BatchCapacity feature vectors into
-// one encrypted query set; one Classify pass answers all of them.
+// EncryptQueryBatch slot-packs feature vectors into encrypted query
+// sets. Up to BatchCapacity vectors share one set and one Classify
+// pass answers all of them; a larger batch is split transparently into
+// a chain of capacity-sized sets (Query.Next) which Classify runs as
+// ceil(len/capacity) passes — the service boundary never surfaces the
+// low-level *core.BatchCapacityError, which remains the contract of
+// the single-pass core.PrepareQueryBatch API.
 func (s *Service) EncryptQueryBatch(name string, batch [][]uint64) (*Query, error) {
 	m, backend, err := s.lookup(name)
 	if err != nil {
@@ -410,15 +443,104 @@ func (s *Service) EncryptQueryBatch(name string, batch [][]uint64) (*Query, erro
 	if err != nil {
 		return nil, err
 	}
-	return core.PrepareQueryBatch(backend, &m.operands.Meta, batch, encFeats)
+	meta := &m.operands.Meta
+	capacity := meta.BatchCapacity()
+	if len(batch) <= capacity {
+		return core.PrepareQueryBatch(backend, meta, batch, encFeats)
+	}
+	var head *Query
+	var tail *Query
+	for lo := 0; lo < len(batch); lo += capacity {
+		q, err := core.PrepareQueryBatch(backend, meta, batch[lo:min(lo+capacity, len(batch))], encFeats)
+		if err != nil {
+			return nil, err
+		}
+		if head == nil {
+			head = q
+		} else {
+			tail.Next = q
+		}
+		tail = q
+	}
+	return head, nil
 }
 
 // Classify runs Algorithm 1 on a prepared (possibly batched) query.
 // It is safe to call from many goroutines; with WithMaxInFlight set,
 // excess calls queue (cancellable while queued) and the wait shows up
-// in Stats. The context is also checked between pipeline stages.
+// in Stats. The context is also checked between pipeline stages. A
+// query chained across several sets (EncryptQueryBatch of more than
+// BatchCapacity vectors) runs one pass per link — concurrently, under
+// the in-flight cap — and returns one combined result; the trace then
+// aggregates the links (durations and op bills summed).
 func (s *Service) Classify(ctx context.Context, name string, q *Query) (*EncryptedResult, *Trace, error) {
-	return s.classify(ctx, name, q, 0)
+	if q.Next == nil {
+		return s.classify(ctx, name, q, 0)
+	}
+	var links []*Query
+	for l := q; l != nil; l = l.Next {
+		links = append(links, l)
+	}
+	var shuffleBase uint64
+	if s.cfg.shuffle {
+		// One seed per link, reserved up front: seeded runs reproduce
+		// regardless of which link's goroutine runs first.
+		shuffleBase = s.shuffleSeedBlock(len(links))
+	}
+	workers := len(links)
+	if s.cfg.maxInFlight > 0 {
+		workers = min(workers, s.cfg.maxInFlight)
+	}
+	workers = min(workers, runtime.GOMAXPROCS(0))
+	encs := make([]*EncryptedResult, len(links))
+	traces := make([]*Trace, len(links))
+	err := matrix.ParallelFor(len(links), workers, func(i int) error {
+		var seed uint64
+		if s.cfg.shuffle {
+			seed = shuffleBase + uint64(i)*shuffleSeedStride
+		}
+		enc, trace, err := s.classify(ctx, name, links[i], seed)
+		if err != nil {
+			return err
+		}
+		encs[i], traces[i] = enc, trace
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	merged := &EncryptedResult{}
+	trace := &Trace{}
+	for i, enc := range encs {
+		merged.segs = append(merged.segs, enc.segs...)
+		addTrace(trace, traces[i])
+	}
+	return merged, trace, nil
+}
+
+// addTrace accumulates one pass's trace into an aggregate: durations
+// and op bills sum, limb/noise fields keep the first pass's view.
+func addTrace(dst, src *Trace) {
+	if src == nil {
+		return
+	}
+	dst.Compare += src.Compare
+	dst.Reshuffle += src.Reshuffle
+	dst.Levels += src.Levels
+	dst.Accumulate += src.Accumulate
+	dst.Shuffle += src.Shuffle
+	dst.Total += src.Total
+	dst.CompareOps = dst.CompareOps.Plus(src.CompareOps)
+	dst.ReshuffleOps = dst.ReshuffleOps.Plus(src.ReshuffleOps)
+	dst.LevelOps = dst.LevelOps.Plus(src.LevelOps)
+	dst.AccumulateOps = dst.AccumulateOps.Plus(src.AccumulateOps)
+	dst.ShuffleOps = dst.ShuffleOps.Plus(src.ShuffleOps)
+	if dst.Limbs == (core.StageLimbs{}) {
+		dst.Limbs = src.Limbs
+	}
+	if dst.Noise == (core.StageNoise{}) {
+		dst.Noise = src.Noise
+	}
 }
 
 // classify is Classify with an optional shuffle-seed override (0 means
@@ -470,7 +592,7 @@ func (s *Service) classify(ctx context.Context, name string, q *Query, shuffleSe
 		s.failures.Add(1)
 		return nil, nil, err
 	}
-	return &EncryptedResult{op: op, batch: max(q.Batch, 1), codebooks: codebooks}, trace, nil
+	return &EncryptedResult{segs: []resultSeg{{op: op, batch: max(q.Batch, 1), codebooks: codebooks}}}, trace, nil
 }
 
 // shufflePass applies the per-pass result shuffle: one block-diagonal
@@ -530,25 +652,36 @@ func (s *Service) DecryptResult(name string, r *EncryptedResult) (*Result, error
 	return results[0], nil
 }
 
-// DecryptResultBatch decrypts one classification pass and decodes every
-// packed query's result, in the order the batch was packed. Shuffled
-// results (WithShuffle) decode through their per-query codebooks: the
-// Results carry vote counts only — per-tree labels and raw leaf bits
-// are hidden by the shuffle, by design.
+// DecryptResultBatch decrypts one classification — every pass of a
+// chained multi-pass result — and decodes every packed query's result,
+// in the order the batch was packed. Shuffled results (WithShuffle)
+// decode through their per-query codebooks: the Results carry vote
+// counts only — per-tree labels and raw leaf bits are hidden by the
+// shuffle, by design.
 func (s *Service) DecryptResultBatch(name string, r *EncryptedResult) ([]*Result, error) {
 	m, backend, err := s.lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	slots, err := he.Reveal(backend, r.op)
-	if err != nil {
-		return nil, err
-	}
 	meta := &m.operands.Meta
-	if r.codebooks != nil {
-		return core.DecodeShuffledBatch(r.codebooks, len(meta.LabelNames), slots, meta.BatchBlock())
+	var out []*Result
+	for _, seg := range r.segs {
+		slots, err := he.Reveal(backend, seg.op)
+		if err != nil {
+			return nil, err
+		}
+		var results []*Result
+		if seg.codebooks != nil {
+			results, err = core.DecodeShuffledBatch(seg.codebooks, len(meta.LabelNames), slots, meta.BatchBlock())
+		} else {
+			results, err = core.DecodeResultBatch(meta, slots, max(seg.batch, 1))
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, results...)
 	}
-	return core.DecodeResultBatch(meta, slots, max(r.batch, 1))
+	return out, nil
 }
 
 // ClassifyBatch is the end-to-end serving loop: slot-pack the feature
@@ -577,10 +710,18 @@ func (s *Service) ClassifyBatchShuffled(ctx context.Context, name string, batch 
 
 // classifyChunks is the shared serving loop behind ClassifyBatch and
 // ClassifyBatchShuffled: slot-pack, classify, decrypt, decode —
-// chunked to the model's capacity, chunks running concurrently.
+// chunked to the model's capacity, chunks running concurrently. With
+// the dynamic batcher enabled (WithBatchWindow/WithBatchPolicy) the
+// request is instead enqueued into the model's aggregator, where it
+// shares slot-packed passes with every other concurrent caller.
 func (s *Service) classifyChunks(ctx context.Context, name string, batch [][]uint64) ([]*Result, []*ShuffledCodebook, error) {
 	if len(batch) == 0 {
 		return nil, nil, fmt.Errorf("copse: empty batch")
+	}
+	if agg, err := s.aggregatorFor(name); err != nil {
+		return nil, nil, err
+	} else if agg != nil {
+		return agg.submit(ctx, batch)
 	}
 	capacity, err := s.BatchCapacity(name)
 	if err != nil {
@@ -649,6 +790,19 @@ type ServiceStats struct {
 	// Latency is the cumulative classification time (excluding queue
 	// wait); Latency/Requests is the mean per-pass latency.
 	Latency time.Duration
+
+	// BatcherPasses counts coalesced passes fired by the dynamic
+	// batcher (WithBatchWindow); they are also included in Requests.
+	BatcherPasses int64
+	// CoalescedQueries counts queries answered through the batcher;
+	// CoalescedQueries/BatcherPasses is its realized batch factor.
+	CoalescedQueries int64
+	// BatchFill is the mean fill ratio of batcher passes: queries per
+	// pass over the model's batch capacity (1.0 = every pass full).
+	BatchFill float64
+	// BatchWait is the cumulative time queries lingered in a forming
+	// batch before their pass fired.
+	BatchWait time.Duration
 }
 
 // MeanLatency returns the mean per-pass classification latency.
@@ -667,14 +821,30 @@ func (st ServiceStats) MeanQueueWait() time.Duration {
 	return st.QueueWait / time.Duration(st.Requests)
 }
 
+// MeanBatchWait returns the mean per-query linger in the dynamic
+// batcher.
+func (st ServiceStats) MeanBatchWait() time.Duration {
+	if st.CoalescedQueries == 0 {
+		return 0
+	}
+	return st.BatchWait / time.Duration(st.CoalescedQueries)
+}
+
 // Stats snapshots the serving counters.
 func (s *Service) Stats() ServiceStats {
-	return ServiceStats{
-		Requests:  s.requests.Load(),
-		Queries:   s.queries.Load(),
-		Failures:  s.failures.Load(),
-		InFlight:  s.inFlight.Load(),
-		QueueWait: time.Duration(s.queueNS.Load()),
-		Latency:   time.Duration(s.latencyNS.Load()),
+	st := ServiceStats{
+		Requests:         s.requests.Load(),
+		Queries:          s.queries.Load(),
+		Failures:         s.failures.Load(),
+		InFlight:         s.inFlight.Load(),
+		QueueWait:        time.Duration(s.queueNS.Load()),
+		Latency:          time.Duration(s.latencyNS.Load()),
+		BatcherPasses:    s.aggPasses.Load(),
+		CoalescedQueries: s.aggQueries.Load(),
+		BatchWait:        time.Duration(s.aggWaitNS.Load()),
 	}
+	if den := s.aggFillDen.Load(); den > 0 {
+		st.BatchFill = float64(s.aggFillNum.Load()) / float64(den)
+	}
+	return st
 }

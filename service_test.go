@@ -137,10 +137,11 @@ func TestServiceContextCancel(t *testing.T) {
 	}
 }
 
-// TestServiceBatchCapacityError: the typed error surfaces through the
-// public query path.
+// TestServiceBatchCapacityError: the service boundary splits oversized
+// batches into a chain of passes transparently; the typed error stays
+// at the low-level PrepareQueryBatch API.
 func TestServiceBatchCapacityError(t *testing.T) {
-	_, c := trainedModel(t, 44, 256)
+	f, c := trainedModel(t, 44, 256)
 	svc := copse.NewService(copse.WithBackend(copse.BackendClear))
 	if err := svc.Register("m", c); err != nil {
 		t.Fatal(err)
@@ -149,14 +150,42 @@ func TestServiceBatchCapacityError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	over := make([][]uint64, capacity+1)
+	rng := rand.New(rand.NewPCG(44, 44))
+	over := make([][]uint64, 2*capacity+1) // three passes
 	for i := range over {
-		over[i] = []uint64{1, 2, 3}
+		over[i] = []uint64{rng.Uint64N(16), rng.Uint64N(16), rng.Uint64N(16)}
 	}
-	_, err = svc.EncryptQueryBatch("m", over)
+
+	// The low-level core API keeps its one-pass contract.
+	_, err = core.PrepareQueryBatch(svc.Backend(), &c.Meta, over, false)
 	var bce *core.BatchCapacityError
 	if !errors.As(err, &bce) {
-		t.Errorf("oversized EncryptQueryBatch: %v, want *core.BatchCapacityError", err)
+		t.Errorf("core.PrepareQueryBatch: %v, want *core.BatchCapacityError", err)
+	}
+
+	// The service chains the overflow and answers every query.
+	q, err := svc.EncryptQueryBatch("m", over)
+	if err != nil {
+		t.Fatalf("oversized EncryptQueryBatch: %v", err)
+	}
+	enc, _, err := svc.Classify(context.Background(), "m", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := svc.DecryptResultBatch("m", enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(over) {
+		t.Fatalf("%d results for %d queries", len(results), len(over))
+	}
+	for i, feats := range over {
+		want := f.Classify(feats)
+		for ti, lbl := range results[i].PerTree {
+			if lbl != want[ti] {
+				t.Errorf("query %d tree %d: L%d, want L%d", i, ti, lbl, want[ti])
+			}
+		}
 	}
 }
 
