@@ -39,6 +39,7 @@ func main() {
 	nttJSON := flag.String("nttjson", "", "also write the intra-op parallelism record (serial vs fused vs limb-parallel ring kernels, classify ablation, Galois-key budget) to this file (e.g. BENCH_ntt.json)")
 	shuffleJSON := flag.String("shufflejson", "", "also write the result-shuffle record (per-query shuffle cost at B=1 vs one batched pass at B=max, clear and BGV backends, rotation budget) to this file (e.g. BENCH_shuffle.json)")
 	aggJSON := flag.String("aggjson", "", "also write the dynamic-batching record (closed-loop 16-client throughput, batcher on vs off, clear plus BGV with -backend bgv) to this file (e.g. BENCH_agg.json)")
+	clusterJSON := flag.String("clusterjson", "", "also write the sharded-serving record (2-worker gateway/worker cluster over loopback HTTP vs single node, bit-identity witness plus fan-out/merge overhead, BGV) to this file (e.g. BENCH_cluster.json)")
 	intraOp := flag.Int("intraop", 0, "ring-layer limb workers for BGV runs (default/1 = serial so ablation baselines stay single-threaded; n >= 2 enables the pool)")
 	secure128 := flag.Bool("secure128", false, "with -nttjson: also run the offline Security128 (N=32768) end-to-end classify (slow)")
 	flag.Parse()
@@ -192,6 +193,24 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *aggJSON)
+	}
+
+	if *clusterJSON != "" {
+		report, err := experiments.ClusterReport(cfg)
+		if err != nil {
+			log.Fatalf("cluster report: %v", err)
+		}
+		f, err := os.Create(*clusterJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *clusterJSON)
 	}
 
 	if *nttJSON != "" {

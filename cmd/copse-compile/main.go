@@ -8,6 +8,12 @@
 //
 //	copse-compile -model income5.forest -out income5.copse
 //	copse-compile -model income5.forest -slots 2048 -emit main.go
+//	copse-compile -model income5.forest -out income5.copse -shards 2
+//
+// With -shards K the compiled forest is additionally split tree-wise
+// into K self-contained shard artifacts plus a merge manifest
+// (DESIGN.md §12): income5.shard0.copse, income5.shard1.copse, ...,
+// and income5.manifest.json, ready for copse-serve -worker.
 package main
 
 import (
@@ -15,6 +21,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"copse"
 )
@@ -29,6 +37,7 @@ func main() {
 	planShuffle := flag.Bool("planshuffle", false, "reserve level headroom for result shuffling (required to serve the artifact with copse-serve -shuffle on the BGV backend)")
 	out := flag.String("out", "", "output artifact path")
 	emit := flag.String("emit", "", "also emit a standalone Go program to this path")
+	shards := flag.Int("shards", 0, "also split the forest tree-wise into this many shard artifacts plus a merge manifest, derived from -out (cluster serving, DESIGN.md §12)")
 	flag.Parse()
 
 	if *modelPath == "" {
@@ -76,6 +85,43 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote artifact %s\n", *out)
+	}
+	if *shards > 0 {
+		if *out == "" {
+			log.Fatal("-shards needs -out to derive the shard artifact paths")
+		}
+		pieces, manifest, err := copse.ShardForest(compiled, *shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stem := strings.TrimSuffix(*out, filepath.Ext(*out))
+		for i, piece := range pieces {
+			path := fmt.Sprintf("%s.shard%d.copse", stem, i)
+			w, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := copse.WriteArtifact(w, piece); err != nil {
+				log.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				log.Fatal(err)
+			}
+			r := manifest.Ranges[i]
+			fmt.Fprintf(os.Stderr, "wrote shard %s (trees %d..%d)\n", path, r.TreeStart, r.TreeEnd-1)
+		}
+		mpath := stem + ".manifest.json"
+		w, err := os.Create(mpath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := copse.WriteManifest(w, manifest); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote merge manifest %s (%d shards, chain %d levels)\n", mpath, manifest.Shards, manifest.ChainLevels)
 	}
 	if *emit != "" {
 		w, err := os.Create(*emit)

@@ -14,14 +14,26 @@
 // each request waits up to the window for co-riders, then one pass
 // answers every rider's queries.
 //
+// Cluster modes (DESIGN.md §12) — a worker node serves shard
+// artifacts produced by copse-compile -shards, a gateway fans queries
+// across the workers and merges the encrypted per-shard vote sums:
+//
+//	copse-serve -worker -listen :9001 -seed 42 \
+//	    -manifest fraud=fraud.manifest.json -shards fraud=fraud.shard0.copse
+//	copse-serve -gateway -listen :8080 -workers http://h1:9001,http://h2:9002
+//
 // Endpoints:
 //
 //	POST /v1/classify  {"model": "fraud", "queries": [[3,5,...], ...]}
 //	  → {"model": "fraud", "results": [{"label": ..., "labelName": ...,
 //	     "votes": [...], "perTree": [...]}, ...], "latencyMS": ...}
 //	GET  /v1/models    → per-model shape and batch capacity
-//	GET  /v1/stats     → request/query counters, mean latency, queue wait
+//	GET  /v1/stats     → request/query counters, latency p50/p95/p99
 //	GET  /healthz      → 200 once serving
+//
+// Every mode shuts down gracefully on SIGINT/SIGTERM: the listener
+// closes, in-flight requests drain (bounded by -drain), then the
+// service and its key material are released.
 package main
 
 import (
@@ -32,12 +44,17 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"copse"
+	"copse/internal/cluster"
+	"copse/internal/he/hebgv"
 )
 
 type modelFlags map[string]string
@@ -56,6 +73,25 @@ func (m modelFlags) Set(v string) error {
 	return nil
 }
 
+// shardListFlags collects -shards NAME=PATH[,PATH...] (repeatable and
+// accumulating: a worker may hold several shards of one forest).
+type shardListFlags map[string][]string
+
+func (m shardListFlags) String() string { return fmt.Sprint(map[string][]string(m)) }
+
+func (m shardListFlags) Set(v string) error {
+	name, paths, ok := strings.Cut(v, "=")
+	if !ok || name == "" || paths == "" {
+		return fmt.Errorf("want NAME=SHARD[,SHARD...], got %q", v)
+	}
+	for _, p := range strings.Split(paths, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			m[name] = append(m[name], p)
+		}
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("copse-serve: ")
@@ -65,26 +101,69 @@ func main() {
 	listen := flag.String("listen", ":8080", "listen address")
 	backendArg := flag.String("backend", "bgv", "bgv or clear")
 	scenarioArg := flag.String("scenario", "offload", "offload, servermodel, or clienteval")
-	workers := flag.Int("workers", 0, "intra-query parallelism (0 = GOMAXPROCS)")
+	workersArg := flag.String("workers", "", "intra-query parallelism (empty/0 = GOMAXPROCS); in -gateway mode: comma-separated worker base URLs")
 	intraOp := flag.Int("intraop", 0, "ring-layer limb workers per op (0 = core budget, 1 = serial)")
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent classification cap (0 = unlimited)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request classification timeout")
-	seed := flag.Uint64("seed", 0, "deterministic keys/encryption when non-zero (tests only: with -shuffle it also makes every shuffle permutation predictable to anyone who knows the seed, voiding the leakage hardening)")
+	seed := flag.Uint64("seed", 0, "deterministic keys/encryption when non-zero (tests only — except -worker mode, where a shared seed is how the fleet derives one key set; with -shuffle it also makes every shuffle permutation predictable to anyone who knows the seed, voiding the leakage hardening)")
 	shuffle := flag.Bool("shuffle", false, "shuffle results (leakage hardening, §7.2.2): responses carry per-query codebooks and vote counts instead of per-tree labels; BGV models need CompileOptions.PlanShuffle")
 	batchWindow := flag.Duration("batchwindow", 0, "dynamic batching linger: concurrent requests for the same model coalesce into shared slot-packed passes, waiting up to this long for co-riders (0 = off)")
 	batchMax := flag.Int("batchmax", 0, "queries per coalesced pass cap (0 = model batch capacity; needs -batchwindow)")
 	batchMinFill := flag.Int("batchminfill", 0, "fire a coalesced pass early once this many queries are pending (0 = only at capacity or linger expiry; needs -batchwindow)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline for in-flight requests")
+
+	workerMode := flag.Bool("worker", false, "run as a cluster worker node serving shard artifacts (-manifest/-shards/-seed)")
+	gatewayMode := flag.Bool("gateway", false, "run as a cluster gateway fronting -workers URL,URL,...")
+	manifests := modelFlags{}
+	flag.Var(manifests, "manifest", "NAME=MANIFEST.json shard manifest (worker mode, repeatable)")
+	shardPaths := shardListFlags{}
+	flag.Var(shardPaths, "shards", "NAME=SHARD.copse[,SHARD.copse...] shard artifacts to stage (worker mode, repeatable)")
+	keyFile := flag.String("keyfile", "", "key-material wire file to load instead of deriving keys from -seed (worker mode)")
+	writeKeys := flag.String("writekeys", "", "after staging, write the worker's full key material (secret included) to this wire file for distribution to other workers")
+	probe := flag.Duration("probe", 2*time.Second, "worker health-probe interval (gateway mode)")
 	flag.Parse()
+
+	if *workerMode && *gatewayMode {
+		log.Fatal("-worker and -gateway are mutually exclusive")
+	}
+	if *gatewayMode {
+		runGateway(*listen, *workersArg, *probe, *timeout, *drain)
+		return
+	}
+
+	workers := 0
+	if *workersArg != "" {
+		n, err := strconv.Atoi(*workersArg)
+		if err != nil {
+			log.Fatalf("-workers: want an integer outside -gateway mode, got %q", *workersArg)
+		}
+		workers = n
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	if *workerMode {
+		runWorker(workerOptions{
+			listen:      *listen,
+			manifests:   manifests,
+			shards:      shardPaths,
+			seed:        *seed,
+			keyFile:     *keyFile,
+			writeKeys:   *writeKeys,
+			workers:     workers,
+			intraOp:     *intraOp,
+			maxInFlight: *maxInFlight,
+			drain:       *drain,
+		})
+		return
+	}
 
 	if len(models) == 0 {
 		log.Fatal("need at least one -model NAME=ARTIFACT")
 	}
-
-	if *workers <= 0 {
-		*workers = runtime.GOMAXPROCS(0)
-	}
 	opts := []copse.Option{
-		copse.WithWorkers(*workers),
+		copse.WithWorkers(workers),
 		copse.WithIntraOpWorkers(*intraOp),
 		copse.WithMaxInFlight(*maxInFlight),
 		copse.WithSeed(*seed),
@@ -173,8 +252,177 @@ func main() {
 		fmt.Fprintln(w, "ok")
 	})
 
-	log.Printf("listening on %s", *listen)
-	log.Fatal(http.ListenAndServe(*listen, mux))
+	if err := serveHTTP(*listen, mux, *drain, svc.Close); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serveHTTP runs handler on addr until the process receives SIGINT or
+// SIGTERM, then drains in-flight requests (bounded by drain) and calls
+// shutdown to release the service and its key material. A listener
+// error (port in use, etc.) is returned immediately.
+func serveHTTP(addr string, handler http.Handler, drain time.Duration, shutdown func() error) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Addr: addr, Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s", addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop() // a second signal kills the process the default way
+		log.Printf("signal received, draining in-flight requests (up to %v)", drain)
+		dctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			log.Printf("drain deadline exceeded, closing connections: %v", err)
+			srv.Close()
+		}
+		if shutdown != nil {
+			if err := shutdown(); err != nil {
+				return fmt.Errorf("shutdown: %w", err)
+			}
+		}
+		log.Printf("shutdown complete")
+		return nil
+	}
+}
+
+type workerOptions struct {
+	listen      string
+	manifests   modelFlags
+	shards      shardListFlags
+	seed        uint64
+	keyFile     string
+	writeKeys   string
+	workers     int
+	intraOp     int
+	maxInFlight int
+	drain       time.Duration
+}
+
+func runWorker(o workerOptions) {
+	log.SetPrefix("copse-serve[worker]: ")
+	if len(o.manifests) == 0 {
+		log.Fatal("worker mode needs at least one -manifest NAME=MANIFEST.json")
+	}
+	for name := range o.shards {
+		if _, ok := o.manifests[name]; !ok {
+			log.Fatalf("-shards %s=... has no matching -manifest %s=...", name, name)
+		}
+	}
+
+	var material *hebgv.Material
+	if o.keyFile != "" {
+		f, err := os.Open(o.keyFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		material, err = cluster.DecodeKeyMaterial(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", o.keyFile, err)
+		}
+	}
+
+	w := cluster.NewWorker(cluster.WorkerConfig{
+		Seed:           o.seed,
+		Material:       material,
+		Workers:        o.workers,
+		IntraOpWorkers: o.intraOp,
+		MaxInFlight:    o.maxInFlight,
+	})
+	for name, mpath := range o.manifests {
+		mf, err := os.Open(mpath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		manifest, err := copse.ReadManifest(mf)
+		mf.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", mpath, err)
+		}
+		if len(o.shards[name]) == 0 {
+			log.Fatalf("model %q has a manifest but no -shards %s=SHARD.copse", name, name)
+		}
+		for _, spath := range o.shards[name] {
+			sf, err := os.Open(spath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			c, err := copse.ReadArtifact(sf)
+			sf.Close()
+			if err != nil {
+				log.Fatalf("%s: %v", spath, err)
+			}
+			if err := w.AddShard(name, manifest, c); err != nil {
+				log.Fatalf("%s: %v", spath, err)
+			}
+			log.Printf("staged %q shard %d/%d (%s)", name, c.Shard.Index, manifest.Shards, spath)
+		}
+	}
+	log.Printf("key fingerprint %s", w.Fingerprint())
+
+	if o.writeKeys != "" {
+		f, err := os.Create(o.writeKeys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = cluster.EncodeKeyMaterial(f, w.Material())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatalf("%s: %v", o.writeKeys, err)
+		}
+		log.Printf("wrote full key material (secret included) to %s — distribute over a private channel only", o.writeKeys)
+	}
+
+	if err := serveHTTP(o.listen, w.Handler(), o.drain, w.Close); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runGateway(listen, workersCSV string, probe, timeout, drain time.Duration) {
+	log.SetPrefix("copse-serve[gateway]: ")
+	var urls []string
+	for _, u := range strings.Split(workersCSV, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("gateway mode needs -workers URL,URL,...")
+	}
+
+	g := cluster.NewGateway(cluster.GatewayConfig{
+		Workers:        urls,
+		ProbeInterval:  probe,
+		RequestTimeout: timeout,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err := g.Refresh(ctx)
+	cancel()
+	if err != nil {
+		// Workers may simply not be up yet; the prober keeps retrying.
+		log.Printf("initial probe incomplete (will keep probing): %v", err)
+	}
+	for _, m := range g.Models() {
+		if m.Available {
+			log.Printf("routing %q: %d shard(s) across %d worker(s)", m.Name, m.Shards, len(urls))
+		} else {
+			log.Printf("model %q unavailable: %s", m.Name, m.Problem)
+		}
+	}
+	g.Start()
+
+	if err := serveHTTP(listen, g.Handler(), drain, g.Close); err != nil {
+		log.Fatal(err)
+	}
 }
 
 type server struct {
@@ -332,11 +580,20 @@ type statsResponse struct {
 	CoalescedQueries int64   `json:"coalescedQueries"`
 	BatchFill        float64 `json:"batchFill"`
 	MeanBatchWaitMS  float64 `json:"meanBatchWaitMS"`
+	// Per-model latency quantiles from the fixed log-spaced histograms.
+	ModelLatency map[string]modelLatency `json:"modelLatency,omitempty"`
+}
+
+type modelLatency struct {
+	Count int64   `json:"count"`
+	P50MS float64 `json:"p50MS"`
+	P95MS float64 `json:"p95MS"`
+	P99MS float64 `json:"p99MS"`
 }
 
 func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 	st := s.svc.Stats()
-	writeJSON(w, statsResponse{
+	resp := statsResponse{
 		Requests:         st.Requests,
 		Queries:          st.Queries,
 		Failures:         st.Failures,
@@ -347,7 +604,19 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 		CoalescedQueries: st.CoalescedQueries,
 		BatchFill:        st.BatchFill,
 		MeanBatchWaitMS:  float64(st.MeanBatchWait().Microseconds()) / 1000,
-	})
+	}
+	if len(st.ModelLatency) > 0 {
+		resp.ModelLatency = make(map[string]modelLatency, len(st.ModelLatency))
+		for name, ml := range st.ModelLatency {
+			resp.ModelLatency[name] = modelLatency{
+				Count: ml.Count,
+				P50MS: float64(ml.P50.Microseconds()) / 1000,
+				P95MS: float64(ml.P95.Microseconds()) / 1000,
+				P99MS: float64(ml.P99.Microseconds()) / 1000,
+			}
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -130,6 +130,33 @@ func WriteArtifact(w io.Writer, c *Compiled) error { return core.WriteArtifact(w
 // ReadArtifact deserializes a compiled model.
 func ReadArtifact(r io.Reader) (*Compiled, error) { return core.ReadArtifact(r) }
 
+// Forest sharding, re-exported from the core package (DESIGN.md §12).
+type (
+	// ShardInfo locates one shard inside its parent forest.
+	ShardInfo = core.ShardInfo
+	// ShardManifest is the merge manifest of a sharded forest: the
+	// shared key contract (chain length, rotation-step union) plus the
+	// global Meta and per-shard ranges a gateway merges through.
+	ShardManifest = core.ShardManifest
+)
+
+// ShardForest splits a compiled forest into self-contained per-shard
+// artifacts (tree-wise, balanced by branch count) plus the merge
+// manifest. Each shard keeps the parent's packing layout, so one
+// encrypted query batch serves every shard and the per-shard results
+// occupy disjoint leaf-slot supports — a gateway merges them with
+// plain ciphertext additions and the sum is bit-identical to the
+// unsharded classification.
+func ShardForest(c *Compiled, shards int) ([]*Compiled, *ShardManifest, error) {
+	return core.ShardForest(c, shards)
+}
+
+// WriteManifest serializes a shard manifest (JSON).
+func WriteManifest(w io.Writer, m *ShardManifest) error { return m.WriteManifest(w) }
+
+// ReadManifest deserializes a shard manifest.
+func ReadManifest(r io.Reader) (*ShardManifest, error) { return core.ReadManifest(r) }
+
 // GenerateProgram emits a standalone Go program specialized to the
 // compiled model — the staging-compiler output of the paper's §5
 // (there it is C++ linking the runtime; here it is Go driving this
@@ -389,6 +416,18 @@ func (r *EncryptedResult) Codebooks() []*ShuffledCodebook {
 		out = append(out, seg.codebooks...)
 	}
 	return out
+}
+
+// Operand returns the packed result carrier of a single-pass
+// classification together with its batch count — the hook the cluster
+// data plane uses to put a worker's shard result on the wire. A
+// chained multi-pass result has no single carrier and returns an
+// error (cluster requests are capped at one pass).
+func (r *EncryptedResult) Operand() (he.Operand, int, error) {
+	if len(r.segs) != 1 {
+		return he.Operand{}, 0, fmt.Errorf("copse: result spans %d passes, no single operand", len(r.segs))
+	}
+	return r.segs[0].op, r.segs[0].batch, nil
 }
 
 // Classify runs Algorithm 1 on an encrypted query (or slot-packed

@@ -1,0 +1,387 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"copse"
+	"copse/internal/core"
+	"copse/internal/model"
+	"copse/internal/synth"
+)
+
+// clusterForest builds a forest with enough trees to split.
+func clusterForest(t *testing.T, seed uint64) *model.Forest {
+	t.Helper()
+	f, err := synth.Generate(synth.ForestSpec{
+		NumFeatures:     3,
+		NumLabels:       3,
+		Precision:       4,
+		MaxDepth:        3,
+		BranchesPerTree: []int{5, 3, 6, 3, 4},
+		Seed:            seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// testCluster is a 2-worker in-process cluster plus the gateway
+// fronting it.
+type testCluster struct {
+	workers []*Worker
+	servers []*httptest.Server
+	gateway *Gateway
+}
+
+func (tc *testCluster) close() {
+	if tc.gateway != nil {
+		tc.gateway.Close()
+	}
+	for _, s := range tc.servers {
+		s.Close()
+	}
+	for _, w := range tc.workers {
+		w.Close()
+	}
+}
+
+// startCluster stages each shards[i] list on its own worker and fronts
+// them with a refreshed gateway.
+func startCluster(t *testing.T, seed uint64, stage func(workers []*Worker)) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	for i := 0; i < 2; i++ {
+		w := NewWorker(WorkerConfig{Seed: seed, MaxInFlight: 2})
+		tc.workers = append(tc.workers, w)
+	}
+	stage(tc.workers)
+	var urls []string
+	for _, w := range tc.workers {
+		srv := httptest.NewServer(w.Handler())
+		tc.servers = append(tc.servers, srv)
+		urls = append(urls, srv.URL)
+	}
+	// Generous round-trip budget: BGV passes run ~10× slower under the
+	// race detector, and a premature client timeout would read as a
+	// routing failure.
+	tc.gateway = NewGateway(GatewayConfig{Workers: urls, RequestTimeout: 10 * time.Minute})
+	if err := tc.gateway.Refresh(context.Background()); err != nil {
+		tc.close()
+		t.Fatalf("gateway refresh: %v", err)
+	}
+	return tc
+}
+
+// TestClusterEndToEnd checks the tentpole contract: a 2-worker sharded
+// BGV classification is bit-identical to single-node serving — same
+// leaf bits, votes, and per-tree labels — through both the Go API and
+// the HTTP surface.
+func TestClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BGV cluster round trip is slow")
+	}
+	f := clusterForest(t, 51)
+	c, err := core.Compile(f, core.Options{Slots: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, manifest, err := core.ShardForest(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tc := startCluster(t, 61, func(workers []*Worker) {
+		for i, s := range shards {
+			if err := workers[i].AddShard("forest", manifest, s); err != nil {
+				t.Fatalf("worker %d AddShard: %v", i, err)
+			}
+		}
+	})
+	defer tc.close()
+
+	if fp0, fp1 := tc.workers[0].Fingerprint(), tc.workers[1].Fingerprint(); fp0 != fp1 || fp0 == "" {
+		t.Fatalf("seeded workers derived different key sets: %q vs %q", fp0, fp1)
+	}
+
+	// Single-node reference on its own (differently-seeded) service:
+	// leaf bits are determined by the model and queries, not the keys.
+	ref := copse.NewService(copse.WithScenario(copse.ScenarioServerModel), copse.WithSeed(7))
+	defer ref.Close()
+	if err := ref.Register("forest", c); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewPCG(3, 4))
+	limit := uint64(1) << uint(c.Meta.Precision)
+	batch := make([][]uint64, 3)
+	for i := range batch {
+		q := make([]uint64, c.Meta.NumFeatures)
+		for j := range q {
+			q[j] = rng.Uint64N(limit)
+		}
+		batch[i] = q
+	}
+	want, err := ref.ClassifyBatch(context.Background(), "forest", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, trace, err := tc.gateway.Classify(context.Background(), "forest", batch)
+	if err != nil {
+		t.Fatalf("gateway classify: %v", err)
+	}
+	if len(got) != len(batch) || trace.Shards != 2 || trace.Passes != 1 {
+		t.Fatalf("got %d results, %d shards, %d passes", len(got), trace.Shards, trace.Passes)
+	}
+	for i, res := range got {
+		if !reflect.DeepEqual(res.LeafBits, want[i].LeafBits) {
+			t.Errorf("query %d: sharded leaf bits %v != single-node %v", i, res.LeafBits, want[i].LeafBits)
+		}
+		if !reflect.DeepEqual(res.Votes, want[i].Votes) || !reflect.DeepEqual(res.PerTree, want[i].PerTree) {
+			t.Errorf("query %d: votes/perTree diverge: %v/%v vs %v/%v",
+				i, res.Votes, res.PerTree, want[i].Votes, want[i].PerTree)
+		}
+		if res.Label != want[i].Plurality() {
+			t.Errorf("query %d: label %d, want %d", i, res.Label, want[i].Plurality())
+		}
+	}
+
+	// Same through the HTTP surface.
+	gw := httptest.NewServer(tc.gateway.Handler())
+	defer gw.Close()
+	body, _ := json.Marshal(gatewayClassifyRequest{Model: "forest", Queries: batch})
+	resp, err := http.Post(gw.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gateway HTTP classify: %s", resp.Status)
+	}
+	var httpResp gatewayClassifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&httpResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(httpResp.Results) != len(batch) || httpResp.Shards != 2 {
+		t.Fatalf("HTTP response: %d results, %d shards", len(httpResp.Results), httpResp.Shards)
+	}
+	for i, res := range httpResp.Results {
+		if !reflect.DeepEqual(res.LeafBits, want[i].LeafBits) {
+			t.Errorf("HTTP query %d: leaf bits diverge", i)
+		}
+	}
+
+	// The shard-aware inventory reports full coverage.
+	models := tc.gateway.Models()
+	if len(models) != 1 || !models[0].Available || models[0].Shards != 2 {
+		t.Fatalf("gateway models: %+v", models)
+	}
+	// Worker stats carry per-model latency histograms.
+	st := tc.workers[0].Service().Stats()
+	if lat, ok := st.ModelLatency["forest/0"]; !ok || lat.Count == 0 || lat.P99 < lat.P50 {
+		t.Errorf("worker latency stats: %+v", st.ModelLatency)
+	}
+}
+
+// TestClusterDegradation checks the failure contract: a dead worker
+// yields a typed error mid-request (not a hang), takes exactly the
+// models it exclusively holds out of /v1/models, and replicated shards
+// keep serving through holder retry.
+func TestClusterDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BGV cluster round trip is slow")
+	}
+	f := clusterForest(t, 52)
+	c, err := core.Compile(f, core.Options{Slots: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, wideManifest, err := core.ShardForest(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, soloManifest, err := core.ShardForest(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tc := startCluster(t, 62, func(workers []*Worker) {
+		// "wide" spans both workers; "solo" lives on worker 0 only;
+		// "both" is a 1-shard forest replicated on both workers.
+		if err := workers[0].AddShard("wide", wideManifest, wide[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := workers[1].AddShard("wide", wideManifest, wide[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := workers[0].AddShard("solo", soloManifest, solo[0]); err != nil {
+			t.Fatal(err)
+		}
+		for i := range workers {
+			if err := workers[i].AddShard("both", soloManifest, solo[0]); err != nil {
+				t.Fatalf("worker %d: %v", i, err)
+			}
+		}
+	})
+	defer tc.close()
+
+	query := [][]uint64{{3, 9, 14}}
+	for _, name := range []string{"wide", "solo", "both"} {
+		if _, _, err := tc.gateway.Classify(context.Background(), name, query); err != nil {
+			t.Fatalf("healthy cluster: classify %q: %v", name, err)
+		}
+	}
+
+	// Kill worker 1 without telling the gateway: the next "wide"
+	// request hits the dead holder mid-request.
+	tc.servers[1].Close()
+	_, _, err = tc.gateway.Classify(context.Background(), "wide", query)
+	var shardErr *ShardError
+	if !errors.As(err, &shardErr) {
+		t.Fatalf("classify against dead worker: got %v, want *ShardError", err)
+	}
+	if shardErr.Model != "wide" || shardErr.Shard != 1 {
+		t.Errorf("shard error names %q/%d, want wide/1", shardErr.Model, shardErr.Shard)
+	}
+
+	// The data-path failure marked the worker down: "wide" is now
+	// unavailable with shard 1 missing, "solo" keeps serving, and the
+	// replicated "both" survives via its remaining holder.
+	byName := map[string]GatewayModel{}
+	for _, m := range tc.gateway.Models() {
+		byName[m.Name] = m
+	}
+	if m := byName["wide"]; m.Available || !reflect.DeepEqual(m.MissingShards, []int{1}) {
+		t.Errorf("wide after worker death: %+v", m)
+	}
+	if m := byName["solo"]; !m.Available {
+		t.Errorf("solo after worker death: %+v", m)
+	}
+	if m := byName["both"]; !m.Available {
+		t.Errorf("both after worker death: %+v", m)
+	}
+	if _, _, err := tc.gateway.Classify(context.Background(), "solo", query); err != nil {
+		t.Errorf("solo classify after worker death: %v", err)
+	}
+	if _, _, err := tc.gateway.Classify(context.Background(), "both", query); err != nil {
+		t.Errorf("replicated classify after worker death: %v", err)
+	}
+
+	// An unavailable model fails with the typed error, immediately.
+	_, _, err = tc.gateway.Classify(context.Background(), "wide", query)
+	var unavailable *ModelUnavailableError
+	if !errors.As(err, &unavailable) {
+		t.Fatalf("unavailable model: got %v, want *ModelUnavailableError", err)
+	}
+
+	// A probe refresh against the dead worker keeps the same view.
+	if err := tc.gateway.Refresh(context.Background()); err != nil {
+		t.Logf("refresh with dead worker (expected partial): %v", err)
+	}
+	for _, m := range tc.gateway.Models() {
+		if m.Name == "wide" && m.Available {
+			t.Errorf("wide available again after refresh against dead worker")
+		}
+	}
+}
+
+// TestClusterFingerprintMismatch checks that workers with divergent
+// key sets are refused: the model is marked unavailable with a
+// fingerprint problem rather than silently merging undecryptable
+// results.
+func TestClusterFingerprintMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BGV key generation is slow")
+	}
+	f := clusterForest(t, 53)
+	c, err := core.Compile(f, core.Options{Slots: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, manifest, err := core.ShardForest(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 := NewWorker(WorkerConfig{Seed: 100})
+	defer w0.Close()
+	w1 := NewWorker(WorkerConfig{Seed: 200}) // different seed → different keys
+	defer w1.Close()
+	if err := w0.AddShard("forest", manifest, shards[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.AddShard("forest", manifest, shards[1]); err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := httptest.NewServer(w0.Handler()), httptest.NewServer(w1.Handler())
+	defer s0.Close()
+	defer s1.Close()
+	g := NewGateway(GatewayConfig{Workers: []string{s0.URL, s1.URL}})
+	defer g.Close()
+	if err := g.Refresh(context.Background()); err != nil {
+		t.Logf("refresh: %v", err)
+	}
+	models := g.Models()
+	if len(models) != 1 || models[0].Available || models[0].Problem == "" {
+		t.Fatalf("mismatched-key model should be unavailable with a problem: %+v", models)
+	}
+	_, _, err = g.Classify(context.Background(), "forest", [][]uint64{{1, 2, 3}})
+	var unavailable *ModelUnavailableError
+	if !errors.As(err, &unavailable) {
+		t.Fatalf("got %v, want *ModelUnavailableError", err)
+	}
+}
+
+// TestWorkerErrors pins the worker staging error surface.
+func TestWorkerErrors(t *testing.T) {
+	f := clusterForest(t, 54)
+	c, err := core.Compile(f, core.Options{Slots: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, manifest, err := core.ShardForest(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(WorkerConfig{}) // no seed, no material
+	defer w.Close()
+	if err := w.AddShard("m", manifest, shards[0]); err == nil {
+		t.Error("seedless worker accepted a shard")
+	}
+	w2 := NewWorker(WorkerConfig{Seed: 5})
+	defer w2.Close()
+	if err := w2.AddShard("m", manifest, c); err == nil {
+		t.Error("unsharded artifact accepted as a shard")
+	}
+	if err := w2.AddShard("", manifest, shards[0]); err == nil {
+		t.Error("empty model name accepted")
+	}
+}
+
+// TestParamsForSlots pins the preset lookup.
+func TestParamsForSlots(t *testing.T) {
+	for _, slots := range []int{1024, 2048, 16384} {
+		p, err := ParamsForSlots(slots, 10)
+		if err != nil {
+			t.Fatalf("slots %d: %v", slots, err)
+		}
+		if got := 1 << (p.LogN - 1); got != slots {
+			t.Errorf("slots %d: preset provides %d", slots, got)
+		}
+		if p.Levels != 10 {
+			t.Errorf("slots %d: levels %d", slots, p.Levels)
+		}
+	}
+	if _, err := ParamsForSlots(512, 10); err == nil {
+		t.Error("bogus slot count accepted")
+	}
+}

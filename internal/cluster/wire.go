@@ -1,0 +1,533 @@
+// Package cluster implements COPSE's horizontal scale-out subsystem:
+// worker nodes that own (model shard, key set) pairs and evaluate the
+// classify pass, and a stateless gateway that routes by model name and
+// key fingerprint, fans queries out to the workers holding a forest's
+// shards, and merges the encrypted per-shard vote sums with plain
+// level-2 adds (see core.ShardForest and DESIGN.md §12).
+//
+// This file is the wire layer: every object that crosses a process
+// boundary — parameters, key material, ciphertext batches, model
+// metadata — travels as a versioned, length-prefixed binary frame.
+// The control plane (HTTP/JSON) carries frames base64-less as raw
+// bodies; the data plane streams them directly over the socket.
+package cluster
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+
+	"copse/internal/bgv"
+	"copse/internal/core"
+	"copse/internal/he/hebgv"
+	"copse/internal/ring"
+)
+
+// Frame header: magic, version, kind, payload length. Little-endian
+// throughout.
+const (
+	wireMagic   = "CPSW"
+	WireVersion = 1
+
+	// maxFramePayload bounds a frame so a corrupt or hostile length
+	// prefix cannot drive an allocation: large enough for a Security128
+	// evaluation-key set, small enough to fail fast on garbage.
+	maxFramePayload = 1 << 31
+)
+
+// Frame kinds.
+const (
+	KindParams uint16 = iota + 1
+	KindKeyMaterial
+	KindCiphertexts
+	KindMeta
+)
+
+// WireVersionError is the typed error a decoder returns when a frame
+// was produced by a newer wire version than this process understands.
+type WireVersionError struct {
+	Got, Supported uint16
+}
+
+func (e *WireVersionError) Error() string {
+	return fmt.Sprintf("cluster: wire version %d not supported (max %d)", e.Got, e.Supported)
+}
+
+// writeFrame wraps a payload in the versioned header.
+func writeFrame(w io.Writer, kind uint16, payload []byte) error {
+	var hdr [12]byte
+	copy(hdr[:4], wireMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], WireVersion)
+	binary.LittleEndian.PutUint16(hdr[6:8], kind)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, enforcing magic, version and kind.
+func readFrame(r io.Reader, wantKind uint16) ([]byte, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("cluster: reading frame header: %w", err)
+	}
+	if string(hdr[:4]) != wireMagic {
+		return nil, fmt.Errorf("cluster: bad frame magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v > WireVersion {
+		return nil, &WireVersionError{Got: v, Supported: WireVersion}
+	}
+	if k := binary.LittleEndian.Uint16(hdr[6:8]); k != wantKind {
+		return nil, fmt.Errorf("cluster: frame kind %d, want %d", k, wantKind)
+	}
+	n := binary.LittleEndian.Uint32(hdr[8:12])
+	if n > maxFramePayload {
+		return nil, fmt.Errorf("cluster: frame payload %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("cluster: reading frame payload: %w", err)
+	}
+	return payload, nil
+}
+
+// --- primitive writers/readers over a bytes.Buffer ---
+
+func putU8(b *bytes.Buffer, v uint8) { b.WriteByte(v) }
+func putU16(b *bytes.Buffer, v uint16) {
+	var t [2]byte
+	binary.LittleEndian.PutUint16(t[:], v)
+	b.Write(t[:])
+}
+func putU32(b *bytes.Buffer, v uint32) {
+	var t [4]byte
+	binary.LittleEndian.PutUint32(t[:], v)
+	b.Write(t[:])
+}
+func putU64(b *bytes.Buffer, v uint64) {
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], v)
+	b.Write(t[:])
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.err = fmt.Errorf("cluster: truncated payload (need %d bytes at offset %d of %d)", n, r.off, len(r.b))
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *reader) u8() uint8 {
+	s := r.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (r *reader) u16() uint16 {
+	s := r.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(s)
+}
+
+func (r *reader) u32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (r *reader) u64() uint64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("cluster: %d trailing bytes after payload", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// --- polynomials ---
+
+// putPoly writes limbs, ring degree, NTT flag and raw residues.
+func putPoly(b *bytes.Buffer, p *ring.Poly) {
+	flags := uint8(0)
+	if p.IsNTT {
+		flags = 1
+	}
+	putU8(b, flags)
+	putU16(b, uint16(len(p.Coeffs)))
+	putU32(b, uint32(len(p.Coeffs[0])))
+	for _, limb := range p.Coeffs {
+		for _, c := range limb {
+			putU64(b, c)
+		}
+	}
+}
+
+func (r *reader) poly() *ring.Poly {
+	flags := r.u8()
+	limbs := int(r.u16())
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if limbs < 1 || limbs > 64 || n < 1 || n > 1<<16 {
+		r.err = fmt.Errorf("cluster: implausible poly shape (%d limbs, N=%d)", limbs, n)
+		return nil
+	}
+	p := &ring.Poly{Coeffs: make([][]uint64, limbs), IsNTT: flags&1 != 0}
+	for i := range p.Coeffs {
+		raw := r.take(n * 8)
+		if raw == nil {
+			return nil
+		}
+		limb := make([]uint64, n)
+		for j := range limb {
+			limb[j] = binary.LittleEndian.Uint64(raw[j*8:])
+		}
+		p.Coeffs[i] = limb
+	}
+	return p
+}
+
+// --- parameters ---
+
+func putParams(b *bytes.Buffer, p bgv.Params) {
+	putU8(b, uint8(p.LogN))
+	putU64(b, p.T)
+	putU8(b, uint8(p.PrimeBits))
+	putU16(b, uint16(p.Levels))
+	putU8(b, uint8(p.DigitBits))
+	// IntraOpWorkers is a local execution knob, not key material — it
+	// deliberately does not travel.
+}
+
+func (r *reader) params() bgv.Params {
+	return bgv.Params{
+		LogN:      int(r.u8()),
+		T:         r.u64(),
+		PrimeBits: int(r.u8()),
+		Levels:    int(r.u16()),
+		DigitBits: int(r.u8()),
+	}
+}
+
+// EncodeParams frames a parameter set. The prime chain itself never
+// travels: bgv prime generation is deterministic, so Params alone
+// reconstructs identical parameters on the far side.
+func EncodeParams(w io.Writer, p bgv.Params) error {
+	var b bytes.Buffer
+	putParams(&b, p)
+	return writeFrame(w, KindParams, b.Bytes())
+}
+
+// DecodeParams reads a parameter frame.
+func DecodeParams(rd io.Reader) (bgv.Params, error) {
+	payload, err := readFrame(rd, KindParams)
+	if err != nil {
+		return bgv.Params{}, err
+	}
+	r := &reader{b: payload}
+	p := r.params()
+	if err := r.done(); err != nil {
+		return bgv.Params{}, err
+	}
+	return p, p.Validate()
+}
+
+// --- key material ---
+
+func putSwitchingKey(b *bytes.Buffer, k *bgv.SwitchingKey) {
+	putU16(b, uint16(len(k.B)))
+	for d := range k.B {
+		putPoly(b, k.B[d])
+		putPoly(b, k.A[d])
+	}
+	// Shoup companion tables are derived data; the decoder rebuilds
+	// them, halving the frame size.
+}
+
+func (r *reader) switchingKey(ctx *ring.Context) *bgv.SwitchingKey {
+	digits := int(r.u16())
+	if r.err != nil {
+		return nil
+	}
+	if digits < 1 || digits > 64 {
+		r.err = fmt.Errorf("cluster: implausible switching-key digit count %d", digits)
+		return nil
+	}
+	k := &bgv.SwitchingKey{
+		B:  make([]*ring.Poly, digits),
+		A:  make([]*ring.Poly, digits),
+		BS: make([]*ring.PolyShoup, digits),
+		AS: make([]*ring.PolyShoup, digits),
+	}
+	for d := 0; d < digits; d++ {
+		k.B[d] = r.poly()
+		k.A[d] = r.poly()
+		if r.err != nil {
+			return nil
+		}
+		k.BS[d] = ctx.ShoupPoly(k.B[d])
+		k.AS[d] = ctx.ShoupPoly(k.A[d])
+	}
+	return k
+}
+
+const (
+	matHasSecret = 1 << iota
+	matHasRelin
+	matHasGalois
+)
+
+// EncodeKeyMaterial frames a key set. Secret and evaluation keys are
+// optional — EncodeKeyMaterial(w, b.PublicMaterial()) produces the
+// public scope a worker hands the gateway. The payload is gzipped: key
+// polynomials are uniform mod q, but the frame is cold-path and the
+// header overhead is negligible.
+func EncodeKeyMaterial(w io.Writer, m *hebgv.Material) error {
+	var b bytes.Buffer
+	putParams(&b, m.Params)
+	flags := uint8(0)
+	if m.Secret != nil {
+		flags |= matHasSecret
+	}
+	if m.Keys != nil && m.Keys.Relin != nil {
+		flags |= matHasRelin
+	}
+	if m.Keys != nil && len(m.Keys.Galois) > 0 {
+		flags |= matHasGalois
+	}
+	putU8(&b, flags)
+	putPoly(&b, m.Public.B)
+	putPoly(&b, m.Public.A)
+	if flags&matHasSecret != 0 {
+		putPoly(&b, m.Secret.S)
+	}
+	if flags&matHasRelin != 0 {
+		putSwitchingKey(&b, m.Keys.Relin)
+	}
+	if flags&matHasGalois != 0 {
+		putU32(&b, uint32(len(m.Keys.Galois)))
+		for _, elt := range sortedElts(m.Keys.Galois) {
+			putU64(&b, elt)
+			putSwitchingKey(&b, m.Keys.Galois[elt])
+		}
+	}
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write(b.Bytes()); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	return writeFrame(w, KindKeyMaterial, zbuf.Bytes())
+}
+
+// DecodeKeyMaterial reads a key-material frame, rebuilding the derived
+// Shoup tables against the (deterministically regenerated) prime chain.
+func DecodeKeyMaterial(rd io.Reader) (*hebgv.Material, error) {
+	payload, err := readFrame(rd, KindKeyMaterial)
+	if err != nil {
+		return nil, err
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: key material not gzipped: %w", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, err
+	}
+	if err := zr.Close(); err != nil {
+		return nil, err
+	}
+	r := &reader{b: raw}
+	p := r.params()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	params, err := bgv.NewParameters(p)
+	if err != nil {
+		return nil, err
+	}
+	ctx := params.RingCtx
+	m := &hebgv.Material{Params: p}
+	flags := r.u8()
+	m.Public = &bgv.PublicKey{B: r.poly(), A: r.poly()}
+	if flags&matHasSecret != 0 {
+		m.Secret = &bgv.SecretKey{S: r.poly()}
+	}
+	if flags&(matHasRelin|matHasGalois) != 0 {
+		m.Keys = &bgv.EvaluationKeys{Galois: map[uint64]*bgv.SwitchingKey{}}
+	}
+	if flags&matHasRelin != 0 {
+		m.Keys.Relin = r.switchingKey(ctx)
+	}
+	if flags&matHasGalois != 0 {
+		n := int(r.u32())
+		if r.err == nil && n > 1<<20 {
+			r.err = fmt.Errorf("cluster: implausible Galois key count %d", n)
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			elt := r.u64()
+			m.Keys.Galois[elt] = r.switchingKey(ctx)
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// sortedElts returns the Galois elements in ascending order so encoding
+// is deterministic (map iteration is not).
+func sortedElts(g map[uint64]*bgv.SwitchingKey) []uint64 {
+	elts := make([]uint64, 0, len(g))
+	for e := range g {
+		elts = append(elts, e)
+	}
+	for i := 1; i < len(elts); i++ {
+		for j := i; j > 0 && elts[j] < elts[j-1]; j-- {
+			elts[j], elts[j-1] = elts[j-1], elts[j]
+		}
+	}
+	return elts
+}
+
+// KeyFingerprint is the routing identity of a key set: the hex SHA-256
+// of its encoded public key. Workers holding shards of the same forest
+// must agree on it before the gateway fans a query out.
+func KeyFingerprint(m *hebgv.Material) (string, error) {
+	var b bytes.Buffer
+	putParams(&b, m.Params)
+	putPoly(&b, m.Public.B)
+	putPoly(&b, m.Public.A)
+	sum := sha256.Sum256(b.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// --- ciphertext batches ---
+
+// WireCiphertext is one ciphertext plus the backend bookkeeping that
+// travels with it.
+type WireCiphertext struct {
+	Ct *bgv.Ciphertext
+	// Depth is the accumulated multiplicative depth (he.Ciphertext's
+	// Depth contract).
+	Depth int
+}
+
+// EncodeCiphertexts frames a batch of ciphertexts — the data plane's
+// payload for both query fan-out and result return.
+func EncodeCiphertexts(w io.Writer, cts []WireCiphertext) error {
+	var b bytes.Buffer
+	putU32(&b, uint32(len(cts)))
+	for _, wc := range cts {
+		putU16(&b, uint16(wc.Depth))
+		putU64(&b, math.Float64bits(wc.Ct.NoiseBits))
+		putU8(&b, uint8(len(wc.Ct.C)))
+		for _, p := range wc.Ct.C {
+			putPoly(&b, p)
+		}
+	}
+	return writeFrame(w, KindCiphertexts, b.Bytes())
+}
+
+// DecodeCiphertexts reads a ciphertext-batch frame.
+func DecodeCiphertexts(rd io.Reader) ([]WireCiphertext, error) {
+	payload, err := readFrame(rd, KindCiphertexts)
+	if err != nil {
+		return nil, err
+	}
+	r := &reader{b: payload}
+	n := int(r.u32())
+	if r.err == nil && n > 1<<20 {
+		return nil, fmt.Errorf("cluster: implausible ciphertext count %d", n)
+	}
+	out := make([]WireCiphertext, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		wc := WireCiphertext{Depth: int(r.u16())}
+		noise := math.Float64frombits(r.u64())
+		polys := int(r.u8())
+		if r.err != nil {
+			break
+		}
+		if polys < 2 || polys > 8 {
+			return nil, fmt.Errorf("cluster: implausible ciphertext degree %d", polys-1)
+		}
+		wc.Ct = &bgv.Ciphertext{NoiseBits: noise, C: make([]*ring.Poly, polys)}
+		for j := 0; j < polys; j++ {
+			wc.Ct.C[j] = r.poly()
+		}
+		out = append(out, wc)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// --- model metadata ---
+
+// EncodeMeta frames a model's Meta (including its level plan) for the
+// control plane: what the gateway needs to encrypt query batches and
+// decode merged results. Gob matches the artifact encoding, so every
+// Meta evolution that keeps artifacts loadable keeps the wire loadable.
+func EncodeMeta(w io.Writer, m *core.Meta) error {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(m); err != nil {
+		return fmt.Errorf("cluster: encoding meta: %w", err)
+	}
+	return writeFrame(w, KindMeta, b.Bytes())
+}
+
+// DecodeMeta reads a Meta frame.
+func DecodeMeta(rd io.Reader) (*core.Meta, error) {
+	payload, err := readFrame(rd, KindMeta)
+	if err != nil {
+		return nil, err
+	}
+	m := &core.Meta{}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(m); err != nil {
+		return nil, fmt.Errorf("cluster: decoding meta: %w", err)
+	}
+	return m, nil
+}

@@ -14,12 +14,15 @@ import (
 
 // Artifact versions: v2 added the BSGS staging fields (Meta.UseBSGS,
 // Meta.BSGSPlans, the reduced RotationSteps); v3 added the static level
-// schedule (Meta.LevelPlan). The payload encoding is unchanged — gob is
-// self-describing — so v1 and v2 artifacts still load: their zero-valued
-// fields select the naive kernel (v1) and reactive noise management
-// (v1/v2, LevelPlan == nil) they were staged for.
+// schedule (Meta.LevelPlan); v4 added the sharding fields
+// (Meta.ForcedSPad, Compiled.Shard). The payload encoding is unchanged —
+// gob is self-describing — so older artifacts still load: their
+// zero-valued fields select the naive kernel (v1), reactive noise
+// management (v1/v2, LevelPlan == nil), and unsharded layout (v1–v3)
+// they were staged for.
 const (
-	artifactMagic   = "COPSEv3\n"
+	artifactMagic   = "COPSEv4\n"
+	artifactMagicV3 = "COPSEv3\n"
 	artifactMagicV2 = "COPSEv2\n"
 	artifactMagicV1 = "COPSEv1\n"
 )
@@ -42,7 +45,7 @@ func ReadArtifact(r io.Reader) (*Compiled, error) {
 	if _, err := io.ReadFull(r, magic); err != nil {
 		return nil, fmt.Errorf("core: reading artifact header: %w", err)
 	}
-	if string(magic) != artifactMagic && string(magic) != artifactMagicV2 && string(magic) != artifactMagicV1 {
+	if string(magic) != artifactMagic && string(magic) != artifactMagicV3 && string(magic) != artifactMagicV2 && string(magic) != artifactMagicV1 {
 		return nil, fmt.Errorf("core: not a COPSE artifact (bad magic %q)", magic)
 	}
 	zr, err := gzip.NewReader(r)

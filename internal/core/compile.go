@@ -53,6 +53,10 @@ type Compiled struct {
 	// Masks[ℓ-1] is the level-ℓ mask: 1 where the leaf hangs off the
 	// false branch (§4.2.4).
 	Masks [][]uint64
+	// Shard, when non-nil, marks this model as one shard of a tree-wise
+	// split produced by ShardForest and locates it inside the parent
+	// forest. Nil on unsharded models (and artifacts older than v4).
+	Shard *ShardInfo
 }
 
 // branchInfo records one branch during the preorder walk.

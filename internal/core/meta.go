@@ -68,6 +68,15 @@ type Meta struct {
 	// (and when no feasible schedule was found); the engine then falls
 	// back to reactive noise management.
 	LevelPlan *LevelPlan
+
+	// ForcedSPad, when non-zero, pins SPad (and therefore BatchBlock /
+	// BatchCapacity) to at least this value. Shard artifacts produced by
+	// ShardForest set it to the parent forest's SPad so every shard keeps
+	// the parent's slot layout: queries encrypted once against the global
+	// layout evaluate on any shard, and per-shard result ciphertexts
+	// occupy disjoint slot supports that merge with plain adds. Zero on
+	// unsharded models (and artifacts older than v4).
+	ForcedSPad int
 }
 
 // LPad returns the leaf count padded to a power of two — the period of
@@ -79,9 +88,11 @@ func (m *Meta) LPad() int {
 // SPad returns the widest per-query slot period of the pipeline: the
 // padded threshold period (QPad), the padded branch period (BPad) and
 // the padded leaf period (LPad) all have to fit inside one query's slot
-// region for the batched layout.
+// region for the batched layout. Shard artifacts pin it via ForcedSPad
+// so a shard whose own periods shrank below the parent's keeps the
+// parent's block layout.
 func (m *Meta) SPad() int {
-	return max(m.QPad, m.BPad, m.LPad())
+	return max(m.QPad, m.BPad, m.LPad(), m.ForcedSPad)
 }
 
 // BatchBlock returns the width W of one query's slot block under the

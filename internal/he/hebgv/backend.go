@@ -31,6 +31,8 @@ type Backend struct {
 	evaluator *bgv.Evaluator
 	decryptor *bgv.Decryptor // nil when constructed without the secret key
 	keys      *bgv.EvaluationKeys
+	sk        *bgv.SecretKey // nil when constructed without the secret key
+	pk        *bgv.PublicKey
 
 	encMu sync.Mutex // the encryptor owns a sampler and is not concurrency-safe
 }
@@ -109,6 +111,8 @@ func New(cfg Config) (*Backend, error) {
 		evaluator: bgv.NewEvaluator(params, keys),
 		decryptor: bgv.NewDecryptor(params, sk),
 		keys:      keys,
+		sk:        sk,
+		pk:        pk,
 	}, nil
 }
 

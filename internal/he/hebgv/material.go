@@ -1,0 +1,106 @@
+package hebgv
+
+import (
+	"fmt"
+
+	"copse/internal/bgv"
+	"copse/internal/he"
+)
+
+// Key-material portability: a cluster distributes one key set across
+// processes — workers evaluate and decrypt with the full material, the
+// stateless gateway encrypts queries and adds shard results with the
+// public part only. Material is the in-memory form; internal/cluster
+// puts it on the wire.
+
+// Material is a backend's exportable key set. Secret and Keys may be
+// nil: Public alone supports encrypt + keyless ops (add/sub), Keys adds
+// rotations and multiplications, Secret adds decryption.
+type Material struct {
+	// Params is the seedable parameter set (prime generation is
+	// deterministic, so the chain itself need not travel).
+	Params bgv.Params
+	Secret *bgv.SecretKey
+	Public *bgv.PublicKey
+	Keys   *bgv.EvaluationKeys
+}
+
+// Material exports the backend's key set. The returned structure shares
+// the backend's key polynomials; callers must treat it as read-only.
+func (b *Backend) Material() *Material {
+	return &Material{
+		Params: b.params.Params,
+		Secret: b.sk,
+		Public: b.pk,
+		Keys:   b.keys,
+	}
+}
+
+// PublicMaterial exports the key set without the secret key — what a
+// worker hands the gateway.
+func (b *Backend) PublicMaterial() *Material {
+	m := b.Material()
+	m.Secret = nil
+	return m
+}
+
+// NewFromMaterial constructs a backend around existing key material
+// instead of generating keys. cfg.Params is ignored (the material pins
+// the parameters); cfg.Seed seeds the encryptor only; rotation-step
+// fields are ignored (the material carries whatever keys were
+// generated). A material without Secret yields a backend that encrypts
+// and evaluates but fails Decrypt/NoiseBudget; without Keys it supports
+// only additive workloads (Rotate/Mul fail inside the evaluator).
+func NewFromMaterial(cfg Config, m *Material) (*Backend, error) {
+	if m == nil || m.Public == nil {
+		return nil, fmt.Errorf("hebgv: material needs at least a public key")
+	}
+	p := m.Params
+	if cfg.IntraOpWorkers > p.IntraOpWorkers {
+		p.IntraOpWorkers = cfg.IntraOpWorkers
+	}
+	params, err := bgv.NewParameters(p)
+	if err != nil {
+		return nil, err
+	}
+	encoder, err := bgv.NewEncoder(params)
+	if err != nil {
+		return nil, err
+	}
+	var encryptor *bgv.Encryptor
+	if cfg.Seed != 0 {
+		encryptor = bgv.NewSeededEncryptor(params, m.Public, cfg.Seed+1)
+	} else {
+		encryptor = bgv.NewEncryptor(params, m.Public)
+	}
+	b := &Backend{
+		params:    params,
+		encoder:   encoder,
+		encryptor: encryptor,
+		evaluator: bgv.NewEvaluator(params, m.Keys),
+		keys:      m.Keys,
+		sk:        m.Secret,
+		pk:        m.Public,
+	}
+	if m.Secret != nil {
+		b.decryptor = bgv.NewDecryptor(params, m.Secret)
+	}
+	return b, nil
+}
+
+// ExportCiphertext unwraps an operand ciphertext for the wire: the raw
+// BGV ciphertext plus the accumulated multiplicative depth (which
+// travels alongside so the receiving backend keeps honest Depth
+// accounting).
+func (b *Backend) ExportCiphertext(ct he.Ciphertext) (*bgv.Ciphertext, int, error) {
+	c, err := b.cast(ct)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c.ct, c.depth, nil
+}
+
+// ImportCiphertext wraps a wire ciphertext for this backend.
+func (b *Backend) ImportCiphertext(ct *bgv.Ciphertext, depth int) he.Ciphertext {
+	return &ciphertext{ct: ct, depth: depth}
+}

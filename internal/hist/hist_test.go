@@ -1,0 +1,108 @@
+package hist
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketBoundsMonotonic(t *testing.T) {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds[%d]=%d not above bounds[%d]=%d", i, bounds[i], i-1, bounds[i-1])
+		}
+	}
+	if got := bucketFor(0); got != 0 {
+		t.Errorf("bucketFor(0) = %d", got)
+	}
+	if got := bucketFor(bounds[0]); got != 1 {
+		t.Errorf("bucketFor(base) = %d, want 1", got)
+	}
+	if got := bucketFor(1 << 62); got != NumBuckets-1 {
+		t.Errorf("bucketFor(huge) = %d, want last bucket", got)
+	}
+	// Every bound maps strictly into the bucket it opens.
+	for i, b := range bounds {
+		if got := bucketFor(b - 1); got != i {
+			t.Errorf("bucketFor(bounds[%d]-1) = %d, want %d", i, got, i)
+		}
+		if got := bucketFor(b); got != i+1 {
+			t.Errorf("bucketFor(bounds[%d]) = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+// TestQuantileAgainstExact checks interpolated quantiles stay within
+// one bucket's relative error (×1.5 spacing → ≤50%) of the exact ones.
+func TestQuantileAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	h := New()
+	samples := make([]int64, 5000)
+	for i := range samples {
+		// Log-uniform over ~1µs..1s.
+		ns := int64(1000 * (1 << rng.IntN(20)))
+		ns += rng.Int64N(ns)
+		samples[i] = ns
+		h.Observe(time.Duration(ns))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	snap := h.Snapshot()
+	if snap.Count != int64(len(samples)) {
+		t.Fatalf("count %d, want %d", snap.Count, len(samples))
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := samples[int(q*float64(len(samples)-1))]
+		got := snap.Quantile(q).Nanoseconds()
+		if got < exact/2 || got > exact*2 {
+			t.Errorf("q=%v: got %d, exact %d (outside one-bucket error)", q, got, exact)
+		}
+	}
+	if p50, p99 := snap.Quantile(0.5), snap.Quantile(0.99); p99 < p50 {
+		t.Errorf("p99 %v below p50 %v", p99, p50)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty Snapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+	h := New()
+	h.Observe(10 * time.Microsecond)
+	snap := h.Snapshot()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		got := snap.Quantile(q)
+		if got <= 0 || got > 30*time.Microsecond {
+			t.Errorf("single-sample quantile(%v) = %v", q, got)
+		}
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	h := New()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != workers*per {
+		t.Fatalf("count %d, want %d", snap.Count, workers*per)
+	}
+	var sum int64
+	for _, c := range snap.Buckets {
+		sum += c
+	}
+	if sum != snap.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, snap.Count)
+	}
+}

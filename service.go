@@ -15,6 +15,7 @@ import (
 	"copse/internal/he"
 	"copse/internal/he/hebgv"
 	"copse/internal/he/heclear"
+	"copse/internal/hist"
 	"copse/internal/matrix"
 )
 
@@ -76,6 +77,7 @@ type servedModel struct {
 	compiled *Compiled
 	operands *core.ModelOperands
 	engine   *core.Engine
+	latency  *hist.Histogram // per-pass classification latency
 }
 
 type serviceConfig struct {
@@ -93,6 +95,7 @@ type serviceConfig struct {
 	shuffle          bool
 	measureNoise     bool
 	batch            BatchPolicy
+	extBackend       he.Backend
 }
 
 // Option configures a Service (functional options).
@@ -175,6 +178,16 @@ func WithShuffle(on bool) Option { return func(c *serviceConfig) { c.shuffle = o
 // decrypts, so it requires the secret key and costs one decryption per
 // stage — a benchmarking knob, not a serving default.
 func WithNoiseMeasurement(on bool) Option { return func(c *serviceConfig) { c.measureNoise = on } }
+
+// WithExternalBackend hands the service a pre-built backend instead of
+// letting the first Register construct one. This is how cluster worker
+// nodes share one wire-distributed key set: every worker builds the
+// same hebgv backend from the shard manifest (or from serialized key
+// material) and its service stages shard models onto it. The service
+// takes ownership — Close closes the backend. The backend must match
+// every registered model's slot count; the usual security/levels/seed
+// options are ignored for backend construction.
+func WithExternalBackend(b he.Backend) Option { return func(c *serviceConfig) { c.extBackend = b } }
 
 // NewService returns an empty service. The backend (and, for BGV, the
 // key set) is created by the first Register call, which fixes the slot
@@ -317,12 +330,17 @@ func (s *Service) Register(name string, c *Compiled) error {
 		return fmt.Errorf("copse: model %q already registered", name)
 	}
 	if s.backend == nil {
-		b, err := s.newBackend(c)
-		if err != nil {
-			return err
+		if s.cfg.extBackend != nil {
+			s.backend = s.cfg.extBackend
+		} else {
+			b, err := s.newBackend(c)
+			if err != nil {
+				return err
+			}
+			s.backend = b
 		}
-		s.backend = b
-	} else if s.backend.Slots() != c.Meta.Slots {
+	}
+	if s.backend.Slots() != c.Meta.Slots {
 		return fmt.Errorf("copse: model %q staged for %d slots but service backend has %d",
 			name, c.Meta.Slots, s.backend.Slots())
 	}
@@ -349,6 +367,7 @@ func (s *Service) Register(name string, c *Compiled) error {
 	s.models[name] = &servedModel{
 		compiled: c,
 		operands: operands,
+		latency:  hist.New(),
 		engine: &core.Engine{
 			Backend:           s.backend,
 			Workers:           s.cfg.workers,
@@ -586,7 +605,9 @@ func (s *Service) classify(ctx context.Context, name string, q *Query, shuffleSe
 			op, codebooks, err = s.shufflePass(backend, m, op, max(q.Batch, 1), shuffleSeed, trace)
 		}
 	}
-	s.latencyNS.Add(time.Since(start).Nanoseconds())
+	elapsed := time.Since(start)
+	s.latencyNS.Add(elapsed.Nanoseconds())
+	m.latency.Observe(elapsed)
 	s.inFlight.Add(-1)
 	if err != nil {
 		s.failures.Add(1)
@@ -803,6 +824,19 @@ type ServiceStats struct {
 	// BatchWait is the cumulative time queries lingered in a forming
 	// batch before their pass fired.
 	BatchWait time.Duration
+
+	// ModelLatency summarizes each registered model's per-pass
+	// classification latency distribution, recorded into fixed
+	// log-spaced buckets (internal/hist), so snapshots from different
+	// times or nodes are directly comparable.
+	ModelLatency map[string]LatencyStats
+}
+
+// LatencyStats is one model's latency distribution summary: the pass
+// count and interpolated p50/p95/p99 over fixed log-spaced buckets.
+type LatencyStats struct {
+	Count         int64
+	P50, P95, P99 time.Duration
 }
 
 // MeanLatency returns the mean per-pass classification latency.
@@ -846,5 +880,19 @@ func (s *Service) Stats() ServiceStats {
 	if den := s.aggFillDen.Load(); den > 0 {
 		st.BatchFill = float64(s.aggFillNum.Load()) / float64(den)
 	}
+	s.mu.RLock()
+	if len(s.models) > 0 {
+		st.ModelLatency = make(map[string]LatencyStats, len(s.models))
+		for name, m := range s.models {
+			snap := m.latency.Snapshot()
+			st.ModelLatency[name] = LatencyStats{
+				Count: snap.Count,
+				P50:   snap.Quantile(0.50),
+				P95:   snap.Quantile(0.95),
+				P99:   snap.Quantile(0.99),
+			}
+		}
+	}
+	s.mu.RUnlock()
 	return st
 }

@@ -595,3 +595,41 @@ func TestServiceNoiseMeasurement(t *testing.T) {
 		t.Errorf("unmeasured trace carries noise %d, want -1", trace2.Noise.Result)
 	}
 }
+
+// TestServiceLatencyHistogram: per-model latency histograms accumulate
+// only for the models actually served, and the quantiles are ordered.
+func TestServiceLatencyHistogram(t *testing.T) {
+	f1, c1 := trainedModel(t, 71, 256)
+	_, c2 := trainedModel(t, 72, 256)
+	svc := copse.NewService(copse.WithBackend(copse.BackendClear))
+	if err := svc.Register("hot", c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Register("cold", c2); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		q := make([]uint64, f1.NumFeatures)
+		for j := range q {
+			q[j] = uint64(i+j) % (1 << uint(f1.Precision))
+		}
+		if _, err := svc.ClassifyBatch(context.Background(), "hot", [][]uint64{q}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	hot, ok := st.ModelLatency["hot"]
+	if !ok {
+		t.Fatal("no latency stats for served model")
+	}
+	if hot.Count != rounds {
+		t.Errorf("hot latency count = %d, want %d", hot.Count, rounds)
+	}
+	if hot.P50 <= 0 || hot.P50 > hot.P95 || hot.P95 > hot.P99 {
+		t.Errorf("quantiles out of order: p50=%v p95=%v p99=%v", hot.P50, hot.P95, hot.P99)
+	}
+	if cold := st.ModelLatency["cold"]; cold.Count != 0 {
+		t.Errorf("cold model recorded %d observations", cold.Count)
+	}
+}
