@@ -1,5 +1,7 @@
 // Command copse-gen produces the paper's benchmark inputs: the Table 6
-// microbenchmark forests and the synthetic income/soccer datasets.
+// microbenchmark forests and the synthetic income/soccer datasets. It
+// generates models and data to feed the pipeline — it does not generate
+// code; for specialized kernel codegen see `copse-compile -gen`.
 //
 // Usage:
 //
@@ -75,6 +77,6 @@ func main() {
 			log.Fatal(err)
 		}
 	default:
-		log.Fatal("need -suite table6 or -dataset income|soccer")
+		log.Fatal("need -suite table6 or -dataset income|soccer (this tool generates benchmark inputs; for kernel codegen use copse-compile -gen)")
 	}
 }

@@ -26,6 +26,11 @@ type ModelOperands struct {
 	// Plan.Reshuffle, and so on); nil means reactive staging at the top
 	// of the chain, and the engine then skips its boundary drops.
 	Plan *StageLevels
+	// Program is the specialized op program compiled from the artifact
+	// at Prepare time (DESIGN.md §13); nil when the model's staging
+	// falls outside the specializer's coverage, in which case the
+	// engine keeps the generic interpreter.
+	Program *Program
 }
 
 // Prepare loads c onto backend b. With encrypt=true all model components
@@ -96,6 +101,7 @@ func PrepareWithPlan(b he.Backend, c *Compiled, encrypt bool, plan *LevelPlan) (
 		}
 		m.Levels = append(m.Levels, d)
 	}
+	var maskVals [][]uint64
 	for _, mask := range c.Masks {
 		padded := make([]uint64, b.Slots())
 		for base := 0; base < len(padded); base += span {
@@ -106,8 +112,57 @@ func PrepareWithPlan(b he.Backend, c *Compiled, encrypt bool, plan *LevelPlan) (
 			return nil, err
 		}
 		m.Masks = append(m.Masks, op)
+		maskVals = append(maskVals, padded)
+	}
+
+	// Compile the specialized op program from the staged shapes. A nil
+	// program (coverage gap: naive-diagonal stagings from old artifacts,
+	// degenerate matrices) is not an error — the engine falls back to
+	// the generic interpreter.
+	if err := m.buildSpecialized(b, c, encrypt, maskVals); err != nil {
+		return nil, err
 	}
 	return m, nil
+}
+
+// buildSpecialized compiles and binds the op program for freshly
+// prepared operands, then resolves a linked generated kernel if one is
+// registered for this artifact.
+func (m *ModelOperands) buildSpecialized(b he.Backend, c *Compiled, encrypt bool, maskVals [][]uint64) error {
+	in := progInputs{
+		meta:      m.Meta,
+		plan:      m.Plan,
+		encrypted: encrypt,
+		slots:     b.Slots(),
+		planes:    len(c.ThresholdBits),
+	}
+	var ok bool
+	if in.reshuffle, ok = diagShapeOf(m.Reshuffle); !ok {
+		return nil
+	}
+	for _, d := range m.Levels {
+		sh, lok := diagShapeOf(d)
+		if !lok {
+			return nil
+		}
+		in.levels = append(in.levels, sh)
+	}
+	if !encrypt {
+		for _, plane := range c.ThresholdBits {
+			in.threshVals = append(in.threshVals, replicatePlain(plane, c.Meta.QPad, b.Slots()))
+		}
+		in.maskVals = maskVals
+	}
+	p := buildProgram(in)
+	if p == nil {
+		return nil
+	}
+	if err := p.bind(b); err != nil {
+		return fmt.Errorf("core: binding specialized program: %w", err)
+	}
+	p.kernel = lookupKernel(c, encrypt, p)
+	m.Program = p
+	return nil
 }
 
 func makeOperand(b he.Backend, vals []uint64, encrypt bool, level int) (he.Operand, error) {
@@ -162,6 +217,13 @@ type Engine struct {
 	// (DESIGN.md §8). Operands staged reactively (ModelOperands.Plan ==
 	// nil) imply it.
 	DisableLevelPlan bool
+	// DisableSpecialization skips the model's compiled op program and
+	// runs the generic interpreter — the ablation baseline for the
+	// specialized executor (`WithSpecialization(false)` / `copse-bench
+	// -nospecialize`). Default (false) dispatches to the program (or a
+	// linked generated kernel) whenever the model carries one and the
+	// engine configuration matches its build-time assumptions.
+	DisableSpecialization bool
 	// MeasureNoise records the decrypt-side measured noise budget of the
 	// carrier ciphertext at every stage boundary in Trace.Noise — the
 	// measured-margin complement of the planner's estimates (it grounds
@@ -191,6 +253,10 @@ type Trace struct {
 	// boundary, filled only under Engine.MeasureNoise (all -1 otherwise,
 	// and on backends without noise).
 	Noise StageNoise
+	// Executor names the classify path that ran: "generic" (the
+	// structure-rederiving interpreter), "program" (the specialized op
+	// program), or "kernel" (a linked generated kernel).
+	Executor string
 }
 
 // StageNoise records the measured remaining noise budget (bits) of the
@@ -259,6 +325,17 @@ func (e *Engine) ClassifyCtx(ctx context.Context, m *ModelOperands, q *Query) (h
 	}
 	workers := max(e.Workers, 1)
 	skipZero := e.SkipZeroDiagonals && !m.Encrypted
+	// Dispatch to the specialized op program when the model carries one
+	// and the engine configuration matches its build-time assumptions:
+	// same zero-skipping mode, level plan neither half-applied nor
+	// half-disabled, no per-stage noise measurement (it decrypts between
+	// stages), hoisting on (the program bakes hoisted rotations in), and
+	// a ciphertext query (the plaintext-query scenario takes shortcut
+	// paths the program does not mirror).
+	if p := m.Program; p != nil && !e.DisableSpecialization && !e.MeasureNoise && !e.DisableHoisting &&
+		!(e.DisableLevelPlan && p.planned) && skipZero == p.skipZero && q.Bits[0].IsCipher() {
+		return e.runProgram(ctx, m, q, p)
+	}
 	// The staged level schedule: each stage boundary proactively drops
 	// the carrier ciphertext to the level the compiler assigned the next
 	// stage, so the back half of the pipeline runs on a fraction of the
@@ -274,7 +351,7 @@ func (e *Engine) ClassifyCtx(ctx context.Context, m *ModelOperands, q *Query) (h
 		}
 		return sel(*stage)
 	}
-	trace := &Trace{Noise: StageNoise{Query: -1, Decisions: -1, BranchVec: -1, LevelResult: -1, Result: -1}}
+	trace := &Trace{Executor: "generic", Noise: StageNoise{Query: -1, Decisions: -1, BranchVec: -1, LevelResult: -1, Result: -1}}
 	// measureNoise reads the carrier's decrypt-side budget at a stage
 	// boundary (the -leveljson margin corpus); -1 when not measuring.
 	// Measurement decrypts, so its elapsed time is tracked and excluded

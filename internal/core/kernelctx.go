@@ -1,0 +1,433 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"copse/internal/he"
+	"copse/internal/matrix"
+)
+
+// KernelFunc is the signature of a generated specialized kernel: the
+// body of one artifact's op program, unrolled to straight-line Go by
+// `copse-compile -gen` and linked in via RegisterKernel.
+type KernelFunc func(*KernelCtx) error
+
+// KernelCtx is the execution context the op-program interpreter and the
+// generated kernels share. Both route every homomorphic operation
+// through the same methods below, so a generated kernel is
+// bit-identical to the interpreter by construction — it is the same op
+// sequence with the dispatch loop compiled away.
+//
+// Methods latch the first error in Err and become no-ops after it, so
+// generated code stays straight-line with a single `return k.Err`.
+type KernelCtx struct {
+	// R is the SSA register file; generated kernels address it through
+	// the op methods only.
+	R []he.Operand
+	// Err is the first failure; once set, all op methods are no-ops.
+	Err error
+
+	b       he.Backend
+	m       *ModelOperands
+	q       *Query
+	p       *Program
+	trace   *Trace
+	ctx     context.Context
+	workers int
+
+	counts interface{ Counts() he.OpCounts }
+	base   he.OpCounts
+	mark   time.Time
+	cur    int
+}
+
+// kernelRuns counts generated-kernel executions process-wide, letting
+// harnesses assert that a linked kernel actually ran (the registry
+// dispatch is otherwise invisible when outputs are bit-identical).
+var kernelRuns atomic.Int64
+
+// KernelRuns returns the number of generated-kernel executions so far
+// in this process.
+func KernelRuns() int64 { return kernelRuns.Load() }
+
+// runProgram executes the model's specialized op program — via its
+// linked generated kernel when one is registered, interpreting the op
+// list otherwise — and fills a trace with the same stage windows as the
+// generic path.
+func (e *Engine) runProgram(ctx context.Context, m *ModelOperands, q *Query, p *Program) (he.Operand, *Trace, error) {
+	trace := &Trace{Noise: StageNoise{Query: -1, Decisions: -1, BranchVec: -1, LevelResult: -1, Result: -1}}
+	start := time.Now()
+	b := he.WithCounts(e.Backend)
+	regs := p.scratch.Get().(*[]he.Operand)
+	defer func() {
+		clear(*regs)
+		p.scratch.Put(regs)
+	}()
+	k := &KernelCtx{
+		R:       *regs,
+		b:       b,
+		m:       m,
+		q:       q,
+		p:       p,
+		trace:   trace,
+		ctx:     ctx,
+		workers: max(e.Workers, 1),
+		counts:  b,
+		base:    b.Counts(),
+		mark:    start,
+		cur:     stCompare,
+	}
+	var err error
+	if p.kernel != nil {
+		trace.Executor = "kernel"
+		kernelRuns.Add(1)
+		err = p.kernel(k)
+	} else {
+		trace.Executor = "program"
+		err = p.interpret(k)
+	}
+	if err == nil {
+		err = k.Err
+	}
+	if err != nil {
+		return he.Operand{}, nil, fmt.Errorf("core: specialized executor: %w", err)
+	}
+	if res := k.R[p.result]; res.Ct == nil && res.Pt == nil {
+		// A registered kernel can pass the structural fingerprint yet
+		// never write the result register (e.g. an empty stub); fail
+		// here rather than hand an empty operand downstream.
+		return he.Operand{}, nil, fmt.Errorf("core: specialized executor (%s): result register not written", trace.Executor)
+	}
+	k.Stage(stDone)
+	trace.Total = time.Since(start)
+	return k.R[p.result], trace, nil
+}
+
+// interpret walks the block list, running multi-segment blocks on the
+// worker pool and marking stage transitions exactly where a generated
+// kernel would.
+func (p *Program) interpret(k *KernelCtx) error {
+	for bi := range p.blocks {
+		blk := &p.blocks[bi]
+		if blk.Stage != k.cur {
+			k.Stage(blk.Stage)
+		}
+		if len(blk.Segs) == 1 || k.workers <= 1 {
+			for _, seg := range blk.Segs {
+				k.runSeg(seg)
+				if k.Err != nil {
+					return k.Err
+				}
+			}
+			continue
+		}
+		segs := blk.Segs
+		err := matrix.ParallelFor(len(segs), min(k.workers, len(segs)), func(i int) error {
+			local := *k // private error latch; R is shared (disjoint SSA writes)
+			local.Err = nil
+			local.runSeg(segs[i])
+			return local.Err
+		})
+		if err != nil {
+			k.Err = err
+			return err
+		}
+	}
+	return k.Err
+}
+
+func (k *KernelCtx) runSeg(seg [2]int) {
+	for i := seg[0]; i < seg[1]; i++ {
+		op := k.p.ops[i]
+		switch op.Code {
+		case opQuery:
+			k.Query(op.Dst, op.Imm)
+		case opThresh:
+			k.Thresh(op.Dst, op.Imm)
+		case opMask:
+			k.Mask(op.Dst, op.Imm)
+		case opConst:
+			k.Const(op.Dst, op.Imm)
+		case opAdd:
+			k.Add(op.Dst, op.A, op.B)
+		case opSub:
+			k.Sub(op.Dst, op.A, op.B)
+		case opMul:
+			k.Mul(op.Dst, op.A, op.B)
+		case opMulLazy:
+			k.MulLazy(op.Dst, op.A, op.B)
+		case opMulDiag:
+			k.MulDiag(op.Dst, op.A, op.Imm, op.Imm2)
+		case opRelin:
+			k.Relin(op.Dst, op.A)
+		case opNeg:
+			k.Neg(op.Dst, op.A)
+		case opRot:
+			k.Rot(op.Dst, op.A, op.Imm)
+		case opHoist:
+			k.Hoist(op.Dst, op.A, k.p.hoists[op.Imm]...)
+		case opDrop:
+			k.Drop(op.Dst, op.A, op.Imm)
+		default:
+			k.Err = fmt.Errorf("core: unknown op code %d", op.Code)
+		}
+		if k.Err != nil {
+			return
+		}
+	}
+}
+
+// Par runs segment closures concurrently on the engine's worker pool,
+// each with a private error latch. Segments write disjoint registers
+// (SSA), so the result is deterministic for any worker count; generated
+// kernels call this where the op program has a multi-segment block.
+func (k *KernelCtx) Par(segs ...func(*KernelCtx)) {
+	if k.Err != nil {
+		return
+	}
+	if k.workers <= 1 || len(segs) <= 1 {
+		for _, fn := range segs {
+			fn(k)
+			if k.Err != nil {
+				return
+			}
+		}
+		return
+	}
+	err := matrix.ParallelFor(len(segs), min(k.workers, len(segs)), func(i int) error {
+		local := *k
+		local.Err = nil
+		segs[i](&local)
+		return local.Err
+	})
+	if err != nil {
+		k.Err = err
+	}
+}
+
+// Stage closes the current pipeline stage's trace window (duration, op
+// counts, carrier limb count) and opens the next. Generated kernels call
+// it at every block-stage transition; the final stDone close comes
+// from runProgram.
+func (k *KernelCtx) Stage(s int) {
+	now := time.Now()
+	if k.trace != nil {
+		counts := k.counts.Counts()
+		delta := counts.Minus(k.base)
+		dur := now.Sub(k.mark)
+		switch k.cur {
+		case stCompare:
+			k.trace.Compare = dur
+			k.trace.CompareOps = delta
+			k.trace.Limbs.Query = he.OperandLimbs(k.b, k.R[k.p.regQuery])
+			k.trace.Limbs.Decisions = he.OperandLimbs(k.b, k.R[k.p.regDecisions])
+		case stReshuffle:
+			k.trace.Reshuffle = dur
+			k.trace.ReshuffleOps = delta
+			k.trace.Limbs.BranchVec = he.OperandLimbs(k.b, k.R[k.p.regBranchVec])
+		case stLevels:
+			k.trace.Levels = dur
+			k.trace.LevelOps = delta
+			k.trace.Limbs.LevelResult = he.OperandLimbs(k.b, k.R[k.p.regLevelResult])
+		case stAccumulate:
+			k.trace.Accumulate = dur
+			k.trace.AccumulateOps = delta
+			k.trace.Limbs.Result = he.OperandLimbs(k.b, k.R[k.p.result])
+		}
+		k.base = counts
+	}
+	k.mark = now
+	k.cur = s
+	if k.Err == nil && k.ctx != nil {
+		if err := k.ctx.Err(); err != nil {
+			k.Err = err
+		}
+	}
+}
+
+// Query loads query bit plane j (a register alias; the scheduled level
+// drop is a separate op).
+func (k *KernelCtx) Query(dst, j int) {
+	if k.Err != nil {
+		return
+	}
+	k.R[dst] = k.q.Bits[j]
+}
+
+// Thresh loads model threshold plane j.
+func (k *KernelCtx) Thresh(dst, j int) {
+	if k.Err != nil {
+		return
+	}
+	k.R[dst] = k.m.Thresholds[j]
+}
+
+// Mask loads level mask l.
+func (k *KernelCtx) Mask(dst, l int) {
+	if k.Err != nil {
+		return
+	}
+	k.R[dst] = k.m.Masks[l]
+}
+
+// Const loads bind-time plaintext constant c.
+func (k *KernelCtx) Const(dst, c int) {
+	if k.Err != nil {
+		return
+	}
+	k.R[dst] = k.p.bound[c]
+}
+
+// Add stores R[a] + R[b].
+func (k *KernelCtx) Add(dst, a, b int) {
+	if k.Err != nil {
+		return
+	}
+	r, err := he.Add(k.b, k.R[a], k.R[b])
+	if err != nil {
+		k.Err = err
+		return
+	}
+	k.R[dst] = r
+}
+
+// Sub stores R[a] − R[b]; both sides must be ciphertexts (the builder
+// only emits Sub on the all-cipher paths).
+func (k *KernelCtx) Sub(dst, a, b int) {
+	if k.Err != nil {
+		return
+	}
+	x, y := k.R[a], k.R[b]
+	if !x.IsCipher() || !y.IsCipher() {
+		k.Err = fmt.Errorf("core: specialized Sub on plaintext operand")
+		return
+	}
+	ct, err := k.b.Sub(x.Ct, y.Ct)
+	if err != nil {
+		k.Err = err
+		return
+	}
+	k.R[dst] = he.Cipher(ct)
+}
+
+// Mul stores R[a] · R[b].
+func (k *KernelCtx) Mul(dst, a, b int) {
+	if k.Err != nil {
+		return
+	}
+	r, err := he.Mul(k.b, k.R[a], k.R[b])
+	if err != nil {
+		k.Err = err
+		return
+	}
+	k.R[dst] = r
+}
+
+// MulLazy stores the unrelinearized product R[a] ⊗ R[b].
+func (k *KernelCtx) MulLazy(dst, a, b int) {
+	if k.Err != nil {
+		return
+	}
+	r, err := he.MulLazy(k.b, k.R[a], k.R[b])
+	if err != nil {
+		k.Err = err
+		return
+	}
+	k.R[dst] = r
+}
+
+// MulDiag stores the lazy product of a pre-staged matrix diagonal with
+// R[vec]: mat −1 selects the reshuffle matrix, l ≥ 0 the level-l matrix;
+// diag indexes the pre-rotated BSGS diagonal.
+func (k *KernelCtx) MulDiag(dst, vec, mat, diag int) {
+	if k.Err != nil {
+		return
+	}
+	var d he.Operand
+	if mat < 0 {
+		d = k.m.Reshuffle.BsgsOps[diag]
+	} else {
+		d = k.m.Levels[mat].BsgsOps[diag]
+	}
+	r, err := he.MulLazy(k.b, d, k.R[vec])
+	if err != nil {
+		k.Err = err
+		return
+	}
+	k.R[dst] = r
+}
+
+// Relin finalizes a lazily accumulated product.
+func (k *KernelCtx) Relin(dst, a int) {
+	if k.Err != nil {
+		return
+	}
+	r, err := he.Relinearize(k.b, k.R[a])
+	if err != nil {
+		k.Err = err
+		return
+	}
+	k.R[dst] = r
+}
+
+// Neg stores −R[a] (ciphertext only; the builder folds plaintext
+// negation into bind-time constants).
+func (k *KernelCtx) Neg(dst, a int) {
+	if k.Err != nil {
+		return
+	}
+	x := k.R[a]
+	if !x.IsCipher() {
+		k.Err = fmt.Errorf("core: specialized Neg on plaintext operand")
+		return
+	}
+	ct, err := k.b.Neg(x.Ct)
+	if err != nil {
+		k.Err = err
+		return
+	}
+	k.R[dst] = he.Cipher(ct)
+}
+
+// Rot stores R[a] rotated left by step slots.
+func (k *KernelCtx) Rot(dst, a, step int) {
+	if k.Err != nil {
+		return
+	}
+	r, err := he.Rotate(k.b, k.R[a], step)
+	if err != nil {
+		k.Err = err
+		return
+	}
+	k.R[dst] = r
+}
+
+// Hoist stores the hoisted rotations of R[a] by each step into
+// R[dst], R[dst+1], … (one register per step, in order).
+func (k *KernelCtx) Hoist(dst, a int, steps ...int) {
+	if k.Err != nil {
+		return
+	}
+	outs, err := he.RotateHoisted(k.b, k.R[a], steps)
+	if err != nil {
+		k.Err = err
+		return
+	}
+	copy(k.R[dst:dst+len(outs)], outs)
+}
+
+// Drop switches R[a] down to the scheduled level.
+func (k *KernelCtx) Drop(dst, a, level int) {
+	if k.Err != nil {
+		return
+	}
+	r, err := he.DropToLevel(k.b, k.R[a], level)
+	if err != nil {
+		k.Err = err
+		return
+	}
+	k.R[dst] = r
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"copse/internal/he/heclear"
+	"copse/internal/model"
+)
+
+// TestGenerateKernelGolden pins the emitted kernel source for the
+// Figure 1 model: the registry keys kernels by artifact hash, so the
+// emitter must be deterministic, and golden drift flags unintended
+// changes to the op program or the codegen format. After an intentional
+// change, regenerate with COPSE_UPDATE_GOLDEN=1.
+func TestGenerateKernelGolden(t *testing.T) {
+	c, err := Compile(model.Figure1(), Options{Slots: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := GenerateKernel(&buf, c, "kernels"); err != nil {
+		t.Fatal(err)
+	}
+	// Emission is a pure function of the artifact.
+	var again bytes.Buffer
+	if err := GenerateKernel(&again, c, "kernels"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two emissions of the same artifact differ")
+	}
+	golden := filepath.Join("testdata", "kernel_figure1_gen.go.golden")
+	if os.Getenv("COPSE_UPDATE_GOLDEN") == "1" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (COPSE_UPDATE_GOLDEN=1 regenerates): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		got, exp := buf.String(), string(want)
+		line := 1
+		for i := 0; i < len(got) && i < len(exp); i++ {
+			if got[i] != exp[i] {
+				lo, hi := max(i-80, 0), min(i+80, min(len(got), len(exp)))
+				t.Fatalf("emitted kernel drifts from golden at line %d:\n got: …%s…\nwant: …%s…\n(COPSE_UPDATE_GOLDEN=1 regenerates after intentional changes)",
+					line, got[lo:hi], exp[lo:hi])
+			}
+			if got[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("emitted kernel and golden differ in length: %d vs %d bytes", len(got), len(exp))
+	}
+}
+
+// TestKernelRegistryFingerprint: a registered kernel whose structural
+// fingerprint (op/register counts) disagrees with the runtime-built
+// program must not dispatch — the guard against running a stale
+// generated kernel after the specializer changes.
+func TestKernelRegistryFingerprint(t *testing.T) {
+	c, err := Compile(model.Figure1(), Options{Slots: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, ok := programInputsFromCompiled(c, true, c.Meta.LevelPlan)
+	if !ok {
+		t.Fatal("figure1 staging not coverable by the specializer")
+	}
+	p := buildProgram(in)
+	if p == nil {
+		t.Fatal("no program built for figure1")
+	}
+	hash, err := ArtifactHash(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := func(k *KernelCtx) error { return nil }
+	// The registry is process-global: drop the stub registration so
+	// later tests Preparing the same model don't dispatch to it.
+	t.Cleanup(func() { unregisterKernel(hash, true) })
+	RegisterKernel(hash, true, p.NumOps()+1, p.NumRegs(), fn)
+	if lookupKernel(c, true, p) != nil {
+		t.Error("kernel with stale op count dispatched")
+	}
+	RegisterKernel(hash, true, p.NumOps(), p.NumRegs()+1, fn)
+	if lookupKernel(c, true, p) != nil {
+		t.Error("kernel with stale register count dispatched")
+	}
+	if lookupKernel(c, false, p) != nil {
+		t.Error("kernel registered for the encrypted model served the plain one")
+	}
+	RegisterKernel(hash, true, p.NumOps(), p.NumRegs(), fn)
+	if lookupKernel(c, true, p) == nil {
+		t.Error("matching kernel not found")
+	}
+}
+
+// TestStubKernelFailsCleanly: a registered kernel that matches the
+// structural fingerprint but never writes the result register (the
+// worst a plausible-looking stale kernel can do) must surface as an
+// error from Classify, not an empty operand handed downstream.
+func TestStubKernelFailsCleanly(t *testing.T) {
+	c, err := Compile(model.Figure1(), Options{Slots: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, ok := programInputsFromCompiled(c, true, c.Meta.LevelPlan)
+	if !ok {
+		t.Fatal("figure1 staging not coverable by the specializer")
+	}
+	p := buildProgram(in)
+	hash, err := ArtifactHash(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { unregisterKernel(hash, true) })
+	RegisterKernel(hash, true, p.NumOps(), p.NumRegs(), func(k *KernelCtx) error { return nil })
+
+	b := heclear.New(64, 65537)
+	m, err := Prepare(b, c, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := PrepareQuery(b, &m.Meta, []uint64{0, 5}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Backend: b}
+	if _, trace, err := e.Classify(m, q); err == nil {
+		t.Fatalf("stub kernel classified without error (executor %q)", trace.Executor)
+	} else if !strings.Contains(err.Error(), "result register not written") {
+		t.Fatalf("stub kernel failed with %v, want result-register diagnostic", err)
+	}
+}

@@ -102,25 +102,70 @@ func (p *LevelPlan) ShuffleLevel() int {
 // parameter presets share the plaintext modulus, prime size and
 // key-switch digit width; only the ring degree varies with the packing
 // width. Estimates err on the safe side: the modulus bit length is
-// rounded down, the digit count up, and `slack` bits are kept in hand on
-// every headroom check.
+// rounded down, the digit count up, and per-stage slack bits are kept
+// in hand on every headroom check.
 type noiseModel struct {
 	logN      int
 	tBits     int
 	primeBits int
 	digitBits int
-	slack     float64
+	// stageSlack is the safety margin (bits) held back on every
+	// headroom check, indexed by the pipeline stage the simulator is
+	// walking: 0 compare, 1 reshuffle, 2 level, 3 accumulate, 4 the
+	// final decryptability check and the result shuffle.
+	stageSlack [5]float64
 }
 
-// planNoiseModel returns the model for a packing width (slots = N/2).
-func planNoiseModel(slots int) noiseModel {
-	return noiseModel{
+// Per-stage slack defaults, calibrated against the measured noise
+// margins in BENCH_levels.json: the model's estimates track the
+// evaluator most loosely early in the pipeline, where the key-switch
+// noise of the Sklansky rounds and the reshuffle mat-vec compounds
+// through the longest remaining circuit — those stages keep 2 bits in
+// hand. Downstream the measured margins run tens of bits wide, so the
+// level mat-vec and the short accumulate/final tail hold less back,
+// letting the schedule search shave entries the flat legacy slack
+// forced it to keep.
+var stageSlackDefaults = [5]float64{2, 2, 1.5, 1, 1}
+
+const (
+	// slackFloorDefault floors every stage's slack when
+	// Options.SlackFloorBits is unset.
+	slackFloorDefault = 1
+	// flatSlackBits is the legacy uniform slack (Options.FlatSlack).
+	flatSlackBits = 3
+)
+
+// slackConfig carries the compile-time slack knobs
+// (Options.SlackFloorBits / Options.FlatSlack) into the planner; the
+// zero value selects the calibrated per-stage defaults.
+type slackConfig struct {
+	floorBits float64
+	flat      bool
+}
+
+// planNoiseModel returns the model for a packing width (slots = N/2)
+// under the given slack profile.
+func planNoiseModel(slots int, sl slackConfig) noiseModel {
+	nm := noiseModel{
 		logN:      log2Ceil(slots) + 1,
 		tBits:     17, // t = 65537
 		primeBits: 55,
 		digitBits: 45,
-		slack:     3,
 	}
+	nm.stageSlack = stageSlackDefaults
+	if sl.flat {
+		for i := range nm.stageSlack {
+			nm.stageSlack[i] = flatSlackBits
+		}
+	}
+	floor := sl.floorBits
+	if floor <= 0 {
+		floor = slackFloorDefault
+	}
+	for i := range nm.stageSlack {
+		nm.stageSlack[i] = math.Max(nm.stageSlack[i], floor)
+	}
+	return nm
 }
 
 // qBits lower-bounds the modulus bit length at a level.
@@ -188,6 +233,12 @@ type sim struct {
 	ok   bool
 	kind int
 
+	// stage is the pipeline stage whose slack the headroom checks
+	// consume (an index into nm.stageSlack); simulatePipeline advances
+	// it across stage sections, shuffle simulations run at the final
+	// stage's slack.
+	stage int
+
 	// compareTargets, when set, are per-round drop levels applied to the
 	// prefix-product carrier inside compare (mirroring the engine's
 	// CompareGTScheduled); compareLevels records the carrier's level
@@ -197,6 +248,9 @@ type sim struct {
 }
 
 func newSim(nm noiseModel) *sim { return &sim{nm: nm, ok: true} }
+
+// slack is the active stage's safety margin.
+func (s *sim) slack() float64 { return s.nm.stageSlack[s.stage] }
 
 func (s *sim) fail(kind int) {
 	if s.ok {
@@ -215,13 +269,13 @@ func (s *sim) modSwitch(c *simCt) {
 }
 
 // manage mirrors Evaluator.manage: switch down lazily, then verify the
-// decryption margin (minus the model's slack).
+// decryption margin (minus the active stage's slack).
 func (s *sim) manage(c *simCt) {
 	margin := float64(s.nm.tBits + 10)
 	for c.level > 0 && c.noise > s.nm.qBits(c.level)-margin {
 		s.modSwitch(c)
 	}
-	if c.noise > s.nm.qBits(c.level)-float64(s.nm.tBits)-2-s.nm.slack {
+	if c.noise > s.nm.qBits(c.level)-float64(s.nm.tBits)-2-s.slack() {
 		s.fail(failNoise)
 	}
 }
@@ -284,7 +338,7 @@ func (s *sim) mulCC(a, b simCt) simCt { return s.relin(s.tensor(a, b)) }
 
 // rot mirrors checkGalois + galoisFromDigits + manage.
 func (s *sim) rot(c simCt) simCt {
-	if s.nm.qBits(c.level) < s.nm.ks(c.level)+float64(s.nm.tBits)+4+s.nm.slack {
+	if s.nm.qBits(c.level) < s.nm.ks(c.level)+float64(s.nm.tBits)+4+s.slack() {
 		s.fail(failLevel)
 		return c
 	}
@@ -519,6 +573,7 @@ func simulatePipeline(nm noiseModel, sh pipelineShape, encModel bool, e stageEnt
 	query := nm.simFresh(e.compare)
 
 	// Stage 0: compare.
+	s.stage = 0
 	decisions := s.compare(sh.precision, query, model)
 	if !s.ok {
 		return simCt{}, s.compareLevels, simFailure{stage: 0, kind: s.kind}, false
@@ -529,6 +584,7 @@ func simulatePipeline(nm noiseModel, sh pipelineShape, encModel bool, e stageEnt
 	decisions = s.dropOpTo(decisions, e.reshuffle)
 
 	// Stage 1: reshuffle mat-vec + replication.
+	s.stage = 1
 	diag := simPlain()
 	if encModel {
 		diag = nm.simFresh(e.reshuffle)
@@ -545,6 +601,7 @@ func simulatePipeline(nm noiseModel, sh pipelineShape, encModel bool, e stageEnt
 	branch = s.dropOpTo(branch, e.level)
 
 	// Stage 2: per-level mat-vecs + mask XOR.
+	s.stage = 2
 	lvlDiag, mask := simPlain(), simPlain()
 	if encModel {
 		lvlDiag = nm.simFresh(e.level)
@@ -561,6 +618,7 @@ func simulatePipeline(nm noiseModel, sh pipelineShape, encModel bool, e stageEnt
 	lvl = s.dropOpTo(lvl, e.accumulate)
 
 	// Stage 3: product-tree accumulation.
+	s.stage = 3
 	entryHot = hot(lvl)
 	out := lvl
 	for n := sh.levels; n > 1; n = (n + 1) / 2 {
@@ -577,6 +635,7 @@ func simulatePipeline(nm noiseModel, sh pipelineShape, encModel bool, e stageEnt
 		return simCt{}, s.compareLevels, simFailure{}, s.ok
 	}
 	// Decryptability at the final level.
+	s.stage = 4
 	s.manage(&out.ct)
 	if !s.ok {
 		return simCt{}, s.compareLevels, simFailure{stage: 3, kind: s.kind, hotEntry: entryHot}, false
@@ -594,6 +653,7 @@ func simulatePipeline(nm noiseModel, sh pipelineShape, encModel bool, e stageEnt
 func simulateShuffle(nm noiseModel, sh pipelineShape, in simCt) bool {
 	single := func() bool {
 		s := newSim(nm)
+		s.stage = 4
 		v := simOp{cipher: true, ct: in}
 		if sh.batched {
 			v = s.mulPlain(v)
@@ -607,6 +667,7 @@ func simulateShuffle(nm noiseModel, sh pipelineShape, in simCt) bool {
 	}
 	batched := func() bool {
 		s := newSim(nm)
+		s.stage = 4
 		v := simOp{cipher: true, ct: in}
 		v = s.replicate(v, sh.shuffleRepB)
 		v = s.matVec(v, simPlain(), sh.nSplit[0], sh.nSplit[1])
@@ -719,9 +780,11 @@ func compareRoundPlan(nm noiseModel, sh pipelineShape, encModel bool, e stageEnt
 
 // computeLevelPlan builds the static schedule for a compiled model, or
 // nil when no feasible schedule exists within the search bound (the
-// engine then falls back to reactive management).
-func computeLevelPlan(m *Meta, planShuffle bool) *LevelPlan {
-	nm := planNoiseModel(m.Slots)
+// engine then falls back to reactive management). The slack profile
+// (Options.SlackFloorBits / Options.FlatSlack) shapes how much noise
+// headroom each stage's checks keep in hand.
+func computeLevelPlan(m *Meta, planShuffle bool, sl slackConfig) *LevelPlan {
+	nm := planNoiseModel(m.Slots, sl)
 	sh := shapeOf(m)
 	shuffleAt := shuffleEntryLevel(nm, sh)
 	minFinal := 1
@@ -747,6 +810,7 @@ func computeLevelPlan(m *Meta, planShuffle bool) *LevelPlan {
 			}
 			if planShuffle {
 				s := newSim(nm)
+				s.stage = 4
 				s.dropTo(&out, shuffleAt) // ShuffleResult's entry drop
 				if !s.ok || !simulateShuffle(nm, sh, out) {
 					continue

@@ -1,0 +1,775 @@
+package core
+
+import (
+	"sync"
+
+	"copse/internal/he"
+	"copse/internal/matrix"
+)
+
+// This file implements the model-specialized op program: at Prepare time
+// the artifact plus its level plan is compiled into a flat, static
+// schedule of primitive homomorphic ops (DESIGN.md §13). The engine then
+// executes that schedule instead of re-deriving the pipeline structure —
+// BSGS loop bounds, rotation steps, level-drop targets, XOR decomposition
+// — on every Classify call, and the builder applies model-visible
+// algebraic rewrites the generic interpreter cannot:
+//
+//   - gt_j = x_j·(1−y_j) = x_j − x_j·y_j reuses the product the XOR of
+//     eq_j already computed, saving one ct-ct multiplication per bit
+//     plane;
+//   - the inclusive prefix product of the last bit plane is never read
+//     by the gt sum, so its Sklansky chain (and the last plane's eq
+//     chain) is dead code;
+//   - the gt sum accumulates lazy (unrelinearized) products and pays for
+//     a single relinearization instead of one per plane;
+//   - the j=0 gt term's multiply-by-ones is the identity;
+//   - the plaintext constants of ¬ and ⊕ (ones, XOR coefficient/offset
+//     pairs) are encoded once at bind time instead of per call;
+//   - with a plaintext model, eq_j = ¬(x_j ⊕ y_j) folds into a single
+//     affine pair, gt_j into one plaintext multiplication, and an
+//     all-zero level mask into the identity.
+//
+// Every rewrite preserves the decrypted result bit-for-bit (BGV
+// arithmetic mod t is exact; only noise estimates differ), which the
+// specialized-vs-generic property tests assert across the scenario
+// corpus. Registers are SSA — each op writes a fresh register — so the
+// block segments below parallelize without synchronization and the merge
+// order stays deterministic.
+
+// opCode enumerates the primitive ops of the program IR. The operand
+// fields of progOp are interpreted per code; see KernelCtx for the
+// runtime semantics (the interpreter and the generated kernels share its
+// methods, so the two executors are bit-identical by construction).
+type opCode uint8
+
+const (
+	opQuery   opCode = iota // R[Dst] = query bit plane Imm
+	opThresh                // R[Dst] = model threshold plane Imm
+	opMask                  // R[Dst] = level mask Imm
+	opConst                 // R[Dst] = bound plaintext constant Imm
+	opAdd                   // R[Dst] = R[A] + R[B]
+	opSub                   // R[Dst] = R[A] − R[B] (both ciphertext)
+	opMul                   // R[Dst] = R[A] · R[B]
+	opMulLazy               // R[Dst] = R[A] ⊗ R[B] (unrelinearized)
+	opMulDiag               // R[Dst] = diag(Imm, Imm2) ⊗ R[A] (lazy)
+	opRelin                 // R[Dst] = relinearize(R[A])
+	opNeg                   // R[Dst] = −R[A] (ciphertext)
+	opRot                   // R[Dst] = rot(R[A], Imm)
+	opHoist                 // R[Dst+i] = rot(R[A], hoists[Imm][i]) (hoisted)
+	opDrop                  // R[Dst] = R[A] switched down to level Imm
+)
+
+// progOp is one op of the flat program. Dst/A/B are register indices;
+// Imm/Imm2 carry per-code immediates (plane index, rotation step, level,
+// matrix/diagonal index, hoist-table index).
+type progOp struct {
+	Code      opCode
+	Dst, A, B int
+	Imm, Imm2 int
+}
+
+// Pipeline stage tags, in execution order. Blocks carry them so the
+// executor can keep the per-stage trace windows of the generic path, and
+// generated kernels mark the same boundaries with KernelCtx.Stage.
+const (
+	stCompare = iota
+	stReshuffle
+	stLevels
+	stAccumulate
+	stDone
+)
+
+// progBlock is a run of contiguous ops split into segments. Blocks
+// execute in order; within a block the segments are independent (SSA
+// registers, disjoint writes) and run on the engine's worker pool. All
+// cross-segment merges live in later single-segment blocks, in fixed
+// index order, so the result is identical for any worker count.
+type progBlock struct {
+	Stage int
+	Segs  [][2]int // [start, end) op index ranges
+}
+
+// constKind enumerates the bind-time plaintext constants. Their slot
+// values are derived from the model's plaintext components and the
+// backend's plaintext modulus when the program is bound, so the program
+// itself is backend-agnostic (and the generated kernel source carries
+// only indices).
+type constKind uint8
+
+const (
+	ckOnes       constKind = iota // all-ones (the ¬ offset)
+	ckThreshCoef                  // (2·y−1) mod t over threshold plane Index (eq fold)
+	ckThreshNot                   // (1−y) mod t over threshold plane Index (eq offset and gt factor)
+	ckMaskCoef                    // (1−2·m) mod t over padded mask Index
+	ckMaskAdd                     // m mod t over padded mask Index
+)
+
+type constSpec struct {
+	Kind  constKind
+	Index int
+}
+
+// Program is the compiled op schedule for one prepared model. It is
+// built by buildProgram at Prepare time, bound to a backend once
+// (plaintext constants encoded), and executed by Engine.ClassifyCtx in
+// place of the generic interpreter whenever the engine configuration
+// matches the assumptions baked in at build time (see eval.go's
+// dispatch).
+type Program struct {
+	ops    []progOp
+	blocks []progBlock
+	hoists [][]int
+	consts []constSpec
+	numReg int
+	result int
+
+	// Trace registers: the carrier operands whose limb counts the
+	// per-stage trace reports, mirroring the generic path's boundaries.
+	regQuery, regDecisions, regBranchVec, regLevelResult int
+
+	// Build-time assumptions the dispatch gate checks against the
+	// engine configuration.
+	planned   bool // level-plan drops are baked in
+	skipZero  bool // all-zero diagonals are skipped (plaintext models)
+	encrypted bool
+
+	// Plaintext component values backing the bind-time constants
+	// (plaintext models only; nil entries where unused).
+	threshVals [][]uint64
+	maskVals   [][]uint64
+
+	bound   []he.Operand // staged constants, set by bind
+	kernel  KernelFunc   // linked generated kernel, if one is registered
+	scratch sync.Pool
+}
+
+// NumOps returns the op count — the registry's cheap structural
+// fingerprint for validating that a linked kernel matches the program
+// built from the runtime artifact.
+func (p *Program) NumOps() int { return len(p.ops) }
+
+// NumRegs returns the register file size.
+func (p *Program) NumRegs() int { return p.numReg }
+
+// progInputs is everything buildProgram needs. It is assembled either
+// from freshly prepared operands (PrepareWithPlan) or from the compiled
+// artifact alone (GenerateKernel), producing the same program.
+type progInputs struct {
+	meta      Meta
+	plan      *StageLevels // nil = no scheduled drops
+	encrypted bool
+	slots     int
+	planes    int
+	reshuffle diagShape
+	levels    []diagShape
+	// Plaintext model components (nil when encrypted): the replicated
+	// threshold planes and block-padded masks, exactly as staged.
+	threshVals [][]uint64
+	maskVals   [][]uint64
+}
+
+// diagShape is the structural skeleton of a staged diagonal matrix: the
+// BSGS split and the plaintext-known zero diagonals. It carries no
+// operands, so codegen can build programs straight from an artifact.
+type diagShape struct {
+	period, baby, giant int
+	zero                []bool // per pre-rotated diagonal index
+}
+
+// shapeOf extracts the skeleton from staged diagonals; ok is false for
+// non-BSGS layouts (old artifacts), which the specializer does not
+// cover.
+func diagShapeOf(d *matrix.Diagonals) (diagShape, bool) {
+	if !d.IsBSGS() {
+		return diagShape{}, false
+	}
+	return diagShape{period: d.Period, baby: d.Baby, giant: d.Giant, zero: d.BsgsZero}, true
+}
+
+// shapeFromMatrix computes the skeleton the staging of mtx would
+// produce, without a backend: the same BSGS split decision as
+// PrepareWithPlan and the same all-zero diagonal flags.
+func shapeFromMatrix(m *Meta, mtx *matrix.Bool, period int) (diagShape, bool) {
+	baby, giant, ok := m.BSGSFor(period)
+	if !m.UseBSGS || !ok {
+		return diagShape{}, false
+	}
+	raw, err := mtx.Diagonals(period)
+	if err != nil {
+		return diagShape{}, false
+	}
+	zero := make([]bool, period)
+	for i, vec := range raw {
+		z := true
+		for _, v := range vec {
+			if v != 0 {
+				z = false
+				break
+			}
+		}
+		zero[i] = z
+	}
+	return diagShape{period: period, baby: baby, giant: giant, zero: zero}, true
+}
+
+// programInputsFromCompiled assembles build inputs from an artifact
+// alone — the codegen entry point. ok is false when the model's staging
+// is outside the specializer's coverage.
+func programInputsFromCompiled(c *Compiled, encrypt bool, plan *LevelPlan) (progInputs, bool) {
+	in := progInputs{
+		meta:      c.Meta,
+		encrypted: encrypt,
+		slots:     c.Meta.Slots,
+		planes:    len(c.ThresholdBits),
+	}
+	if plan != nil {
+		st := plan.For(encrypt)
+		in.plan = &st
+	}
+	var ok bool
+	if in.reshuffle, ok = shapeFromMatrix(&c.Meta, c.Reshuffle, c.Meta.QPad); !ok {
+		return progInputs{}, false
+	}
+	for _, lm := range c.Levels {
+		sh, ok := shapeFromMatrix(&c.Meta, lm, c.Meta.BPad)
+		if !ok {
+			return progInputs{}, false
+		}
+		in.levels = append(in.levels, sh)
+	}
+	if !encrypt {
+		span := c.Meta.BatchBlock()
+		for _, plane := range c.ThresholdBits {
+			in.threshVals = append(in.threshVals, replicatePlain(plane, c.Meta.QPad, in.slots))
+		}
+		for _, mask := range c.Masks {
+			padded := make([]uint64, in.slots)
+			for base := 0; base < len(padded); base += span {
+				copy(padded[base:base+len(mask)], mask)
+			}
+			in.maskVals = append(in.maskVals, padded)
+		}
+	}
+	return in, true
+}
+
+// progBuilder accumulates ops, blocks and constants while walking the
+// pipeline symbolically.
+type progBuilder struct {
+	p       *Program
+	constIx map[constSpec]int
+	segs    [][2]int
+	segOpen int
+	stage   int
+}
+
+func (bl *progBuilder) emit(code opCode, a, b, imm, imm2 int) int {
+	dst := bl.p.numReg
+	bl.p.numReg++
+	bl.p.ops = append(bl.p.ops, progOp{Code: code, Dst: dst, A: a, B: b, Imm: imm, Imm2: imm2})
+	return dst
+}
+
+// seg runs fn and records the ops it emitted as one segment of the
+// current block.
+func (bl *progBuilder) seg(fn func()) {
+	start := len(bl.p.ops)
+	fn()
+	if len(bl.p.ops) > start {
+		bl.segs = append(bl.segs, [2]int{start, len(bl.p.ops)})
+	}
+}
+
+// flush closes the current block (if any ops were recorded) under the
+// given stage tag.
+func (bl *progBuilder) flush(stage int) {
+	if len(bl.segs) > 0 {
+		bl.p.blocks = append(bl.p.blocks, progBlock{Stage: stage, Segs: bl.segs})
+		bl.segs = nil
+	}
+}
+
+// constReg returns the register of a bind-time constant, deduplicated.
+// Loads are free at run time (a register alias), so each constant is
+// loaded once in the program preamble block it first appears in.
+func (bl *progBuilder) constReg(spec constSpec) int {
+	if r, ok := bl.constIx[spec]; ok {
+		return r
+	}
+	idx := len(bl.p.consts)
+	bl.p.consts = append(bl.p.consts, spec)
+	r := bl.emit(opConst, 0, 0, idx, 0)
+	bl.constIx[spec] = r
+	return r
+}
+
+// drop emits a scheduled level drop when the program is planned.
+func (bl *progBuilder) drop(r, level int) int {
+	if bl.p.planned && level >= 0 {
+		return bl.emit(opDrop, r, 0, level, 0)
+	}
+	return r
+}
+
+// buildProgram compiles the pipeline into a Program, or returns nil when
+// the model's staging falls outside the specializer's coverage (non-BSGS
+// layouts, empty stages); the engine then keeps the generic interpreter.
+func buildProgram(in progInputs) *Program {
+	if in.planes == 0 || len(in.levels) == 0 || in.reshuffle.period == 0 {
+		return nil
+	}
+	baby := in.levels[0].baby
+	for _, sh := range in.levels {
+		if sh.baby != baby || sh.period != in.levels[0].period {
+			return nil
+		}
+	}
+	skipZero := !in.encrypted
+	// Degenerate stagings (an entirely skippable matrix) take plaintext
+	// shortcut paths in the generic kernels; leave them there.
+	if skipZero {
+		if allZero(in.reshuffle.zero) {
+			return nil
+		}
+		for _, sh := range in.levels {
+			if allZero(sh.zero) {
+				return nil
+			}
+		}
+	}
+	p := &Program{
+		planned:    in.plan != nil,
+		skipZero:   skipZero,
+		encrypted:  in.encrypted,
+		threshVals: in.threshVals,
+		maskVals:   in.maskVals,
+	}
+	bl := &progBuilder{p: p, constIx: map[constSpec]int{}}
+	L := in.plan
+
+	// ---- Stage 1: compare -------------------------------------------
+	// Preamble: query planes (dropped to the compare entry), shared
+	// constants. Loads are register aliases; only the drops cost work.
+	nPlanes := in.planes
+	q := make([]int, nPlanes)
+	ones := -1
+	bl.seg(func() {
+		for j := 0; j < nPlanes; j++ {
+			q[j] = bl.emit(opQuery, 0, 0, j, 0)
+			if L != nil {
+				q[j] = bl.drop(q[j], L.Compare)
+			}
+		}
+		if in.encrypted {
+			ones = bl.constReg(constSpec{Kind: ckOnes})
+		}
+	})
+	p.regQuery = q[0]
+	bl.flush(stCompare)
+
+	// Per-plane eq/gt terms, one independent segment per plane.
+	eq := make([]int, nPlanes)
+	gt := make([]int, nPlanes)
+	for j := 0; j < nPlanes; j++ {
+		j := j
+		bl.seg(func() {
+			if in.encrypted {
+				th := bl.emit(opThresh, 0, 0, j, 0)
+				prod := bl.emit(opMul, q[j], th, 0, 0)
+				sum := bl.emit(opAdd, q[j], th, 0, 0)
+				twice := bl.emit(opAdd, prod, prod, 0, 0)
+				x := bl.emit(opSub, sum, twice, 0, 0)
+				neg := bl.emit(opNeg, x, 0, 0, 0)
+				eq[j] = bl.emit(opAdd, neg, ones, 0, 0)
+				gt[j] = bl.emit(opSub, q[j], prod, 0, 0)
+			} else {
+				coef := bl.constReg(constSpec{Kind: ckThreshCoef, Index: j})
+				not := bl.constReg(constSpec{Kind: ckThreshNot, Index: j})
+				scaled := bl.emit(opMul, q[j], coef, 0, 0)
+				eq[j] = bl.emit(opAdd, scaled, not, 0, 0)
+				gt[j] = bl.emit(opMul, q[j], not, 0, 0)
+			}
+		})
+	}
+	bl.flush(stCompare)
+
+	// Sklansky prefix products over eq, with the per-round level drops
+	// of the generic schedule. Each round's multiplications are
+	// independent (distinct targets, shared read-only pivots).
+	incl := make([]int, nPlanes)
+	copy(incl, eq)
+	round := 0
+	for span := 1; span < nPlanes; span <<= 1 {
+		for blockStart := 0; blockStart < nPlanes; blockStart += 2 * span {
+			pivot := blockStart + span - 1
+			if pivot >= nPlanes {
+				break
+			}
+			for i := pivot + 1; i <= pivot+span && i < nPlanes; i++ {
+				i := i
+				bl.seg(func() { incl[i] = bl.emit(opMul, incl[i], incl[pivot], 0, 0) })
+			}
+		}
+		bl.flush(stCompare)
+		if L != nil && round < len(L.CompareRounds) {
+			bl.seg(func() {
+				for i := range incl {
+					incl[i] = bl.drop(incl[i], L.CompareRounds[round])
+				}
+			})
+			bl.flush(stCompare)
+		}
+		round++
+	}
+
+	// gt = Σ_j gt_j · pre_j with lazy products and one relinearization.
+	// pre_0 = 1, so the j=0 term is gt_0 itself.
+	terms := make([]int, nPlanes)
+	for j := 1; j < nPlanes; j++ {
+		j := j
+		bl.seg(func() { terms[j] = bl.emit(opMulLazy, gt[j], incl[j-1], 0, 0) })
+	}
+	bl.flush(stCompare)
+	var decisions int
+	bl.seg(func() {
+		acc := gt[0]
+		for j := 1; j < nPlanes; j++ {
+			acc = bl.emit(opAdd, acc, terms[j], 0, 0)
+		}
+		if nPlanes > 1 {
+			acc = bl.emit(opRelin, acc, 0, 0, 0)
+		}
+		if L != nil {
+			acc = bl.drop(acc, L.Reshuffle)
+		}
+		decisions = acc
+	})
+	p.regDecisions = decisions
+	bl.flush(stCompare)
+
+	// ---- Stage 2: reshuffle -----------------------------------------
+	branch, ok := bl.matVec(in.reshuffle, decisions, -1, skipZero, stReshuffle)
+	if !ok {
+		return nil
+	}
+	bl.seg(func() {
+		for pw := in.meta.BPad; pw < in.meta.BatchBlock(); pw <<= 1 {
+			rot := bl.emit(opRot, branch, 0, -pw, 0)
+			branch = bl.emit(opAdd, branch, rot, 0, 0)
+		}
+		if L != nil {
+			branch = bl.drop(branch, L.Level)
+		}
+	})
+	p.regBranchVec = branch
+	bl.flush(stReshuffle)
+
+	// ---- Stage 3: levels --------------------------------------------
+	// One shared set of baby rotations feeds every level product; under
+	// skipZero only the union of steps some level actually reads is
+	// computed (the generic path computes all of them).
+	needed := make([]bool, baby)
+	needed[0] = true
+	for _, sh := range in.levels {
+		for i := 0; i < sh.period; i++ {
+			if !(skipZero && sh.zero[i]) {
+				needed[i%sh.baby] = true
+			}
+		}
+	}
+	rots := bl.hoistRots(branch, needed, stLevels)
+
+	lvlGroups := make([][]int, len(in.levels))
+	for l, sh := range in.levels {
+		lvlGroups[l] = bl.matVecGroups(sh, rots, l, skipZero)
+	}
+	bl.flush(stLevels)
+	lvlRes := make([]int, len(in.levels))
+	for l := range in.levels {
+		l := l
+		bl.seg(func() {
+			lvl := bl.mergeGroups(lvlGroups[l])
+			if in.encrypted {
+				mask := bl.emit(opMask, 0, 0, l, 0)
+				prod := bl.emit(opMul, lvl, mask, 0, 0)
+				sum := bl.emit(opAdd, lvl, mask, 0, 0)
+				twice := bl.emit(opAdd, prod, prod, 0, 0)
+				lvl = bl.emit(opSub, sum, twice, 0, 0)
+			} else if !allZero(in.maskVals[l]) {
+				coef := bl.constReg(constSpec{Kind: ckMaskCoef, Index: l})
+				add := bl.constReg(constSpec{Kind: ckMaskAdd, Index: l})
+				scaled := bl.emit(opMul, lvl, coef, 0, 0)
+				lvl = bl.emit(opAdd, scaled, add, 0, 0)
+			}
+			// An all-zero plaintext mask XORs to the identity: alias.
+			if L != nil {
+				lvl = bl.drop(lvl, L.Accumulate)
+			}
+			lvlRes[l] = lvl
+		})
+	}
+	bl.flush(stLevels)
+	p.regLevelResult = lvlRes[0]
+
+	// ---- Stage 4: accumulate ----------------------------------------
+	ops := lvlRes
+	for len(ops) > 1 {
+		pairs := len(ops) / 2
+		next := make([]int, pairs)
+		for i := 0; i < pairs; i++ {
+			i := i
+			bl.seg(func() { next[i] = bl.emit(opMul, ops[2*i], ops[2*i+1], 0, 0) })
+		}
+		bl.flush(stAccumulate)
+		if len(ops)%2 == 1 {
+			next = append(next, ops[len(ops)-1])
+		}
+		ops = next
+	}
+	res := ops[0]
+	bl.seg(func() {
+		if L != nil {
+			res = bl.drop(res, L.Final)
+		}
+	})
+	bl.flush(stAccumulate)
+	p.result = res
+
+	p.eliminateDeadOps()
+	p.scratch.New = func() any {
+		s := make([]he.Operand, p.numReg)
+		return &s
+	}
+	return p
+}
+
+// hoistRots emits the hoisted rotations for the needed baby steps and
+// returns one register per baby index (index 0 aliases the source).
+func (bl *progBuilder) hoistRots(src int, needed []bool, stage int) []int {
+	rots := make([]int, len(needed))
+	rots[0] = src
+	var steps []int
+	for j := 1; j < len(needed); j++ {
+		if needed[j] {
+			steps = append(steps, j)
+		}
+	}
+	if len(steps) > 0 {
+		bl.seg(func() {
+			bl.p.hoists = append(bl.p.hoists, steps)
+			dst := bl.p.numReg
+			bl.p.numReg += len(steps)
+			bl.p.ops = append(bl.p.ops, progOp{Code: opHoist, Dst: dst, A: src, Imm: len(bl.p.hoists) - 1})
+			for i, s := range steps {
+				rots[s] = dst + i
+			}
+		})
+		bl.flush(stage)
+	}
+	return rots
+}
+
+// matVecGroups emits the per-giant-group inner products of one BSGS
+// matrix-vector product as independent segments of the current block,
+// returning the group result registers (-1 for skipped groups).
+func (bl *progBuilder) matVecGroups(sh diagShape, rots []int, mat int, skipZero bool) []int {
+	groups := make([]int, sh.giant)
+	for g := 0; g < sh.giant; g++ {
+		g := g
+		groups[g] = -1
+		any := false
+		for j := 0; j < sh.baby; j++ {
+			if !(skipZero && sh.zero[g*sh.baby+j]) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		bl.seg(func() {
+			acc := -1
+			for j := 0; j < sh.baby; j++ {
+				i := g*sh.baby + j
+				if skipZero && sh.zero[i] {
+					continue
+				}
+				term := bl.emit(opMulDiag, rots[j], 0, mat, i)
+				if acc < 0 {
+					acc = term
+				} else {
+					acc = bl.emit(opAdd, acc, term, 0, 0)
+				}
+			}
+			acc = bl.emit(opRelin, acc, 0, 0, 0)
+			if g > 0 {
+				acc = bl.emit(opRot, acc, 0, g*sh.baby, 0)
+			}
+			groups[g] = acc
+		})
+	}
+	return groups
+}
+
+// mergeGroups sums group results in index order (the deterministic merge
+// of the generic kernel).
+func (bl *progBuilder) mergeGroups(groups []int) int {
+	acc := -1
+	for _, g := range groups {
+		if g < 0 {
+			continue
+		}
+		if acc < 0 {
+			acc = g
+		} else {
+			acc = bl.emit(opAdd, acc, g, 0, 0)
+		}
+	}
+	return acc
+}
+
+// matVec emits a full BSGS matrix-vector product: hoisted baby
+// rotations, parallel group products, serial merge. ok is false when
+// every diagonal is skippable (the generic path's plaintext-zeros
+// shortcut; unsupported here).
+func (bl *progBuilder) matVec(sh diagShape, vec, mat int, skipZero bool, stage int) (int, bool) {
+	needed := make([]bool, sh.baby)
+	needed[0] = true
+	anyDiag := false
+	for i := 0; i < sh.period; i++ {
+		if !(skipZero && sh.zero[i]) {
+			needed[i%sh.baby] = true
+			anyDiag = true
+		}
+	}
+	if !anyDiag {
+		return 0, false
+	}
+	rots := bl.hoistRots(vec, needed, stage)
+	groups := bl.matVecGroups(sh, rots, mat, skipZero)
+	bl.flush(stage)
+	var out int
+	bl.seg(func() { out = bl.mergeGroups(groups) })
+	bl.flush(stage)
+	return out, true
+}
+
+// eliminateDeadOps removes ops whose results never reach the program
+// result (or a trace register): with the gt sum reading only the first
+// p−1 inclusive prefixes, the last bit plane's Sklansky chain and eq
+// decomposition are dead, along with their scheduled drops.
+func (p *Program) eliminateDeadOps() {
+	live := make([]bool, p.numReg)
+	live[p.result] = true
+	live[p.regQuery] = true
+	live[p.regDecisions] = true
+	live[p.regBranchVec] = true
+	live[p.regLevelResult] = true
+	keep := make([]bool, len(p.ops))
+	for i := len(p.ops) - 1; i >= 0; i-- {
+		op := p.ops[i]
+		isLive := false
+		if op.Code == opHoist {
+			for r := op.Dst; r < op.Dst+len(p.hoists[op.Imm]); r++ {
+				if live[r] {
+					isLive = true
+					break
+				}
+			}
+		} else {
+			isLive = live[op.Dst]
+		}
+		keep[i] = isLive
+		if !isLive {
+			continue
+		}
+		switch op.Code {
+		case opAdd, opSub, opMul, opMulLazy:
+			live[op.A] = true
+			live[op.B] = true
+		case opMulDiag, opRelin, opNeg, opRot, opHoist, opDrop:
+			live[op.A] = true
+		}
+	}
+	// Rewrite the op list and remap block segment ranges. Deletions
+	// preserve order, so segments stay contiguous.
+	newIndex := make([]int, len(p.ops)+1)
+	n := 0
+	for i, k := range keep {
+		newIndex[i] = n
+		if k {
+			n++
+		}
+	}
+	newIndex[len(p.ops)] = n
+	ops := make([]progOp, 0, n)
+	for i, op := range p.ops {
+		if keep[i] {
+			ops = append(ops, op)
+		}
+	}
+	p.ops = ops
+	var blocks []progBlock
+	for _, blk := range p.blocks {
+		var segs [][2]int
+		for _, s := range blk.Segs {
+			ns, ne := newIndex[s[0]], newIndex[s[1]]
+			if ne > ns {
+				segs = append(segs, [2]int{ns, ne})
+			}
+		}
+		if len(segs) > 0 {
+			blocks = append(blocks, progBlock{Stage: blk.Stage, Segs: segs})
+		}
+	}
+	p.blocks = blocks
+}
+
+// bind stages the program's plaintext constants on the backend —
+// encoded once here instead of on every Classify call.
+func (p *Program) bind(b he.Backend) error {
+	t := b.PlainModulus()
+	p.bound = make([]he.Operand, len(p.consts))
+	for i, spec := range p.consts {
+		vals := make([]uint64, b.Slots())
+		switch spec.Kind {
+		case ckOnes:
+			for j := range vals {
+				vals[j] = 1
+			}
+		case ckThreshCoef:
+			for j, m := range p.threshVals[spec.Index] {
+				vals[j] = (2*(m%t) + t - 1) % t
+			}
+		case ckThreshNot:
+			for j, m := range p.threshVals[spec.Index] {
+				vals[j] = (1 + t - m%t) % t
+			}
+		case ckMaskCoef:
+			for j, m := range p.maskVals[spec.Index] {
+				vals[j] = (1 + t - (2*m)%t) % t
+			}
+		case ckMaskAdd:
+			for j, m := range p.maskVals[spec.Index] {
+				vals[j] = m % t
+			}
+		}
+		op, err := he.NewPlain(b, vals)
+		if err != nil {
+			return err
+		}
+		p.bound[i] = op
+	}
+	return nil
+}
+
+func allZero[T uint64 | bool](vals []T) bool {
+	var zero T
+	for _, v := range vals {
+		if v != zero {
+			return false
+		}
+	}
+	return true
+}

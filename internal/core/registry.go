@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// The kernel registry maps (artifact hash, model encryption) to a
+// generated kernel linked into the binary. `copse-compile -gen` emits a
+// package whose init() calls RegisterKernel; any binary importing that
+// package then dispatches matching Prepare'd models to the unrolled
+// kernel instead of the op-program interpreter (DESIGN.md §13).
+//
+// The hash is over the serialized artifact bytes, so a kernel can never
+// silently run against a model it was not generated from; as a second
+// guard the registration carries the program's structural fingerprint
+// (op and register counts), which Prepare re-checks against the program
+// it builds from the runtime artifact.
+
+type kernelKey struct {
+	hash      string
+	encrypted bool
+}
+
+type kernelEntry struct {
+	numOps, numRegs int
+	fn              KernelFunc
+}
+
+var (
+	kernelMu       sync.RWMutex
+	kernelRegistry map[kernelKey]kernelEntry
+)
+
+// RegisterKernel installs a generated kernel for the artifact with the
+// given hash (ArtifactHash) and model-encryption flag. numOps and
+// numRegs are the generated program's structural fingerprint; a
+// mismatch against the runtime-built program disables the kernel rather
+// than risk running a stale one. Typically called from a generated
+// package's init().
+func RegisterKernel(hash string, encrypted bool, numOps, numRegs int, fn KernelFunc) {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	if kernelRegistry == nil {
+		kernelRegistry = make(map[kernelKey]kernelEntry)
+	}
+	kernelRegistry[kernelKey{hash, encrypted}] = kernelEntry{numOps: numOps, numRegs: numRegs, fn: fn}
+}
+
+// unregisterKernel removes a registration. The registry is process
+// lifetime for generated packages; this exists so tests that register
+// stub kernels can restore the empty state they found.
+func unregisterKernel(hash string, encrypted bool) {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	delete(kernelRegistry, kernelKey{hash, encrypted})
+}
+
+// lookupKernel resolves a registered kernel for the compiled artifact,
+// validating the structural fingerprint against the freshly built
+// program. It returns nil (interpreter dispatch) when the registry is
+// empty — the common case, which skips hashing entirely.
+func lookupKernel(c *Compiled, encrypted bool, p *Program) KernelFunc {
+	kernelMu.RLock()
+	empty := len(kernelRegistry) == 0
+	kernelMu.RUnlock()
+	if empty {
+		return nil
+	}
+	hash, err := ArtifactHash(c)
+	if err != nil {
+		return nil
+	}
+	kernelMu.RLock()
+	entry, ok := kernelRegistry[kernelKey{hash, encrypted}]
+	kernelMu.RUnlock()
+	if !ok || entry.numOps != len(p.ops) || entry.numRegs != p.numReg {
+		return nil
+	}
+	return entry.fn
+}
+
+// ArtifactHash returns the hex SHA-256 of the artifact's serialized
+// bytes — the registry key tying a generated kernel to the exact model
+// it was compiled from. WriteArtifact is deterministic (gob over
+// map-free structs, fixed gzip header), so the hash is stable across
+// processes.
+func ArtifactHash(c *Compiled) (string, error) {
+	var buf bytes.Buffer
+	if err := WriteArtifact(&buf, c); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}

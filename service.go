@@ -92,6 +92,7 @@ type serviceConfig struct {
 	reuseRotations   bool
 	disableHoisting  bool
 	disableLevelPlan bool
+	noSpecialize     bool
 	shuffle          bool
 	measureNoise     bool
 	batch            BatchPolicy
@@ -171,6 +172,14 @@ func WithLevelPlan(on bool) Option { return func(c *serviceConfig) { c.disableLe
 // reactively) so the classification result keeps the shuffle's level
 // headroom — Register rejects models that don't.
 func WithShuffle(on bool) Option { return func(c *serviceConfig) { c.shuffle = on } }
+
+// WithSpecialization toggles the model-specialized op-program executor
+// (default on): Register compiles each model into a flat op schedule
+// (or dispatches to a linked generated kernel) and Classify runs it
+// instead of the generic interpreter (DESIGN.md §13). Disabling it is
+// the `copse-bench -nospecialize` ablation baseline; outputs are
+// bit-identical either way.
+func WithSpecialization(on bool) Option { return func(c *serviceConfig) { c.noSpecialize = !on } }
 
 // WithNoiseMeasurement records the decrypt-side measured noise budget of
 // the pipeline carrier at every stage boundary in each pass's
@@ -376,6 +385,8 @@ func (s *Service) Register(name string, c *Compiled) error {
 			DisableHoisting:   s.cfg.disableHoisting,
 			DisableLevelPlan:  s.cfg.disableLevelPlan,
 			MeasureNoise:      s.cfg.measureNoise,
+
+			DisableSpecialization: s.cfg.noSpecialize,
 		},
 	}
 	return nil
@@ -559,6 +570,9 @@ func addTrace(dst, src *Trace) {
 	}
 	if dst.Noise == (core.StageNoise{}) {
 		dst.Noise = src.Noise
+	}
+	if dst.Executor == "" {
+		dst.Executor = src.Executor
 	}
 }
 
