@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"copse/internal/experiments"
+	"copse/internal/ring"
 )
 
 func main() {
@@ -44,7 +45,12 @@ func main() {
 	noSpecialize := flag.Bool("nospecialize", false, "disable the specialized op-program executor (re-derive the pipeline from model structure per classify; the DESIGN.md §13 ablation)")
 	intraOp := flag.Int("intraop", 0, "ring-layer limb workers for BGV runs (default/1 = serial so ablation baselines stay single-threaded; n >= 2 enables the pool)")
 	secure128 := flag.Bool("secure128", false, "with -nttjson: also run the offline Security128 (N=32768) end-to-end classify (slow)")
+	noVec := flag.Bool("novec", false, "disable the ring layer's vectorized (SIMD) kernels for every run in this process — the scalar-kernel ablation (results are bit-identical either way)")
 	flag.Parse()
+
+	if *noVec {
+		ring.SetVectorKernels(false)
+	}
 
 	cfg := experiments.Config{
 		Backend:        *backend,
@@ -238,6 +244,9 @@ func main() {
 		report, err := experiments.NTTReport(cfg, *intraOp, *secure128)
 		if err != nil {
 			log.Fatalf("ntt report: %v", err)
+		}
+		if report.WorkersExceedCPUs {
+			log.Printf("warning: %d limb workers on a %d-CPU host — the parallel columns measure oversubscription, not speedup", report.Workers, report.CPUs)
 		}
 		f, err := os.Create(*nttJSON)
 		if err != nil {

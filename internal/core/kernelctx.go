@@ -102,6 +102,7 @@ func (e *Engine) runProgram(ctx context.Context, m *ModelOperands, q *Query, p *
 		return he.Operand{}, nil, fmt.Errorf("core: specialized executor (%s): result register not written", trace.Executor)
 	}
 	k.Stage(stDone)
+	k.StageLimbs(0)
 	trace.Total = time.Since(start)
 	return k.R[p.result], trace, nil
 }
@@ -110,10 +111,12 @@ func (e *Engine) runProgram(ctx context.Context, m *ModelOperands, q *Query, p *
 // worker pool and marking stage transitions exactly where a generated
 // kernel would.
 func (p *Program) interpret(k *KernelCtx) error {
+	k.StageLimbs(p.stageLimbs[stCompare])
 	for bi := range p.blocks {
 		blk := &p.blocks[bi]
 		if blk.Stage != k.cur {
 			k.Stage(blk.Stage)
+			k.StageLimbs(p.stageLimbs[blk.Stage])
 		}
 		if len(blk.Segs) == 1 || k.workers <= 1 {
 			for _, seg := range blk.Segs {
@@ -246,6 +249,17 @@ func (k *KernelCtx) Stage(s int) {
 			k.Err = err
 		}
 	}
+}
+
+// StageLimbs forwards the entered stage's exact carrier limb count to
+// the backend as an advisory ring-dispatch hint (he.StageLimbHinter);
+// limbs ≤ 0 clears the hint. Generated kernels call it alongside every
+// Stage transition with the limb count baked in from the artifact's
+// level schedule. The hint only short-circuits the ring layer's
+// pool/tile dispatch decision for ops that match it — a stale or wrong
+// hint can never change results — so it needs no error gating.
+func (k *KernelCtx) StageLimbs(limbs int) {
+	he.HintStageLimbs(k.b, limbs)
 }
 
 // Query loads query bit plane j (a register alias; the scheduled level

@@ -134,6 +134,12 @@ type Program struct {
 	skipZero  bool // all-zero diagonals are skipped (plaintext models)
 	encrypted bool
 
+	// stageLimbs[stage] is the carrier limb count each pipeline stage
+	// runs over under the baked-in level schedule (level+1), or 0 when
+	// no schedule was compiled. The executor forwards it as an advisory
+	// ring-dispatch hint at every stage transition (KernelCtx.StageLimbs).
+	stageLimbs [stDone]int
+
 	// Plaintext component values backing the bind-time constants
 	// (plaintext models only; nil entries where unused).
 	threshVals [][]uint64
@@ -344,6 +350,12 @@ func buildProgram(in progInputs) *Program {
 		encrypted:  in.encrypted,
 		threshVals: in.threshVals,
 		maskVals:   in.maskVals,
+	}
+	if in.plan != nil {
+		p.stageLimbs[stCompare] = in.plan.Compare + 1
+		p.stageLimbs[stReshuffle] = in.plan.Reshuffle + 1
+		p.stageLimbs[stLevels] = in.plan.Level + 1
+		p.stageLimbs[stAccumulate] = in.plan.Accumulate + 1
 	}
 	bl := &progBuilder{p: p, constIx: map[constSpec]int{}}
 	L := in.plan

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"copse"
@@ -21,8 +23,17 @@ import (
 // the Galois-key material before/after the level budget, and — when the
 // offline flag is set — the Security128 (N=32768) end-to-end record.
 type NTTBench struct {
-	CPUs    int `json:"cpus"`
-	Workers int `json:"workers"` // pool concurrency used for the parallel ablations
+	// Provenance: the record is meaningless without the machine it was
+	// measured on. KernelVariant names the transform backend the package
+	// default selected ("avx2" or "scalar-fused"); WorkersExceedCPUs
+	// flags pool settings that oversubscribe the host, where the
+	// parallel columns measure contention rather than speedup.
+	CPUs              int    `json:"cpus"`
+	GOMAXPROCS        int    `json:"gomaxprocs"`
+	CPUModel          string `json:"cpu_model,omitempty"`
+	KernelVariant     string `json:"kernel_variant"`
+	Workers           int    `json:"workers"` // pool concurrency used for the parallel ablations
+	WorkersExceedCPUs bool   `json:"workers_exceed_cpus,omitempty"`
 
 	// Kernels are the ring microbenchmarks, per LogN × limb count.
 	Kernels []NTTKernelCase `json:"kernels"`
@@ -42,13 +53,20 @@ type NTTKernelCase struct {
 	LogN  int `json:"logN"`
 	Limbs int `json:"limbs"`
 	// SerialUS is the unfused layer-at-a-time reference
-	// (NTTGeneric/INTTGeneric), FusedUS the fused-pass production kernel,
-	// ParallelUS the fused kernel with limbs fanned across the pool.
+	// (NTTGeneric/INTTGeneric), FusedUS the fused-pass scalar kernel,
+	// VectorUS the SIMD kernel where the host has one (equal to the
+	// fused scalar path otherwise), ParallelUS the default kernel with
+	// limbs fanned across the pool. The harness asserts the vector and
+	// scalar transforms are bit-identical before timing them.
 	SerialUS   float64 `json:"serial_us"`
 	FusedUS    float64 `json:"fused_us"`
+	VectorUS   float64 `json:"vector_us"`
 	ParallelUS float64 `json:"parallel_us"`
-	// FusedSpeedup is serial/fused; ParallelSpeedup serial/parallel.
+	// FusedSpeedup is serial/fused, VectorSpeedup fused/vector (the
+	// SIMD win over the scalar fused kernel), ParallelSpeedup
+	// serial/parallel.
 	FusedSpeedup    float64 `json:"fused_speedup"`
+	VectorSpeedup   float64 `json:"vector_speedup"`
 	ParallelSpeedup float64 `json:"parallel_speedup"`
 }
 
@@ -56,12 +74,21 @@ type NTTKernelCase struct {
 // the serial and pool-attached ring layer, and records that the two
 // paths decrypt to bit-identical leaf vectors for every query.
 type NTTClassify struct {
-	Model           string  `json:"model"`
-	Queries         int     `json:"queries"`
+	Model   string `json:"model"`
+	Queries int    `json:"queries"`
+	// SerialMS is a single-threaded ring layer with the default kernel
+	// variant; NoVecMS the same run with the vector kernels disabled
+	// (the -novec ablation; equal to SerialMS on scalar-only hosts);
+	// ParallelMS the default kernels with the limb pool attached.
 	SerialMS        float64 `json:"serial_ms"`
+	NoVecMS         float64 `json:"novec_ms"`
 	ParallelMS      float64 `json:"parallel_ms"`
 	ParallelWorkers int     `json:"parallel_workers"`
-	Identical       bool    `json:"identical"` // leaf bitvectors bit-exact across paths
+	KernelVariant   string  `json:"kernel_variant"`
+	// VectorSpeedup is NoVecMS/SerialMS: the end-to-end classify win
+	// from the vector kernels alone.
+	VectorSpeedup float64 `json:"vector_speedup"`
+	Identical     bool    `json:"identical"` // leaf bitvectors bit-exact across paths
 }
 
 // NTTKeyMaterial reports evaluation-key bytes with the level budget
@@ -100,7 +127,14 @@ func NTTReport(cfg Config, workers int, secure128 bool) (*NTTBench, error) {
 	if workers <= 0 {
 		workers = max(2, runtime.NumCPU())
 	}
-	report := &NTTBench{CPUs: runtime.NumCPU(), Workers: workers}
+	report := &NTTBench{
+		CPUs:              runtime.NumCPU(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		CPUModel:          cpuModelName(),
+		KernelVariant:     ring.KernelVariant(),
+		Workers:           workers,
+		WorkersExceedCPUs: workers > runtime.NumCPU(),
+	}
 
 	if err := nttKernelBench(report, workers); err != nil {
 		return nil, err
@@ -118,17 +152,29 @@ func NTTReport(cfg Config, workers int, secure128 bool) (*NTTBench, error) {
 	return report, nil
 }
 
-// nttKernelBench times the three kernel configurations per LogN × limbs.
+// nttKernelBench times the four kernel configurations per LogN × limbs:
+// unfused scalar, fused scalar, vector (where the host has one), and
+// the default kernel on the limb pool. Before timing, it asserts the
+// vector and scalar transforms agree bit-for-bit on the benchmark
+// input.
 func nttKernelBench(report *NTTBench, workers int) error {
 	const t = 65537
-	for _, logN := range []int{11, 12, 13} {
+	for _, logN := range []int{11, 12, 13, 15} {
 		n := 1 << logN
 		for _, limbs := range []int{2, 8, 12} {
 			primes, err := ring.GeneratePrimes(55, uint64(2*n)*t, limbs)
 			if err != nil {
 				return fmt.Errorf("experiments: primes for logN=%d: %w", logN, err)
 			}
-			serialCtx, err := ring.NewContext(logN, primes, t)
+			// scalarCtx pins the fused scalar kernels; vecCtx keeps the
+			// package default (the vector backend where the host has
+			// one); parCtx attaches the limb pool to the default kernels.
+			scalarCtx, err := ring.NewContext(logN, primes, t)
+			if err != nil {
+				return err
+			}
+			scalarCtx.SetVectorKernels(false)
+			vecCtx, err := ring.NewContext(logN, primes, t)
 			if err != nil {
 				return err
 			}
@@ -137,22 +183,52 @@ func nttKernelBench(report *NTTBench, workers int) error {
 				return err
 			}
 			parCtx.SetWorkers(ring.NewWorkers(workers))
-			src := ring.NewSeededSampler(serialCtx, 42).UniformPoly(limbs-1, false)
+			src := ring.NewSeededSampler(scalarCtx, 42).UniformPoly(limbs-1, false)
+
+			// Bit-identity gate: the vector path must reproduce the
+			// scalar transform exactly before its timings mean anything.
+			want, got := src.Copy(), src.Copy()
+			scalarCtx.NTT(want)
+			vecCtx.NTT(got)
+			for i := range want.Coeffs {
+				for j := range want.Coeffs[i] {
+					if want.Coeffs[i][j] != got.Coeffs[i][j] {
+						return fmt.Errorf("experiments: vector NTT diverges from scalar at logN=%d limb=%d coeff=%d", logN, i, j)
+					}
+				}
+			}
+			scalarCtx.INTT(want)
+			vecCtx.INTT(got)
+			for i := range want.Coeffs {
+				for j := range want.Coeffs[i] {
+					if want.Coeffs[i][j] != got.Coeffs[i][j] {
+						return fmt.Errorf("experiments: vector INTT diverges from scalar at logN=%d limb=%d coeff=%d", logN, i, j)
+					}
+				}
+			}
 
 			serial := medianTransformUS(src, func(p *ring.Poly) {
 				for i := range p.Coeffs {
-					serialCtx.Moduli[i].NTTGeneric(p.Coeffs[i])
+					scalarCtx.Moduli[i].NTTGeneric(p.Coeffs[i])
 				}
 				for i := range p.Coeffs {
-					serialCtx.Moduli[i].INTTGeneric(p.Coeffs[i])
+					scalarCtx.Moduli[i].INTTGeneric(p.Coeffs[i])
 				}
 			})
 			fused := medianTransformUS(src, func(p *ring.Poly) {
 				for i := range p.Coeffs {
-					serialCtx.Moduli[i].NTT(p.Coeffs[i])
+					scalarCtx.Moduli[i].NTT(p.Coeffs[i])
 				}
 				for i := range p.Coeffs {
-					serialCtx.Moduli[i].INTT(p.Coeffs[i])
+					scalarCtx.Moduli[i].INTT(p.Coeffs[i])
+				}
+			})
+			vector := medianTransformUS(src, func(p *ring.Poly) {
+				for i := range p.Coeffs {
+					vecCtx.Moduli[i].NTT(p.Coeffs[i])
+				}
+				for i := range p.Coeffs {
+					vecCtx.Moduli[i].INTT(p.Coeffs[i])
 				}
 			})
 			parallel := medianTransformUS(src, func(p *ring.Poly) {
@@ -165,13 +241,32 @@ func nttKernelBench(report *NTTBench, workers int) error {
 				Limbs:           limbs,
 				SerialUS:        serial,
 				FusedUS:         fused,
+				VectorUS:        vector,
 				ParallelUS:      parallel,
 				FusedSpeedup:    serial / fused,
+				VectorSpeedup:   fused / vector,
 				ParallelSpeedup: serial / parallel,
 			})
 		}
 	}
 	return nil
+}
+
+// cpuModelName reads the host CPU model string from /proc/cpuinfo
+// (empty on platforms without one); benchmark provenance only.
+func cpuModelName() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, found := strings.Cut(rest, ":"); found {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
 }
 
 // medianTransformUS times fn over fresh copies of src, returning the
@@ -217,13 +312,14 @@ func nttClassifyBench(report *NTTBench, cfg Config, workers int) error {
 		return err
 	}
 
-	run := func(intra int) (float64, [][]uint64, error) {
+	run := func(intra int, novec bool) (float64, [][]uint64, error) {
 		sys, err := copse.NewSystem(compiled, copse.SystemConfig{
-			Backend:        copse.BackendBGV,
-			Scenario:       copse.ScenarioOffload,
-			Security:       security,
-			IntraOpWorkers: intra,
-			Seed:           cfg.Seed + 100,
+			Backend:              copse.BackendBGV,
+			Scenario:             copse.ScenarioOffload,
+			Security:             security,
+			IntraOpWorkers:       intra,
+			DisableVectorKernels: novec,
+			Seed:                 cfg.Seed + 100,
 		})
 		if err != nil {
 			return 0, nil, err
@@ -271,37 +367,48 @@ func nttClassifyBench(report *NTTBench, cfg Config, workers int) error {
 		return medianMS(times), leafBits, nil
 	}
 
-	serialMS, serialBits, err := run(1)
+	serialMS, serialBits, err := run(1, false)
 	if err != nil {
 		return err
 	}
-	parallelMS, parallelBits, err := run(workers)
+	novecMS, novecBits, err := run(1, true)
 	if err != nil {
 		return err
 	}
-	identical := len(serialBits) == len(parallelBits)
-	for qi := 0; identical && qi < len(serialBits); qi++ {
-		if len(serialBits[qi]) != len(parallelBits[qi]) {
-			identical = false
-			break
+	parallelMS, parallelBits, err := run(workers, false)
+	if err != nil {
+		return err
+	}
+	sameBits := func(a, b [][]uint64) bool {
+		if len(a) != len(b) {
+			return false
 		}
-		for j := range serialBits[qi] {
-			if serialBits[qi][j] != parallelBits[qi][j] {
-				identical = false
-				break
+		for qi := range a {
+			if len(a[qi]) != len(b[qi]) {
+				return false
+			}
+			for j := range a[qi] {
+				if a[qi][j] != b[qi][j] {
+					return false
+				}
 			}
 		}
+		return true
 	}
+	identical := sameBits(serialBits, parallelBits) && sameBits(serialBits, novecBits)
 	report.Classify = NTTClassify{
 		Model:           model,
 		Queries:         queries,
 		SerialMS:        serialMS,
+		NoVecMS:         novecMS,
 		ParallelMS:      parallelMS,
 		ParallelWorkers: workers,
+		KernelVariant:   ring.KernelVariant(),
+		VectorSpeedup:   novecMS / serialMS,
 		Identical:       identical,
 	}
 	if !identical {
-		return fmt.Errorf("experiments: serial and parallel classifications are not bit-identical")
+		return fmt.Errorf("experiments: serial, no-vector and parallel classifications are not bit-identical")
 	}
 	return nil
 }

@@ -110,6 +110,27 @@ type LevelEncrypter interface {
 	EncodePlainAtLevel(vals []uint64, level int) (Plain, error)
 }
 
+// StageLimbHinter is an optional Backend capability implemented by
+// leveled schemes whose kernel layer can exploit a fixed limb count:
+// generated specialized kernels know each pipeline stage's exact level
+// at compile time, and hinting it lets the ring layer precompute its
+// per-op dispatch (worker pool, tile grain) once per stage instead of
+// per op. The hint is strictly advisory — operations at any other limb
+// count must behave identically — so results never depend on it.
+type StageLimbHinter interface {
+	// HintStageLimbs declares that upcoming operations run over exactly
+	// limbs active RNS limbs; limbs ≤ 0 clears the hint.
+	HintStageLimbs(limbs int)
+}
+
+// HintStageLimbs forwards a stage limb-count hint to backends with the
+// capability; a no-op elsewhere.
+func HintStageLimbs(b Backend, limbs int) {
+	if h, ok := b.(StageLimbHinter); ok {
+		h.HintStageLimbs(limbs)
+	}
+}
+
 // NoiseMeter is an optional Backend capability for reading the measured
 // decrypt-side noise budget of a ciphertext (requires the secret key).
 // The BGV backend implements it; the exact clear backend has no noise
@@ -370,6 +391,13 @@ func (c *CountingBackend) EncodePlainAtLevel(vals []uint64, level int) (Plain, e
 		return c.inner.EncodePlain(vals)
 	}
 	return le.EncodePlainAtLevel(vals, level)
+}
+
+// HintStageLimbs implements StageLimbHinter by forwarding to the inner
+// backend (a no-op when the capability is absent). Hints are
+// bookkeeping, not metered ops.
+func (c *CountingBackend) HintStageLimbs(limbs int) {
+	HintStageLimbs(c.inner, limbs)
 }
 
 // Name implements Backend.

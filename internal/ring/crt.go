@@ -190,7 +190,7 @@ func (ctx *Context) MaxCenteredBits(p *Poly) int {
 func (ctx *Context) DecomposeBase2w(p *Poly, w int) []*Poly {
 	digits := ctx.DecomposeBase2wCoeff(p, w)
 	limbs := p.Level() + 1
-	if ws := ctx.limbWorkers(len(digits)*limbs, false); ws != nil {
+	if ws, _ := ctx.limbWorkers(len(digits)*limbs, false); ws != nil {
 		ws.Run(len(digits)*limbs, func(t int) {
 			ctx.Moduli[t%limbs].NTT(digits[t/limbs].Coeffs[t%limbs])
 		})
@@ -225,7 +225,7 @@ func (ctx *Context) DecomposeBase2wCoeff(p *Poly, w int) []*Poly {
 	// (each with private scratch — coefficient j writes only column j of
 	// every digit, so blocks never interfere and the result is
 	// bit-identical to the serial order).
-	if ws := ctx.limbWorkers(level+1, false); ws != nil {
+	if ws, _ := ctx.limbWorkers(level+1, false); ws != nil {
 		shards := min(ws.Size(), ctx.N)
 		ws.Run(shards, func(s int) {
 			ctx.decomposeRange(p, cl, digits, w, numDigits, s*ctx.N/shards, (s+1)*ctx.N/shards)
@@ -343,7 +343,7 @@ func (ctx *Context) ModSwitchDown(p *Poly) {
 		}
 		ctx.putRow(delta)
 	}
-	if ws := ctx.limbWorkers(l, false); ws != nil {
+	if ws, _ := ctx.limbWorkers(l, false); ws != nil {
 		ws.Run(l, perPrime)
 	} else {
 		for i := 0; i < l; i++ {

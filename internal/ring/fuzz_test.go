@@ -1,0 +1,115 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fuzzModulus derives a transform-sized Modulus from the fuzzed
+// selectors: LogN ∈ {11..15} and one of several fresh 55-bit NTT
+// primes for that size.
+func fuzzModulus(t *testing.T, logNSel, primeSel uint64) *Modulus {
+	t.Helper()
+	logN := 11 + int(logNSel%5)
+	n := 1 << logN
+	const menu = 4
+	primes, err := GeneratePrimes(55, uint64(2*n), menu)
+	if err != nil {
+		t.Fatalf("GeneratePrimes: %v", err)
+	}
+	m, err := NewModulus(primes[primeSel%menu], n)
+	if err != nil {
+		t.Fatalf("NewModulus: %v", err)
+	}
+	return m
+}
+
+// FuzzNTTRoundTrip: NTT→INTT must be the identity on any input row,
+// for any LogN ∈ {11..15} and any 55-bit NTT prime, on whichever
+// kernel variant the host selects.
+func FuzzNTTRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint64(0))
+	f.Add(uint64(42), uint64(2), uint64(1))
+	f.Add(uint64(0xfeed), uint64(4), uint64(3))
+	f.Fuzz(func(t *testing.T, seed, logNSel, primeSel uint64) {
+		m := fuzzModulus(t, logNSel, primeSel)
+		rng := rand.New(rand.NewSource(int64(seed)))
+		a := make([]uint64, m.N)
+		for i := range a {
+			a[i] = rng.Uint64() % m.Q
+		}
+		orig := append([]uint64(nil), a...)
+		m.NTT(a)
+		m.INTT(a)
+		for i := range a {
+			if a[i] != orig[i] {
+				t.Fatalf("round trip broken at %d: got %d want %d (q=%d n=%d vec=%v)",
+					i, a[i], orig[i], m.Q, m.N, m.VectorKernels())
+			}
+		}
+	})
+}
+
+// FuzzVectorVsScalar: the vector transform and pointwise kernels must
+// be bit-identical to the scalar ones on any input. On hosts without a
+// vector backend the target degenerates to scalar-vs-scalar (still a
+// valid round-trip exercise).
+func FuzzVectorVsScalar(f *testing.F) {
+	f.Add(uint64(7), uint64(0), uint64(0))
+	f.Add(uint64(99), uint64(1), uint64(2))
+	f.Add(uint64(0xabcd), uint64(3), uint64(1))
+	f.Fuzz(func(t *testing.T, seed, logNSel, primeSel uint64) {
+		if !VectorKernelsAvailable() {
+			t.Skip("no vector backend on this host/build")
+		}
+		m := fuzzModulus(t, logNSel, primeSel)
+		m.SetVectorKernels(true)
+		rng := rand.New(rand.NewSource(int64(seed)))
+		q := m.Q
+		a := make([]uint64, m.N)
+		b := make([]uint64, m.N)
+		bs := make([]uint64, m.N)
+		for i := range a {
+			a[i] = rng.Uint64() % q
+			b[i] = rng.Uint64() % q
+			bs[i] = ShoupPrecomp(b[i], q)
+		}
+
+		want := append([]uint64(nil), a...)
+		got := append([]uint64(nil), a...)
+		m.nttScalar(want)
+		m.nttVec(got)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("NTT diverges at %d: scalar %d vector %d (q=%d n=%d)", i, want[i], got[i], q, m.N)
+			}
+		}
+		m.inttScalar(want)
+		m.inttVec(got)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("INTT diverges at %d: scalar %d vector %d (q=%d n=%d)", i, want[i], got[i], q, m.N)
+			}
+		}
+
+		n := m.N
+		ws := make([]uint64, n)
+		gs := make([]uint64, n)
+		mulRowScalar(q, a, b, ws)
+		mulVecAsm(q, a, b, gs)
+		for i := range ws {
+			if ws[i] != gs[i] {
+				t.Fatalf("MulMod row diverges at %d: scalar %d vector %d (q=%d)", i, ws[i], gs[i], q)
+			}
+		}
+		copy(ws, a)
+		copy(gs, a)
+		mulShoupAddRowScalar(q, b, b, bs, ws)
+		mulShoupAddVecAsm(q, b, b, bs, gs)
+		for i := range ws {
+			if ws[i] != gs[i] {
+				t.Fatalf("Shoup mul-add row diverges at %d: scalar %d vector %d (q=%d)", i, ws[i], gs[i], q)
+			}
+		}
+	})
+}

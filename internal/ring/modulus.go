@@ -31,7 +31,24 @@ type Modulus struct {
 	psiRevS    []uint64
 	psiInvRev  []uint64
 	psiInvRevS []uint64
+
+	// vec selects the AVX2 transform kernels for this modulus. Captured
+	// once at construction from the package default (and the per-modulus
+	// eligibility gate, vectorOKForModulus); SetVectorKernels retunes it.
+	vec bool
 }
+
+// SetVectorKernels enables or disables the vector transform kernels for
+// this modulus. Enabling is a no-op when the host lacks the backend or
+// the modulus fails the eligibility gate. Not safe to call concurrently
+// with transforms on the same modulus.
+func (m *Modulus) SetVectorKernels(on bool) {
+	m.vec = on && vectorAvailable() && vectorOKForModulus(m.Q, m.N)
+}
+
+// VectorKernels reports whether this modulus transforms via the vector
+// kernels.
+func (m *Modulus) VectorKernels() bool { return m.vec }
 
 // AddMod returns x+y mod q. Inputs must be fully reduced.
 func AddMod(x, y, q uint64) uint64 {
@@ -175,6 +192,7 @@ func NewModulus(q uint64, n int) (*Modulus, error) {
 		N:    n,
 		LogN: logN,
 		psi:  psi,
+		vec:  vectorDefault.Load() && vectorOKForModulus(q, n),
 	}
 	m.psiInv = InvMod(psi, q)
 	m.nInv = InvMod(uint64(n), q)

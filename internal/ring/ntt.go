@@ -21,6 +21,16 @@ package ring
 // The output is in bit-reversed order, following the standard iterative
 // Cooley-Tukey decimation-in-time negacyclic transform.
 func (m *Modulus) NTT(a []uint64) {
+	if m.vec {
+		m.nttVec(a)
+		return
+	}
+	m.nttScalar(a)
+}
+
+// nttScalar is the fused scalar forward transform — the portable
+// implementation and the bit-identity reference for the vector backend.
+func (m *Modulus) nttScalar(a []uint64) {
 	n := m.N
 	if n < 16 {
 		m.NTTGeneric(a)
@@ -143,6 +153,16 @@ func reduce4Q(r, q, twoQ uint64) uint64 {
 // INTT transforms a in place from NTT (bit-reversed) back to coefficient
 // domain, including the 1/N scaling. It is the exact inverse of NTT.
 func (m *Modulus) INTT(a []uint64) {
+	if m.vec {
+		m.inttVec(a)
+		return
+	}
+	m.inttScalar(a)
+}
+
+// inttScalar is the fused scalar inverse transform — the portable
+// implementation and the bit-identity reference for the vector backend.
+func (m *Modulus) inttScalar(a []uint64) {
 	n := m.N
 	if n < 16 {
 		m.INTTGeneric(a)

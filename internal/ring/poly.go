@@ -60,6 +60,36 @@ type Context struct {
 	// ops (see SetPointwiseParCutoff); atomic for the same reason as
 	// workers. Zero is never stored (NewContext seeds the default).
 	pointwiseCutoff atomic.Int64
+
+	// vecRows routes eligible pointwise rows to the vector backend
+	// (vector.go); captured from the package default at construction,
+	// retunable via SetVectorKernels. The transform kernels carry their
+	// own per-Modulus selection.
+	vecRows atomic.Bool
+
+	// tileBytes is the cache-tiling target for the limb scheduler: Run
+	// fan-outs hand each worker round-robin tiles of
+	// ceil(tileBytes / rowBytes) limbs instead of one contiguous span,
+	// so the limb→worker assignment is stable across consecutive ops of
+	// a pass even as levels drop (workers.go). Zero is never stored.
+	tileBytes atomic.Int64
+
+	// limbHint is the advisory fixed-limb-count plan installed by
+	// SetStageLimbHint (generated kernels hint their stage's exact limb
+	// count); ops whose limb count matches skip the per-op dispatch
+	// decision. Never load-bearing: a mismatched hint falls back to the
+	// generic decision, so correctness cannot depend on it.
+	limbHint atomic.Pointer[limbPlan]
+}
+
+// limbPlan is a precomputed dispatch decision for one exact limb count:
+// the worker pool to fan to for transform-sized and pointwise ops (nil =
+// serial) and the tile grain. See SetStageLimbHint.
+type limbPlan struct {
+	m           int
+	transformWS *Workers
+	pointwiseWS *Workers
+	grain       int
 }
 
 // NewContext creates a ring context for degree n = 2^logN with the given
@@ -86,9 +116,29 @@ func NewContext(logN int, primes []uint64, t uint64) (*Context, error) {
 		return nil, fmt.Errorf("ring: empty prime chain")
 	}
 	ctx.pointwiseCutoff.Store(DefaultPointwiseParCutoff)
+	ctx.tileBytes.Store(DefaultTileBytes)
+	ctx.vecRows.Store(vectorDefault.Load())
 	ctx.buildCRT()
 	return ctx, nil
 }
+
+// SetVectorKernels selects the scalar or vector backend for this
+// context's pointwise rows and for every Modulus of its chain
+// (transforms). Enabling is a no-op on hosts without vector support.
+// Results are bit-identical either way; this is the per-context ablation
+// knob behind copse.WithVectorKernels / copse-bench -novec. Safe to call
+// concurrently with op traffic.
+func (ctx *Context) SetVectorKernels(on bool) {
+	on = on && vectorAvailable()
+	ctx.vecRows.Store(on)
+	for _, m := range ctx.Moduli {
+		m.SetVectorKernels(on)
+	}
+}
+
+// VectorKernels reports whether this context routes eligible rows to the
+// vector backend.
+func (ctx *Context) VectorKernels() bool { return ctx.vecRows.Load() }
 
 // SetWorkers attaches an intra-op worker pool: NTTs, key-switch inner
 // products, modulus switches and (above a size cutoff) pointwise ops run
@@ -136,16 +186,87 @@ func (ctx *Context) SetPointwiseParCutoff(n int) {
 // PointwiseParCutoff reports the active pointwise-parallelism threshold.
 func (ctx *Context) PointwiseParCutoff() int { return int(ctx.pointwiseCutoff.Load()) }
 
-// limbWorkers returns the pool when fanning m limbs out is worthwhile,
-// nil otherwise. Pointwise ops (a few ns per element) additionally
-// require the total element count to clear the pointwise cutoff; the
-// transform-sized ops (NTT, modulus switch, decompose) parallelize
-// whenever more than one limb is active.
-func (ctx *Context) limbWorkers(m int, pointwise bool) *Workers {
-	if m <= 1 || (pointwise && int64(m*ctx.N) < ctx.pointwiseCutoff.Load()) {
-		return nil
+// DefaultTileBytes is the default cache-tiling target: tiles are sized
+// so one tile's rows (~8·N bytes each) fit a mid-size L2 slice, keeping
+// a limb's working set resident on the worker that owns it across the
+// fused passes of consecutive ops. At Security128 (N=32768, 256 KiB per
+// row) this yields 4-limb tiles; tune per host with SetTileBytes.
+const DefaultTileBytes = 1 << 20
+
+// SetTileBytes tunes the cache-tiling target for limb fan-outs; n ≤ 0
+// restores the default. Results are bit-identical at any tile size (the
+// scheduler executes every index exactly once; only the limb→worker
+// placement changes). Safe to call concurrently with op traffic.
+func (ctx *Context) SetTileBytes(n int) {
+	if n <= 0 {
+		n = DefaultTileBytes
 	}
-	return ctx.workers.Load()
+	ctx.tileBytes.Store(int64(n))
+}
+
+// TileBytes reports the active cache-tiling target.
+func (ctx *Context) TileBytes() int { return int(ctx.tileBytes.Load()) }
+
+// tileGrain is the number of limbs per scheduler tile: enough rows to
+// fill the tile-bytes target, at least one. Independent of the limb
+// count of any particular op, which is what makes the round-robin
+// tile→worker assignment stable across the ops of a pass (workers.go).
+func (ctx *Context) tileGrain() int {
+	g := int(ctx.tileBytes.Load()) / (8 * ctx.N)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// SetStageLimbHint installs an advisory dispatch plan for ops over
+// exactly m limbs: the per-op pool/cutoff/grain decision is precomputed
+// once, and ops whose limb count matches use it directly. Generated
+// specialized kernels hint each pipeline stage's exact limb count
+// (KernelCtx.StageLimbs); m ≤ 0 clears the hint. The hint is advisory —
+// ops at any other limb count take the generic decision path — so a
+// stale or concurrent hint can never change results, only dispatch cost.
+func (ctx *Context) SetStageLimbHint(m int) {
+	if m <= 0 {
+		ctx.limbHint.Store(nil)
+		return
+	}
+	plan := &limbPlan{m: m, grain: ctx.tileGrain()}
+	if m > 1 {
+		ws := ctx.workers.Load()
+		plan.transformWS = ws
+		if int64(m*ctx.N) >= ctx.pointwiseCutoff.Load() {
+			plan.pointwiseWS = ws
+		}
+	}
+	ctx.limbHint.Store(plan)
+}
+
+// StageLimbHint reports the installed hint's limb count (0 = none).
+func (ctx *Context) StageLimbHint() int {
+	if p := ctx.limbHint.Load(); p != nil {
+		return p.m
+	}
+	return 0
+}
+
+// limbWorkers returns the pool to fan m limbs across (nil = serial) and
+// the tile grain for the fan-out. Pointwise ops (a few ns per element)
+// additionally require the total element count to clear the pointwise
+// cutoff; the transform-sized ops (NTT, modulus switch, decompose)
+// parallelize whenever more than one limb is active. A matching stage
+// limb hint short-circuits the whole decision.
+func (ctx *Context) limbWorkers(m int, pointwise bool) (*Workers, int) {
+	if p := ctx.limbHint.Load(); p != nil && p.m == m {
+		if pointwise {
+			return p.pointwiseWS, p.grain
+		}
+		return p.transformWS, p.grain
+	}
+	if m <= 1 || (pointwise && int64(m*ctx.N) < ctx.pointwiseCutoff.Load()) {
+		return nil, 1
+	}
+	return ctx.workers.Load(), ctx.tileGrain()
 }
 
 // MaxLevel returns the highest level supported by the chain.
@@ -167,8 +288,8 @@ func (ctx *Context) NTT(p *Poly) {
 		panic("ring: NTT of a poly already in NTT domain")
 	}
 	m := len(p.Coeffs)
-	if ws := ctx.limbWorkers(m, false); ws != nil {
-		ws.Run(m, func(i int) { ctx.Moduli[i].NTT(p.Coeffs[i]) })
+	if ws, grain := ctx.limbWorkers(m, false); ws != nil {
+		ws.RunTiled(m, grain, func(i int) { ctx.Moduli[i].NTT(p.Coeffs[i]) })
 	} else {
 		for i := 0; i < m; i++ {
 			ctx.Moduli[i].NTT(p.Coeffs[i])
@@ -184,8 +305,8 @@ func (ctx *Context) INTT(p *Poly) {
 		panic("ring: INTT of a poly already in coefficient domain")
 	}
 	m := len(p.Coeffs)
-	if ws := ctx.limbWorkers(m, false); ws != nil {
-		ws.Run(m, func(i int) { ctx.Moduli[i].INTT(p.Coeffs[i]) })
+	if ws, grain := ctx.limbWorkers(m, false); ws != nil {
+		ws.RunTiled(m, grain, func(i int) { ctx.Moduli[i].INTT(p.Coeffs[i]) })
 	} else {
 		for i := 0; i < m; i++ {
 			ctx.Moduli[i].INTT(p.Coeffs[i])
@@ -196,58 +317,117 @@ func (ctx *Context) INTT(p *Poly) {
 
 // Per-limb pointwise kernels. Free functions over plain rows keep the
 // serial paths closure-free (no allocation) and give the parallel paths
-// one shared body.
+// one shared body. Each has a scalar body plus a dispatcher that routes
+// eligible rows (rowVecOK) to the vector backend; the two paths are
+// bit-identical (vector.go).
 
-func addRow(q uint64, a, b, out []uint64) {
+func addRowScalar(q uint64, a, b, out []uint64) {
 	for j := range out {
 		out[j] = AddMod(a[j], b[j], q)
 	}
 }
 
-func subRow(q uint64, a, b, out []uint64) {
+func addRow(vec bool, q uint64, a, b, out []uint64) {
+	if rowVecOK(vec, q, len(out)) {
+		addVecAsm(q, a, b, out)
+		return
+	}
+	addRowScalar(q, a, b, out)
+}
+
+func subRowScalar(q uint64, a, b, out []uint64) {
 	for j := range out {
 		out[j] = SubMod(a[j], b[j], q)
 	}
 }
 
-func negRow(q uint64, a, out []uint64) {
+func subRow(vec bool, q uint64, a, b, out []uint64) {
+	if rowVecOK(vec, q, len(out)) {
+		subVecAsm(q, a, b, out)
+		return
+	}
+	subRowScalar(q, a, b, out)
+}
+
+func negRowScalar(q uint64, a, out []uint64) {
 	for j := range out {
 		out[j] = NegMod(a[j], q)
 	}
 }
 
-func mulRow(q uint64, a, b, out []uint64) {
+func negRow(vec bool, q uint64, a, out []uint64) {
+	if rowVecOK(vec, q, len(out)) {
+		negVecAsm(q, a, out)
+		return
+	}
+	negRowScalar(q, a, out)
+}
+
+func mulRowScalar(q uint64, a, b, out []uint64) {
 	for j := range out {
 		out[j] = MulMod(a[j], b[j], q)
 	}
 }
 
-func mulAddRow(q uint64, a, b, out []uint64) {
+func mulRow(vec bool, q uint64, a, b, out []uint64) {
+	if rowVecOK(vec, q, len(out)) {
+		mulVecAsm(q, a, b, out)
+		return
+	}
+	mulRowScalar(q, a, b, out)
+}
+
+func mulAddRowScalar(q uint64, a, b, out []uint64) {
 	for j := range out {
 		out[j] = AddMod(out[j], MulMod(a[j], b[j], q), q)
 	}
 }
 
-func mulShoupAddRow(q uint64, a, b, bs, out []uint64) {
+func mulAddRow(vec bool, q uint64, a, b, out []uint64) {
+	if rowVecOK(vec, q, len(out)) {
+		mulAddVecAsm(q, a, b, out)
+		return
+	}
+	mulAddRowScalar(q, a, b, out)
+}
+
+func mulShoupAddRowScalar(q uint64, a, b, bs, out []uint64) {
 	for j := range out {
 		out[j] = AddMod(out[j], MulModShoup(a[j], b[j], bs[j], q), q)
 	}
 }
 
-func mulScalarRow(q, c, cs uint64, a, out []uint64) {
+func mulShoupAddRow(vec bool, q uint64, a, b, bs, out []uint64) {
+	if rowVecOK(vec, q, len(out)) {
+		mulShoupAddVecAsm(q, a, b, bs, out)
+		return
+	}
+	mulShoupAddRowScalar(q, a, b, bs, out)
+}
+
+func mulScalarRowScalar(q, c, cs uint64, a, out []uint64) {
 	for j := range out {
 		out[j] = MulModShoup(a[j], c, cs, q)
 	}
 }
 
+func mulScalarRow(vec bool, q, c, cs uint64, a, out []uint64) {
+	if rowVecOK(vec, q, len(out)) {
+		mulScalarVecAsm(q, c, cs, a, out)
+		return
+	}
+	mulScalarRowScalar(q, c, cs, a, out)
+}
+
 // Add sets out = a + b. All three must share a level and domain.
 func (ctx *Context) Add(a, b, out *Poly) {
 	m := len(out.Coeffs)
-	if ws := ctx.limbWorkers(m, true); ws != nil {
-		ws.Run(m, func(i int) { addRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
+	vec := ctx.vecRows.Load()
+	if ws, grain := ctx.limbWorkers(m, true); ws != nil {
+		ws.RunTiled(m, grain, func(i int) { addRow(vec, ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
 	} else {
 		for i := 0; i < m; i++ {
-			addRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
+			addRow(vec, ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = a.IsNTT
@@ -256,11 +436,12 @@ func (ctx *Context) Add(a, b, out *Poly) {
 // Sub sets out = a - b.
 func (ctx *Context) Sub(a, b, out *Poly) {
 	m := len(out.Coeffs)
-	if ws := ctx.limbWorkers(m, true); ws != nil {
-		ws.Run(m, func(i int) { subRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
+	vec := ctx.vecRows.Load()
+	if ws, grain := ctx.limbWorkers(m, true); ws != nil {
+		ws.RunTiled(m, grain, func(i int) { subRow(vec, ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
 	} else {
 		for i := 0; i < m; i++ {
-			subRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
+			subRow(vec, ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = a.IsNTT
@@ -269,11 +450,12 @@ func (ctx *Context) Sub(a, b, out *Poly) {
 // Neg sets out = -a.
 func (ctx *Context) Neg(a, out *Poly) {
 	m := len(out.Coeffs)
-	if ws := ctx.limbWorkers(m, true); ws != nil {
-		ws.Run(m, func(i int) { negRow(ctx.Moduli[i].Q, a.Coeffs[i], out.Coeffs[i]) })
+	vec := ctx.vecRows.Load()
+	if ws, grain := ctx.limbWorkers(m, true); ws != nil {
+		ws.RunTiled(m, grain, func(i int) { negRow(vec, ctx.Moduli[i].Q, a.Coeffs[i], out.Coeffs[i]) })
 	} else {
 		for i := 0; i < m; i++ {
-			negRow(ctx.Moduli[i].Q, a.Coeffs[i], out.Coeffs[i])
+			negRow(vec, ctx.Moduli[i].Q, a.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = a.IsNTT
@@ -286,11 +468,12 @@ func (ctx *Context) MulCoeffs(a, b, out *Poly) {
 		panic("ring: MulCoeffs requires NTT-domain operands")
 	}
 	m := len(out.Coeffs)
-	if ws := ctx.limbWorkers(m, true); ws != nil {
-		ws.Run(m, func(i int) { mulRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
+	vec := ctx.vecRows.Load()
+	if ws, grain := ctx.limbWorkers(m, true); ws != nil {
+		ws.RunTiled(m, grain, func(i int) { mulRow(vec, ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
 	} else {
 		for i := 0; i < m; i++ {
-			mulRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
+			mulRow(vec, ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = true
@@ -302,11 +485,12 @@ func (ctx *Context) MulCoeffsAdd(a, b, out *Poly) {
 		panic("ring: MulCoeffsAdd requires NTT-domain operands")
 	}
 	m := len(out.Coeffs)
-	if ws := ctx.limbWorkers(m, true); ws != nil {
-		ws.Run(m, func(i int) { mulAddRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
+	vec := ctx.vecRows.Load()
+	if ws, grain := ctx.limbWorkers(m, true); ws != nil {
+		ws.RunTiled(m, grain, func(i int) { mulAddRow(vec, ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]) })
 	} else {
 		for i := 0; i < m; i++ {
-			mulAddRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
+			mulAddRow(vec, ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = true
@@ -345,13 +529,14 @@ func (ctx *Context) MulCoeffsShoupAdd(a, b *Poly, bs *PolyShoup, out *Poly) {
 		panic("ring: MulCoeffsShoupAdd requires NTT-domain operands")
 	}
 	m := len(out.Coeffs)
-	if ws := ctx.limbWorkers(m, true); ws != nil {
-		ws.Run(m, func(i int) {
-			mulShoupAddRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], bs.S[i], out.Coeffs[i])
+	vec := ctx.vecRows.Load()
+	if ws, grain := ctx.limbWorkers(m, true); ws != nil {
+		ws.RunTiled(m, grain, func(i int) {
+			mulShoupAddRow(vec, ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], bs.S[i], out.Coeffs[i])
 		})
 	} else {
 		for i := 0; i < m; i++ {
-			mulShoupAddRow(ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], bs.S[i], out.Coeffs[i])
+			mulShoupAddRow(vec, ctx.Moduli[i].Q, a.Coeffs[i], b.Coeffs[i], bs.S[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = true
@@ -360,17 +545,18 @@ func (ctx *Context) MulCoeffsShoupAdd(a, b *Poly, bs *PolyShoup, out *Poly) {
 // MulScalar sets out = a * c for a word-sized scalar c.
 func (ctx *Context) MulScalar(a *Poly, c uint64, out *Poly) {
 	m := len(out.Coeffs)
-	if ws := ctx.limbWorkers(m, true); ws != nil {
-		ws.Run(m, func(i int) {
+	vec := ctx.vecRows.Load()
+	if ws, grain := ctx.limbWorkers(m, true); ws != nil {
+		ws.RunTiled(m, grain, func(i int) {
 			q := ctx.Moduli[i].Q
 			cq := c % q
-			mulScalarRow(q, cq, ShoupPrecomp(cq, q), a.Coeffs[i], out.Coeffs[i])
+			mulScalarRow(vec, q, cq, ShoupPrecomp(cq, q), a.Coeffs[i], out.Coeffs[i])
 		})
 	} else {
 		for i := 0; i < m; i++ {
 			q := ctx.Moduli[i].Q
 			cq := c % q
-			mulScalarRow(q, cq, ShoupPrecomp(cq, q), a.Coeffs[i], out.Coeffs[i])
+			mulScalarRow(vec, q, cq, ShoupPrecomp(cq, q), a.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = a.IsNTT

@@ -5,15 +5,16 @@ package ring
 // 2^{kw} mod q_i that exceed 64 bits as integers.
 func (ctx *Context) MulScalarVec(a *Poly, c []uint64, out *Poly) {
 	m := len(out.Coeffs)
-	if ws := ctx.limbWorkers(m, true); ws != nil {
-		ws.Run(m, func(i int) {
+	vec := ctx.vecRows.Load()
+	if ws, grain := ctx.limbWorkers(m, true); ws != nil {
+		ws.RunTiled(m, grain, func(i int) {
 			q := ctx.Moduli[i].Q
-			mulScalarRow(q, c[i], ShoupPrecomp(c[i], q), a.Coeffs[i], out.Coeffs[i])
+			mulScalarRow(vec, q, c[i], ShoupPrecomp(c[i], q), a.Coeffs[i], out.Coeffs[i])
 		})
 	} else {
 		for i := 0; i < m; i++ {
 			q := ctx.Moduli[i].Q
-			mulScalarRow(q, c[i], ShoupPrecomp(c[i], q), a.Coeffs[i], out.Coeffs[i])
+			mulScalarRow(vec, q, c[i], ShoupPrecomp(c[i], q), a.Coeffs[i], out.Coeffs[i])
 		}
 	}
 	out.IsNTT = a.IsNTT

@@ -35,11 +35,11 @@ type Workers struct {
 	closed bool
 }
 
-// job is one contiguous index span of a Run.
+// job is one shard's worth of a Run or RunTiled: a closure over the
+// index spans the shard owns.
 type job struct {
-	fn     func(int)
-	lo, hi int
-	wg     *sync.WaitGroup
+	run func()
+	wg  *sync.WaitGroup
 }
 
 // NewWorkers returns a pool of total concurrency n (the calling
@@ -57,9 +57,7 @@ func NewWorkers(n int) *Workers {
 		ws.jobs[i] = ch
 		go func() {
 			for j := range ch {
-				for i := j.lo; i < j.hi; i++ {
-					j.fn(i)
-				}
+				j.run()
 				j.wg.Done()
 			}
 		}()
@@ -111,10 +109,81 @@ func (ws *Workers) Run(m int, fn func(int)) {
 			var wg sync.WaitGroup
 			wg.Add(shards - 1)
 			for s := 1; s < shards; s++ {
-				ws.jobs[s-1] <- job{fn: fn, lo: s * m / shards, hi: (s + 1) * m / shards, wg: &wg}
+				lo, hi := s*m/shards, (s+1)*m/shards
+				ws.jobs[s-1] <- job{run: func() {
+					for i := lo; i < hi; i++ {
+						fn(i)
+					}
+				}, wg: &wg}
 			}
 			for i := 0; i < m/shards; i++ {
 				fn(i)
+			}
+			wg.Wait()
+			return
+		}
+		ws.mu.RUnlock()
+	}
+	for i := 0; i < m; i++ {
+		fn(i)
+	}
+}
+
+// RunTiled executes fn(i) for every i in [0, m), partitioned into tiles
+// of `grain` consecutive indices with tile t assigned to shard t mod S.
+// Two properties follow:
+//
+//   - Cache residency: grain is sized by the Context so one tile's rows
+//     fit the L2 slice a core owns (tileGrain), instead of Run's m/S
+//     contiguous spans whose working set scales with the limb count.
+//   - Stable limb→worker mapping: the tile→shard assignment depends only
+//     on (grain, S), not on m, so as long as consecutive ops share a
+//     pool and grain, limb i lands on the same shard in every op — the
+//     rows it just wrote are still warm in that core's cache when the
+//     next op in a fused pass reads them.
+//
+// Like Run, the calling goroutine executes shard 0 and the result is
+// bit-identical to the serial loop (each index writes only its own
+// row). grain ≤ 0 is treated as 1; a nil/closed pool runs serially.
+func (ws *Workers) RunTiled(m, grain int, fn func(int)) {
+	if grain <= 0 {
+		grain = 1
+	}
+	tiles := (m + grain - 1) / grain
+	shards := ws.Size()
+	if shards > tiles {
+		shards = tiles
+	}
+	if ws != nil && shards > 1 {
+		ws.mu.RLock()
+		if !ws.closed {
+			defer ws.mu.RUnlock()
+			var wg sync.WaitGroup
+			wg.Add(shards - 1)
+			for s := 1; s < shards; s++ {
+				s := s
+				ws.jobs[s-1] <- job{run: func() {
+					for t := s; t < tiles; t += shards {
+						lo := t * grain
+						hi := lo + grain
+						if hi > m {
+							hi = m
+						}
+						for i := lo; i < hi; i++ {
+							fn(i)
+						}
+					}
+				}, wg: &wg}
+			}
+			for t := 0; t < tiles; t += shards {
+				lo := t * grain
+				hi := lo + grain
+				if hi > m {
+					hi = m
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
 			}
 			wg.Wait()
 			return
