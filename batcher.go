@@ -3,6 +3,7 @@ package copse
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -336,6 +337,16 @@ func (a *aggregator) runPass(slices []aggSlice, total int, seed uint64) {
 			sl.w.fail(err)
 		}
 	}
+	// Panic isolation: the pass runs on its own goroutine, so an
+	// unrecovered panic (a poisoned batch, a backend bug) would kill the
+	// process. Fail this pass's waiters with a typed *InternalError
+	// instead; every other pass and waiter proceeds.
+	defer func() {
+		if r := recover(); r != nil {
+			a.svc.panicsRecovered.Add(1)
+			fail(&InternalError{Op: "batcher", Value: r, Stack: debug.Stack()})
+		}
+	}()
 	feats := make([][]uint64, 0, total)
 	for _, sl := range live {
 		feats = append(feats, sl.w.features[sl.lo:sl.hi]...)

@@ -79,6 +79,8 @@ func TestClusterSmoke(t *testing.T) {
 			"-seed", "42",
 			"-manifest", "forest="+manifestPath,
 			"-shards", "forest="+shardPaths[i],
+			"-max-inflight", "2",
+			"-shedqueue", "64",
 		))
 	}
 	for i := 0; i < 2; i++ {
@@ -89,6 +91,8 @@ func TestClusterSmoke(t *testing.T) {
 		"-listen", fmt.Sprintf("127.0.0.1:%d", ports[2]),
 		"-workers", workerURL(0)+","+workerURL(1),
 		"-probe", "200ms",
+		"-breaker", "3",
+		"-retries", "2",
 	)
 	procs = append(procs, gw)
 	gwURL := fmt.Sprintf("http://127.0.0.1:%d", ports[2])

@@ -22,6 +22,13 @@
 //	    -manifest fraud=fraud.manifest.json -shards fraud=fraud.shard0.copse
 //	copse-serve -gateway -listen :8080 -workers http://h1:9001,http://h2:9002
 //
+// Resilience knobs (DESIGN.md §15): -max-inflight plus -shedqueue bound
+// the admission queue — overflow is rejected with a typed 429 +
+// Retry-After instead of queuing without bound (worker and single-node
+// modes); -breaker sets the consecutive-failure threshold that opens a
+// worker's circuit breaker and -retries the bounded retry rounds over a
+// shard's holders (gateway mode).
+//
 // Endpoints:
 //
 //	POST /v1/classify  {"model": "fraud", "queries": [[3,5,...], ...]}
@@ -39,6 +46,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -104,6 +112,7 @@ func main() {
 	workersArg := flag.String("workers", "", "intra-query parallelism (empty/0 = GOMAXPROCS); in -gateway mode: comma-separated worker base URLs")
 	intraOp := flag.Int("intraop", 0, "ring-layer limb workers per op (0 = core budget, 1 = serial)")
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent classification cap (0 = unlimited)")
+	shedQueue := flag.Int("shedqueue", 0, "load-shedding queue bound: calls beyond -max-inflight wait here; overflow is rejected with 429 + Retry-After (0 = queue without bound; needs -max-inflight)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request classification timeout")
 	seed := flag.Uint64("seed", 0, "deterministic keys/encryption when non-zero (tests only — except -worker mode, where a shared seed is how the fleet derives one key set; with -shuffle it also makes every shuffle permutation predictable to anyone who knows the seed, voiding the leakage hardening)")
 	shuffle := flag.Bool("shuffle", false, "shuffle results (leakage hardening, §7.2.2): responses carry per-query codebooks and vote counts instead of per-tree labels; BGV models need CompileOptions.PlanShuffle")
@@ -121,13 +130,23 @@ func main() {
 	keyFile := flag.String("keyfile", "", "key-material wire file to load instead of deriving keys from -seed (worker mode)")
 	writeKeys := flag.String("writekeys", "", "after staging, write the worker's full key material (secret included) to this wire file for distribution to other workers")
 	probe := flag.Duration("probe", 2*time.Second, "worker health-probe interval (gateway mode)")
+	breakerThreshold := flag.Int("breaker", 0, "consecutive worker failures that open its circuit breaker (gateway mode; 0 = default 3)")
+	retries := flag.Int("retries", 0, "extra retry rounds over a shard's holders on failure, with exponential backoff (gateway mode; 0 = default 2, negative disables)")
 	flag.Parse()
 
 	if *workerMode && *gatewayMode {
 		log.Fatal("-worker and -gateway are mutually exclusive")
 	}
 	if *gatewayMode {
-		runGateway(*listen, *workersArg, *probe, *timeout, *drain)
+		runGateway(gatewayOptions{
+			listen:  *listen,
+			workers: *workersArg,
+			probe:   *probe,
+			timeout: *timeout,
+			drain:   *drain,
+			breaker: *breakerThreshold,
+			retries: *retries,
+		})
 		return
 	}
 
@@ -154,6 +173,7 @@ func main() {
 			workers:     workers,
 			intraOp:     *intraOp,
 			maxInFlight: *maxInFlight,
+			shedQueue:   *shedQueue,
 			drain:       *drain,
 		})
 		return
@@ -166,6 +186,7 @@ func main() {
 		copse.WithWorkers(workers),
 		copse.WithIntraOpWorkers(*intraOp),
 		copse.WithMaxInFlight(*maxInFlight),
+		copse.WithShedQueue(*shedQueue),
 		copse.WithSeed(*seed),
 		copse.WithShuffle(*shuffle),
 		copse.WithBatchPolicy(copse.BatchPolicy{
@@ -302,6 +323,7 @@ type workerOptions struct {
 	workers     int
 	intraOp     int
 	maxInFlight int
+	shedQueue   int
 	drain       time.Duration
 }
 
@@ -335,6 +357,7 @@ func runWorker(o workerOptions) {
 		Workers:        o.workers,
 		IntraOpWorkers: o.intraOp,
 		MaxInFlight:    o.maxInFlight,
+		ShedQueue:      o.shedQueue,
 	})
 	for name, mpath := range o.manifests {
 		mf, err := os.Open(mpath)
@@ -387,10 +410,20 @@ func runWorker(o workerOptions) {
 	}
 }
 
-func runGateway(listen, workersCSV string, probe, timeout, drain time.Duration) {
+type gatewayOptions struct {
+	listen  string
+	workers string
+	probe   time.Duration
+	timeout time.Duration
+	drain   time.Duration
+	breaker int
+	retries int
+}
+
+func runGateway(o gatewayOptions) {
 	log.SetPrefix("copse-serve[gateway]: ")
 	var urls []string
-	for _, u := range strings.Split(workersCSV, ",") {
+	for _, u := range strings.Split(o.workers, ",") {
 		if u = strings.TrimSpace(u); u != "" {
 			urls = append(urls, u)
 		}
@@ -401,8 +434,10 @@ func runGateway(listen, workersCSV string, probe, timeout, drain time.Duration) 
 
 	g := cluster.NewGateway(cluster.GatewayConfig{
 		Workers:        urls,
-		ProbeInterval:  probe,
-		RequestTimeout: timeout,
+		ProbeInterval:  o.probe,
+		RequestTimeout: o.timeout,
+		Breaker:        cluster.BreakerConfig{Threshold: o.breaker},
+		Retries:        o.retries,
 	})
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	err := g.Refresh(ctx)
@@ -420,7 +455,7 @@ func runGateway(listen, workersCSV string, probe, timeout, drain time.Duration) 
 	}
 	g.Start()
 
-	if err := serveHTTP(listen, g.Handler(), drain, g.Close); err != nil {
+	if err := serveHTTP(o.listen, g.Handler(), o.drain, g.Close); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -514,8 +549,19 @@ func (s *server) classify(w http.ResponseWriter, r *http.Request) {
 		results, err = s.svc.ClassifyBatch(ctx, req.Model, req.Queries)
 	}
 	if err != nil {
+		// Failure-taxonomy mapping (DESIGN.md §15): typed serving errors
+		// carry their own status so clients can tell shed load (back off
+		// and retry) from timeouts and genuine faults.
+		var oe *copse.OverloadError
+		var de *copse.DeadlineError
 		status := http.StatusInternalServerError
-		if ctx.Err() != nil {
+		switch {
+		case errors.As(err, &oe):
+			status = http.StatusTooManyRequests
+			if oe.RetryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(int(max(1, oe.RetryAfter/time.Second))))
+			}
+		case errors.As(err, &de), ctx.Err() != nil:
 			status = http.StatusGatewayTimeout
 		}
 		httpError(w, status, err)
@@ -573,8 +619,13 @@ type statsResponse struct {
 	Queries         int64   `json:"queries"`
 	Failures        int64   `json:"failures"`
 	InFlight        int64   `json:"inFlight"`
+	Queued          int64   `json:"queued"`
 	MeanLatencyMS   float64 `json:"meanLatencyMS"`
 	MeanQueueWaitMS float64 `json:"meanQueueWaitMS"`
+	// Resilience counters (DESIGN.md §15).
+	Shed            int64 `json:"shed"`
+	DeadlineRejects int64 `json:"deadlineRejects"`
+	PanicsRecovered int64 `json:"panicsRecovered"`
 	// Dynamic batcher counters (zero unless -batchwindow is set).
 	BatcherPasses    int64   `json:"batcherPasses"`
 	CoalescedQueries int64   `json:"coalescedQueries"`
@@ -598,8 +649,12 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 		Queries:          st.Queries,
 		Failures:         st.Failures,
 		InFlight:         st.InFlight,
+		Queued:           st.Queued,
 		MeanLatencyMS:    float64(st.MeanLatency().Microseconds()) / 1000,
 		MeanQueueWaitMS:  float64(st.MeanQueueWait().Microseconds()) / 1000,
+		Shed:             st.Shed,
+		DeadlineRejects:  st.DeadlineRejects,
+		PanicsRecovered:  st.PanicsRecovered,
 		BatcherPasses:    st.BatcherPasses,
 		CoalescedQueries: st.CoalescedQueries,
 		BatchFill:        st.BatchFill,

@@ -1,0 +1,114 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// RoundTripper injects data-plane faults between a cluster gateway and
+// its workers: latency before the request leaves, connection resets
+// (before or — for response-phase draws — after the worker has done the
+// work), synthesized 503 bursts, and garbled or truncated response
+// bodies that exercise the CPSW frame decoder's malformed-input
+// handling. The zero fault passes the request through untouched.
+type RoundTripper struct {
+	// Inner performs real round trips; http.DefaultTransport when nil.
+	Inner http.RoundTripper
+	// Sched supplies the OpNet fault stream.
+	Sched *Schedule
+}
+
+// RoundTrip implements http.RoundTripper.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	inner := rt.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	f := rt.Sched.Draw(OpNet)
+	if f.Latency > 0 {
+		select {
+		case <-time.After(f.Latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	switch {
+	case f.Err != nil:
+		return nil, f.Err
+	case f.Reset:
+		// Model the peer dropping the connection mid-exchange; wrap both
+		// ErrInjected (for test assertions) and ECONNRESET (so generic
+		// transport-error classification treats it like the real thing).
+		return nil, &net.OpError{Op: "read", Net: "tcp", Err: fmt.Errorf("%w: %w", ErrInjected, syscall.ECONNRESET)}
+	case f.ServerError:
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}},
+			Body:       io.NopCloser(strings.NewReader("chaos: injected server error")),
+			Request:    req,
+		}, nil
+	}
+	resp, err := inner.RoundTrip(req)
+	if err != nil || (!f.Garble && !f.Truncate) {
+		return resp, err
+	}
+	// Corrupt the response body in memory so the client sees a complete
+	// HTTP exchange carrying a damaged CPSW payload.
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	if f.Truncate {
+		body = body[:len(body)/2]
+	} else if len(body) > 0 {
+		// Deterministic corruption: flip bits at fixed strides so the
+		// same draw always damages the same bytes of a same-size body.
+		for i := 0; i < len(body); i += 251 {
+			body[i] ^= 0x5a
+		}
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	resp.Header.Del("Content-Encoding")
+	resp.Header.Set("Content-Length", fmt.Sprint(len(body)))
+	return resp, nil
+}
+
+// Listener wraps a net.Listener so accepted connections can be reset by
+// the schedule: a Reset draw closes the connection immediately after
+// accept, which the peer observes as a mid-handshake connection reset.
+// Other fault classes do not apply at the listener.
+type Listener struct {
+	net.Listener
+	Sched *Schedule
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		f := l.Sched.Draw(OpNet)
+		if f.Latency > 0 {
+			time.Sleep(f.Latency)
+		}
+		if f.Reset {
+			conn.Close()
+			continue
+		}
+		return conn, nil
+	}
+}

@@ -8,12 +8,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"copse"
 	"copse/internal/core"
 	"copse/internal/he/hebgv"
 	"copse/internal/hist"
@@ -65,6 +67,19 @@ type GatewayConfig struct {
 	ProbeTimeout time.Duration
 	// RequestTimeout bounds one data-plane round trip (default 2min).
 	RequestTimeout time.Duration
+	// Breaker tunes the per-worker circuit breakers (DESIGN.md §15).
+	Breaker BreakerConfig
+	// Retries is the number of extra rounds a failed shard/decode call
+	// makes over its holders, with exponential backoff + jitter between
+	// rounds. 0 means the default (2); negative disables retries.
+	Retries int
+	// RetryBackoff is the base inter-round backoff (default 50ms,
+	// doubling per round, capped at 2s, jittered ±50%).
+	RetryBackoff time.Duration
+	// HedgeDelay launches a hedged attempt on the next holder when the
+	// first has not answered within this delay (replicated shards only);
+	// 0 disables hedging.
+	HedgeDelay time.Duration
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
 }
@@ -81,17 +96,21 @@ type Gateway struct {
 	routes   map[string]*route
 	backends map[string]*hebgv.Backend // public-material backends by fingerprint
 	latency  map[string]*hist.Histogram
+	breakers map[string]*breaker // per-worker circuit breakers, by URL
 
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
-	requests atomic.Int64
-	queries  atomic.Int64
-	failures atomic.Int64
-	retries  atomic.Int64
-	fanoutNS atomic.Int64
-	mergeNS  atomic.Int64
+	requests      atomic.Int64
+	queries       atomic.Int64
+	failures      atomic.Int64
+	retries       atomic.Int64
+	hedges        atomic.Int64
+	panics        atomic.Int64
+	deadlineFails atomic.Int64
+	fanoutNS      atomic.Int64
+	mergeNS       atomic.Int64
 }
 
 // workerState is the prober's view of one worker.
@@ -135,6 +154,16 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 2 * time.Minute
 	}
+	cfg.Breaker = cfg.Breaker.withDefaults()
+	switch {
+	case cfg.Retries == 0:
+		cfg.Retries = 2
+	case cfg.Retries < 0:
+		cfg.Retries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{}
@@ -146,6 +175,7 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		routes:   map[string]*route{},
 		backends: map[string]*hebgv.Backend{},
 		latency:  map[string]*hist.Histogram{},
+		breakers: map[string]*breaker{},
 		stop:     make(chan struct{}),
 	}
 }
@@ -297,16 +327,37 @@ func (g *Gateway) setProblem(model, problem string) {
 	g.mu.Unlock()
 }
 
-// markDown records a data-path failure: the worker is taken out of the
-// routing table immediately instead of waiting for the next probe.
-func (g *Gateway) markDown(url string, err error) {
-	g.mu.Lock()
-	if ws := g.workers[url]; ws != nil && ws.up {
-		ws.up = false
-		ws.err = err.Error()
-		g.rebuildLocked()
+// breakerFor returns the worker's circuit breaker, creating it on
+// first use. Breakers persist across Refresh cycles: they track the
+// data path's view of worker health, while the probe tracks the
+// control plane's — a worker is routed to only when both agree.
+func (g *Gateway) breakerFor(url string) *breaker {
+	g.mu.RLock()
+	b := g.breakers[url]
+	g.mu.RUnlock()
+	if b != nil {
+		return b
 	}
-	g.mu.Unlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if b = g.breakers[url]; b == nil {
+		b = newBreaker(g.cfg.Breaker)
+		g.breakers[url] = b
+	}
+	return b
+}
+
+// filterAdmitted drops holders whose breaker currently rejects traffic,
+// so availability and routing reflect data-path health between probes
+// (this replaces the old one-way markDown).
+func (g *Gateway) filterAdmitted(holders []string) []string {
+	out := holders[:0]
+	for _, url := range holders {
+		if g.breakerFor(url).allows() {
+			out = append(out, url)
+		}
+	}
+	return out
 }
 
 // ensureBackend builds (once per fingerprint) the encrypt/merge
@@ -423,6 +474,12 @@ func (g *Gateway) Classify(ctx context.Context, model string, queries [][]uint64
 	if err != nil {
 		return nil, nil, err
 	}
+	// Availability reflects both the probe's view (snapshot holders) and
+	// the data path's (breaker state), so a worker that died between
+	// probes stops receiving traffic as soon as its breaker opens.
+	for i, h := range r.holders {
+		r.holders[i] = g.filterAdmitted(h)
+	}
 	if !r.available() {
 		return nil, nil, &ModelUnavailableError{Model: model, Missing: r.missing(), Problem: r.problem}
 	}
@@ -461,8 +518,16 @@ type FanoutTrace struct {
 	Decode  time.Duration // decode round trip to a worker
 }
 
-// classifyChunk runs one capacity-bounded pass.
+// classifyChunk runs one capacity-bounded pass. With a caller deadline,
+// each stage runs under its share of the remaining budget (stageBudget)
+// and an exhausted budget fails fast with a typed *copse.DeadlineError
+// before the stage spends work it cannot finish.
 func (g *Gateway) classifyChunk(ctx context.Context, model string, r *route, backend *hebgv.Backend, chunk [][]uint64, trace *FanoutTrace) ([]DecodedResult, error) {
+	if _, cancel, err := g.stageBudget(ctx, "encrypt"); err != nil {
+		return nil, err
+	} else {
+		cancel() // encryption is local compute; the check alone gates it
+	}
 	mark := time.Now()
 	q, err := core.PrepareQueryBatch(backend, r.meta, chunk, true)
 	if err != nil {
@@ -482,8 +547,13 @@ func (g *Gateway) classifyChunk(ctx context.Context, model string, r *route, bac
 	}
 	trace.Encrypt += time.Since(mark)
 
-	// Fan out: one request per shard, concurrently; each shard retries
-	// on its next holder after a failure.
+	// Fan out: one request per shard, concurrently; each shard hedges
+	// and fails over across its holders (hedgedCall). A panic in a shard
+	// goroutine fails the request, not the process.
+	fctx, fcancel, err := g.stageBudget(ctx, "fanout")
+	if err != nil {
+		return nil, err
+	}
 	mark = time.Now()
 	shardCts := make([]WireCiphertext, r.shards)
 	errs := make([]error, r.shards)
@@ -492,12 +562,24 @@ func (g *Gateway) classifyChunk(ctx context.Context, model string, r *route, bac
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
-			shardCts[shard], errs[shard] = g.classifyShard(ctx, model, shard, r.holders[shard], queryFrame.Bytes(), len(chunk))
+			defer func() {
+				if rec := recover(); rec != nil {
+					g.panics.Add(1)
+					errs[shard] = &copse.InternalError{Op: "shard fan-out", Value: rec, Stack: debug.Stack()}
+				}
+			}()
+			shardCts[shard], errs[shard] = g.classifyShard(fctx, model, shard, r.holders[shard], queryFrame.Bytes(), len(chunk))
 		}(shard)
 	}
 	wg.Wait()
+	fcancel()
 	for shard, err := range errs {
 		if err != nil {
+			var de *copse.DeadlineError
+			var ie *copse.InternalError
+			if errors.As(err, &de) || errors.As(err, &ie) {
+				return nil, err
+			}
 			return nil, &ShardError{Model: model, Shard: shard, Err: err}
 		}
 	}
@@ -507,6 +589,11 @@ func (g *Gateway) classifyChunk(ctx context.Context, model string, r *route, bac
 
 	// Merge: per-shard vote sums have disjoint slot supports — plain
 	// additions at the (low) result level, no keys involved.
+	if _, cancel, err := g.stageBudget(ctx, "merge"); err != nil {
+		return nil, err
+	} else {
+		cancel() // the merge is local adds; the check alone gates it
+	}
 	mark = time.Now()
 	sum := backend.ImportCiphertext(shardCts[0].Ct, shardCts[0].Depth)
 	for _, wc := range shardCts[1:] {
@@ -528,8 +615,13 @@ func (g *Gateway) classifyChunk(ctx context.Context, model string, r *route, bac
 	g.mergeNS.Add(elapsed.Nanoseconds())
 
 	// Decode on any healthy holder (all hold the same secret key).
+	dctx, dcancel, err := g.stageBudget(ctx, "decode")
+	if err != nil {
+		return nil, err
+	}
+	defer dcancel()
 	mark = time.Now()
-	results, err := g.decode(ctx, model, r, mergedFrame.Bytes(), len(chunk))
+	results, err := g.decode(dctx, model, r, mergedFrame.Bytes(), len(chunk))
 	trace.Decode += time.Since(mark)
 	if err != nil {
 		return nil, err
@@ -538,65 +630,71 @@ func (g *Gateway) classifyChunk(ctx context.Context, model string, r *route, bac
 	return results, nil
 }
 
-// classifyShard posts one shard request, trying each holder in turn.
+// classifyShard posts one shard request through the hedged-retry
+// machinery: holders with closed breakers are tried first, a hedge
+// launches after HedgeDelay, failures fail over immediately, and
+// exhausted rounds back off and retry.
 func (g *Gateway) classifyShard(ctx context.Context, model string, shard int, holders []string, frame []byte, batch int) (WireCiphertext, error) {
-	var lastErr error
-	for attempt, url := range holders {
-		if attempt > 0 {
-			g.retries.Add(1)
-		}
+	return hedgedCall(g, ctx, holders, func(ctx context.Context, url string) (WireCiphertext, error) {
 		target := fmt.Sprintf("%s/v1/cluster/classify?model=%s&shard=%d&batch=%d", url, model, shard, batch)
 		body, err := g.postRaw(ctx, target, frame)
 		if err != nil {
-			lastErr = err
-			g.markDown(url, err)
-			continue
+			return WireCiphertext{}, err
 		}
 		cts, err := DecodeCiphertexts(bytes.NewReader(body))
 		if err == nil && len(cts) != 1 {
 			err = fmt.Errorf("cluster: worker returned %d ciphertexts, want 1", len(cts))
 		}
 		if err != nil {
-			lastErr = err
-			continue
+			return WireCiphertext{}, err
 		}
 		return cts[0], nil
-	}
-	if lastErr == nil {
-		lastErr = fmt.Errorf("no holders")
-	}
-	return WireCiphertext{}, lastErr
+	})
 }
 
-// decode posts the merged ciphertext to any holder of the model.
+// decode posts the merged ciphertext to any holder of the model,
+// retrying alternates through the hedged-call machinery — a single
+// holder failure after a successful merge must not waste the whole
+// fan-out. If every breaker refuses admission, it bypasses them for
+// one sequential last-resort pass: the merge is already paid for, so
+// one more attempt per holder is cheap against redoing the pass.
 func (g *Gateway) decode(ctx context.Context, model string, r *route, frame []byte, count int) ([]DecodedResult, error) {
-	tried := map[string]bool{}
-	var lastErr error
+	var urls []string
+	seen := map[string]bool{}
 	for _, holders := range r.holders {
 		for _, url := range holders {
-			if tried[url] {
-				continue
+			if !seen[url] {
+				seen[url] = true
+				urls = append(urls, url)
 			}
-			tried[url] = true
-			target := fmt.Sprintf("%s/v1/cluster/decode?model=%s&count=%d", url, model, count)
-			body, err := g.postRaw(ctx, target, frame)
-			if err != nil {
-				lastErr = err
-				g.markDown(url, err)
-				continue
-			}
-			var results []DecodedResult
-			if err := json.Unmarshal(body, &results); err != nil {
-				lastErr = err
-				continue
-			}
-			return results, nil
 		}
 	}
-	if lastErr == nil {
-		lastErr = fmt.Errorf("no holders")
+	call := func(ctx context.Context, url string) ([]DecodedResult, error) {
+		target := fmt.Sprintf("%s/v1/cluster/decode?model=%s&count=%d", url, model, count)
+		body, err := g.postRaw(ctx, target, frame)
+		if err != nil {
+			return nil, err
+		}
+		var results []DecodedResult
+		if err := json.Unmarshal(body, &results); err != nil {
+			return nil, err
+		}
+		return results, nil
 	}
-	return nil, fmt.Errorf("cluster: decoding merged result: %w", lastErr)
+	results, err := hedgedCall(g, ctx, urls, call)
+	if errors.Is(err, errAllBreakersOpen) {
+		for _, url := range urls {
+			if results, lerr := call(ctx, url); lerr == nil {
+				return results, nil
+			} else {
+				err = lerr
+			}
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cluster: decoding merged result: %w", err)
+	}
+	return results, nil
 }
 
 func (g *Gateway) observeLatency(model string, d time.Duration) {
@@ -659,7 +757,14 @@ func (g *Gateway) roundTrip(ctx context.Context, method, url string, body []byte
 		if json.Unmarshal(data, &je) == nil && je.Error != "" {
 			msg = je.Error
 		}
-		return nil, fmt.Errorf("%s: %s", resp.Status, msg)
+		// Typed, so breaker accounting can tell worker faults (5xx)
+		// from request faults (4xx).
+		return nil, &httpStatusError{
+			Status:     resp.StatusCode,
+			StatusLine: resp.Status,
+			Msg:        msg,
+			RetryAfter: resp.Header.Get("Retry-After"),
+		}
 	}
 	return data, nil
 }
@@ -680,12 +785,27 @@ type GatewayModel struct {
 	BatchCapacity int        `json:"batchCapacity,omitempty"`
 }
 
-// Models returns the shard-aware model inventory.
+// Models returns the shard-aware model inventory. Availability is the
+// serving truth — it reflects the probe view and the per-worker breaker
+// state, exactly like Classify's admission check.
 func (g *Gateway) Models() []GatewayModel {
 	g.mu.RLock()
-	defer g.mu.RUnlock()
-	out := make([]GatewayModel, 0, len(g.routes))
-	for name, r := range g.routes {
+	names := make([]string, 0, len(g.routes))
+	for name := range g.routes {
+		names = append(names, name)
+	}
+	g.mu.RUnlock()
+	out := make([]GatewayModel, 0, len(names))
+	for _, name := range names {
+		// snapshot + filter outside the read lock: filterAdmitted takes
+		// the gateway lock itself when it must create a breaker.
+		r, err := g.snapshot(name)
+		if err != nil {
+			continue
+		}
+		for i, h := range r.holders {
+			r.holders[i] = g.filterAdmitted(h)
+		}
 		m := GatewayModel{
 			Name:          name,
 			Shards:        r.shards,
@@ -753,8 +873,20 @@ func (g *Gateway) handleClassify(rw http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var unavailable *ModelUnavailableError
 		var shardErr *ShardError
+		var deadlineErr *copse.DeadlineError
+		var statusErr *httpStatusError
 		status := http.StatusNotFound
 		switch {
+		case errors.As(err, &deadlineErr), errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.As(err, &statusErr) && statusErr.Status == http.StatusTooManyRequests:
+			// A worker shed the request (typed 429): surface the
+			// overload verbatim so clients back off rather than retry
+			// into a saturated fleet.
+			status = http.StatusTooManyRequests
+			if statusErr.RetryAfter != "" {
+				rw.Header().Set("Retry-After", statusErr.RetryAfter)
+			}
 		case errors.As(err, &unavailable):
 			status = http.StatusServiceUnavailable
 		case errors.As(err, &shardErr):
@@ -779,34 +911,46 @@ func (g *Gateway) handleClassify(rw http.ResponseWriter, r *http.Request) {
 }
 
 type gatewayWorkerJSON struct {
-	URL   string `json:"url"`
-	Up    bool   `json:"up"`
-	Error string `json:"error,omitempty"`
+	URL     string           `json:"url"`
+	Up      bool             `json:"up"`
+	Error   string           `json:"error,omitempty"`
+	Breaker *BreakerSnapshot `json:"breaker,omitempty"`
 }
 
 type gatewayStatsJSON struct {
-	Requests     int64                       `json:"requests"`
-	Queries      int64                       `json:"queries"`
-	Failures     int64                       `json:"failures"`
-	Retries      int64                       `json:"retries"`
-	FanoutMS     float64                     `json:"fanoutMS"`
-	MergeMS      float64                     `json:"mergeMS"`
-	Workers      []gatewayWorkerJSON         `json:"workers"`
-	ModelLatency map[string]modelLatencyJSON `json:"modelLatency,omitempty"`
+	Requests         int64                       `json:"requests"`
+	Queries          int64                       `json:"queries"`
+	Failures         int64                       `json:"failures"`
+	Retries          int64                       `json:"retries"`
+	Hedges           int64                       `json:"hedges"`
+	PanicsRecovered  int64                       `json:"panicsRecovered"`
+	DeadlineFailures int64                       `json:"deadlineFailures"`
+	FanoutMS         float64                     `json:"fanoutMS"`
+	MergeMS          float64                     `json:"mergeMS"`
+	Workers          []gatewayWorkerJSON         `json:"workers"`
+	ModelLatency     map[string]modelLatencyJSON `json:"modelLatency,omitempty"`
 }
 
 func (g *Gateway) handleStats(rw http.ResponseWriter, _ *http.Request) {
 	st := gatewayStatsJSON{
-		Requests: g.requests.Load(),
-		Queries:  g.queries.Load(),
-		Failures: g.failures.Load(),
-		Retries:  g.retries.Load(),
-		FanoutMS: ms(time.Duration(g.fanoutNS.Load())),
-		MergeMS:  ms(time.Duration(g.mergeNS.Load())),
+		Requests:         g.requests.Load(),
+		Queries:          g.queries.Load(),
+		Failures:         g.failures.Load(),
+		Retries:          g.retries.Load(),
+		Hedges:           g.hedges.Load(),
+		PanicsRecovered:  g.panics.Load(),
+		DeadlineFailures: g.deadlineFails.Load(),
+		FanoutMS:         ms(time.Duration(g.fanoutNS.Load())),
+		MergeMS:          ms(time.Duration(g.mergeNS.Load())),
 	}
 	g.mu.RLock()
 	for url, ws := range g.workers {
-		st.Workers = append(st.Workers, gatewayWorkerJSON{URL: url, Up: ws.up, Error: ws.err})
+		wj := gatewayWorkerJSON{URL: url, Up: ws.up, Error: ws.err}
+		if b := g.breakers[url]; b != nil {
+			snap := b.snapshot()
+			wj.Breaker = &snap
+		}
+		st.Workers = append(st.Workers, wj)
 	}
 	if len(g.latency) > 0 {
 		st.ModelLatency = make(map[string]modelLatencyJSON, len(g.latency))

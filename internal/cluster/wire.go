@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 
 	"copse/internal/bgv"
 	"copse/internal/core"
@@ -35,11 +36,59 @@ const (
 	wireMagic   = "CPSW"
 	WireVersion = 1
 
-	// maxFramePayload bounds a frame so a corrupt or hostile length
-	// prefix cannot drive an allocation: large enough for a Security128
-	// evaluation-key set, small enough to fail fast on garbage.
-	maxFramePayload = 1 << 31
+	// DefaultMaxFrameBytes bounds a frame so a corrupt or hostile
+	// length prefix cannot drive an allocation: large enough for a
+	// Security128 evaluation-key set, small enough to fail fast on
+	// garbage. Override with SetMaxFrameBytes.
+	DefaultMaxFrameBytes = 1 << 31
+
+	// maxWireLevels supplements bgv.Params.Validate with a wire-level
+	// sanity bound: Validate leaves Levels unbounded above (a local
+	// caller can legitimately ask for a deep chain), but a frame
+	// claiming hundreds of levels is certainly garbage, and the decoder
+	// would pay prime generation and NTT table precomputation
+	// proportional to the lie before any later check could catch it.
+	maxWireLevels = 64
 )
+
+// maxFrameBytes is the live frame-size limit (see SetMaxFrameBytes).
+var maxFrameBytes atomic.Int64
+
+func init() { maxFrameBytes.Store(DefaultMaxFrameBytes) }
+
+// MaxFrameBytes reports the current frame payload size limit.
+func MaxFrameBytes() int64 { return maxFrameBytes.Load() }
+
+// SetMaxFrameBytes bounds the payload size every frame decoder will
+// accept (and the decompressed size of a key-material frame).
+// Non-positive restores DefaultMaxFrameBytes. Safe for concurrent use.
+func SetMaxFrameBytes(n int64) {
+	if n <= 0 {
+		n = DefaultMaxFrameBytes
+	}
+	maxFrameBytes.Store(n)
+}
+
+// FrameSizeError is the typed error a decoder returns when a frame's
+// declared (or decompressed) size exceeds the configured limit.
+type FrameSizeError struct {
+	Size, Limit int64
+}
+
+func (e *FrameSizeError) Error() string {
+	return fmt.Sprintf("cluster: frame payload %d bytes exceeds limit %d", e.Size, e.Limit)
+}
+
+// TruncatedFrameError is the typed error a decoder returns when the
+// stream or payload ends before the bytes its own header promised.
+type TruncatedFrameError struct {
+	What      string
+	Want, Got int64
+}
+
+func (e *TruncatedFrameError) Error() string {
+	return fmt.Sprintf("cluster: truncated %s: want %d bytes, got %d", e.What, e.Want, e.Got)
+}
 
 // Frame kinds.
 const (
@@ -88,15 +137,19 @@ func readFrame(r io.Reader, wantKind uint16) ([]byte, error) {
 	if k := binary.LittleEndian.Uint16(hdr[6:8]); k != wantKind {
 		return nil, fmt.Errorf("cluster: frame kind %d, want %d", k, wantKind)
 	}
-	n := binary.LittleEndian.Uint32(hdr[8:12])
-	if n > maxFramePayload {
-		return nil, fmt.Errorf("cluster: frame payload %d exceeds limit", n)
+	n := int64(binary.LittleEndian.Uint32(hdr[8:12]))
+	if limit := MaxFrameBytes(); n > limit {
+		return nil, &FrameSizeError{Size: n, Limit: limit}
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("cluster: reading frame payload: %w", err)
+	// Read incrementally (bytes.Buffer.ReadFrom grows as data arrives)
+	// rather than allocating n bytes up front: a lying length prefix
+	// then costs only as much memory as bytes actually received.
+	var buf bytes.Buffer
+	if got, err := io.CopyN(&buf, r, n); err != nil {
+		return nil, fmt.Errorf("cluster: reading frame payload: %w",
+			&TruncatedFrameError{What: "frame payload", Want: n, Got: got})
 	}
-	return payload, nil
+	return buf.Bytes(), nil
 }
 
 // --- primitive writers/readers over a bytes.Buffer ---
@@ -129,7 +182,11 @@ func (r *reader) take(n int) []byte {
 		return nil
 	}
 	if r.off+n > len(r.b) {
-		r.err = fmt.Errorf("cluster: truncated payload (need %d bytes at offset %d of %d)", n, r.off, len(r.b))
+		r.err = &TruncatedFrameError{
+			What: fmt.Sprintf("payload (offset %d)", r.off),
+			Want: int64(n),
+			Got:  int64(len(r.b) - r.off),
+		}
 		return nil
 	}
 	s := r.b[r.off : r.off+n]
@@ -265,7 +322,29 @@ func DecodeParams(rd io.Reader) (bgv.Params, error) {
 	if err := r.done(); err != nil {
 		return bgv.Params{}, err
 	}
+	if err := checkWireParams(p); err != nil {
+		return bgv.Params{}, err
+	}
 	return p, p.Validate()
+}
+
+// wireParamsHook, when non-nil, gets a veto over decoded parameter
+// sets before the decoder pays prime generation and NTT precompute.
+// FuzzWireDecode installs one to keep per-input cost bounded; it is
+// nil in production.
+var wireParamsHook func(bgv.Params) error
+
+// checkWireParams applies the wire-level sanity bounds a decoder must
+// enforce on top of bgv.Params.Validate before paying the cost of
+// parameter construction.
+func checkWireParams(p bgv.Params) error {
+	if p.Levels > maxWireLevels {
+		return fmt.Errorf("cluster: implausible level count %d (wire max %d)", p.Levels, maxWireLevels)
+	}
+	if wireParamsHook != nil {
+		return wireParamsHook(p)
+	}
+	return nil
 }
 
 // --- key material ---
@@ -369,9 +448,16 @@ func DecodeKeyMaterial(rd io.Reader) (*hebgv.Material, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: key material not gzipped: %w", err)
 	}
-	raw, err := io.ReadAll(zr)
+	// Bound the decompressed size too: gzip can expand ~1000:1, so a
+	// small in-limit frame could otherwise balloon far past the frame
+	// budget (a classic decompression bomb).
+	limit := MaxFrameBytes()
+	raw, err := io.ReadAll(io.LimitReader(zr, limit+1))
 	if err != nil {
 		return nil, err
+	}
+	if int64(len(raw)) > limit {
+		return nil, &FrameSizeError{Size: int64(len(raw)), Limit: limit}
 	}
 	if err := zr.Close(); err != nil {
 		return nil, err
@@ -380,6 +466,9 @@ func DecodeKeyMaterial(rd io.Reader) (*hebgv.Material, error) {
 	p := r.params()
 	if r.err != nil {
 		return nil, r.err
+	}
+	if err := checkWireParams(p); err != nil {
+		return nil, err
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/binary"
 	"errors"
 	"flag"
@@ -330,5 +331,70 @@ func TestWireFrameErrors(t *testing.T) {
 	binary.LittleEndian.PutUint32(long[8:12], uint32(len(frame))) // claims more payload than present
 	if _, err := DecodeParams(bytes.NewReader(long)); err == nil {
 		t.Error("overlong length prefix accepted")
+	}
+}
+
+// TestWireSizeLimits pins the typed size and truncation errors, the
+// configurable frame budget, and the decompressed-size bound on key
+// material.
+func TestWireSizeLimits(t *testing.T) {
+	defer SetMaxFrameBytes(0)
+	var buf bytes.Buffer
+	if err := EncodeParams(&buf, tinyParams()); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+
+	// Declared payload over the configured limit fails typed, before
+	// any allocation proportional to the claim.
+	SetMaxFrameBytes(8)
+	var fse *FrameSizeError
+	if _, err := DecodeParams(bytes.NewReader(frame)); !errors.As(err, &fse) {
+		t.Errorf("over-limit frame error = %v, want *FrameSizeError", err)
+	} else if fse.Limit != 8 {
+		t.Errorf("FrameSizeError limit = %d, want 8", fse.Limit)
+	}
+	SetMaxFrameBytes(0)
+	if MaxFrameBytes() != DefaultMaxFrameBytes {
+		t.Errorf("SetMaxFrameBytes(0) left limit %d, want default %d", MaxFrameBytes(), DefaultMaxFrameBytes)
+	}
+
+	// A stream shorter than its header's promise fails typed too.
+	var tfe *TruncatedFrameError
+	if _, err := DecodeParams(bytes.NewReader(frame[:len(frame)-2])); !errors.As(err, &tfe) {
+		t.Errorf("truncated stream error = %v, want *TruncatedFrameError", err)
+	} else if tfe.Got >= tfe.Want {
+		t.Errorf("TruncatedFrameError got %d >= want %d", tfe.Got, tfe.Want)
+	}
+
+	// An implausible level count fails at the wire layer, before the
+	// decoder pays prime generation proportional to the lie.
+	deep := tinyParams()
+	deep.Levels = maxWireLevels + 1
+	var db bytes.Buffer
+	if err := EncodeParams(&db, deep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeParams(bytes.NewReader(db.Bytes())); err == nil {
+		t.Error("implausible level count accepted")
+	}
+
+	// Decompression bomb: a small gzipped key-material frame expanding
+	// past the budget must fail with *FrameSizeError, not balloon.
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write(make([]byte, 1<<16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var bomb bytes.Buffer
+	if err := writeFrame(&bomb, KindKeyMaterial, zbuf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	SetMaxFrameBytes(1 << 12)
+	if _, err := DecodeKeyMaterial(bytes.NewReader(bomb.Bytes())); !errors.As(err, &fse) {
+		t.Errorf("decompression bomb error = %v, want *FrameSizeError", err)
 	}
 }

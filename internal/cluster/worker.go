@@ -13,7 +13,9 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -62,6 +64,10 @@ type WorkerConfig struct {
 	// MaxInFlight caps concurrent classification passes (0 =
 	// unlimited).
 	MaxInFlight int
+	// ShedQueue bounds how many passes may queue for an in-flight slot
+	// before the worker sheds load with a typed 429 + Retry-After
+	// (copse.WithShedQueue); 0 queues without bound.
+	ShedQueue int
 }
 
 // Worker is one cluster node: a copse.Service staging shard artifacts
@@ -190,6 +196,7 @@ func (w *Worker) initLocked(manifest *core.ShardManifest) error {
 		copse.WithScenario(copse.ScenarioServerModel),
 		copse.WithWorkers(w.cfg.Workers),
 		copse.WithMaxInFlight(w.cfg.MaxInFlight),
+		copse.WithShedQueue(w.cfg.ShedQueue),
 	)
 	return nil
 }
@@ -410,7 +417,7 @@ func (w *Worker) handleClassify(rw http.ResponseWriter, r *http.Request) {
 	}
 	enc, _, err := svc.Classify(r.Context(), reg, q)
 	if err != nil {
-		httpError(rw, http.StatusInternalServerError, err)
+		classifyError(rw, err)
 		return
 	}
 	op, _, err := enc.Operand()
@@ -510,21 +517,27 @@ type modelLatencyJSON struct {
 // serviceStatsJSON mirrors copse.ServiceStats with durations in
 // milliseconds.
 type serviceStatsJSON struct {
-	Requests      int64                       `json:"requests"`
-	Queries       int64                       `json:"queries"`
-	Failures      int64                       `json:"failures"`
-	InFlight      int64                       `json:"inFlight"`
-	MeanLatencyMS float64                     `json:"meanLatencyMS"`
-	ModelLatency  map[string]modelLatencyJSON `json:"modelLatency,omitempty"`
+	Requests        int64                       `json:"requests"`
+	Queries         int64                       `json:"queries"`
+	Failures        int64                       `json:"failures"`
+	InFlight        int64                       `json:"inFlight"`
+	Shed            int64                       `json:"shed"`
+	DeadlineRejects int64                       `json:"deadlineRejects"`
+	PanicsRecovered int64                       `json:"panicsRecovered"`
+	MeanLatencyMS   float64                     `json:"meanLatencyMS"`
+	ModelLatency    map[string]modelLatencyJSON `json:"modelLatency,omitempty"`
 }
 
 func statsJSON(st copse.ServiceStats) serviceStatsJSON {
 	out := serviceStatsJSON{
-		Requests:      st.Requests,
-		Queries:       st.Queries,
-		Failures:      st.Failures,
-		InFlight:      st.InFlight,
-		MeanLatencyMS: ms(st.MeanLatency()),
+		Requests:        st.Requests,
+		Queries:         st.Queries,
+		Failures:        st.Failures,
+		InFlight:        st.InFlight,
+		Shed:            st.Shed,
+		DeadlineRejects: st.DeadlineRejects,
+		PanicsRecovered: st.PanicsRecovered,
+		MeanLatencyMS:   ms(st.MeanLatency()),
 	}
 	if len(st.ModelLatency) > 0 {
 		out.ModelLatency = make(map[string]modelLatencyJSON, len(st.ModelLatency))
@@ -553,4 +566,23 @@ func httpError(rw http.ResponseWriter, status int, err error) {
 	rw.Header().Set("Content-Type", "application/json")
 	rw.WriteHeader(status)
 	_ = json.NewEncoder(rw).Encode(map[string]string{"error": err.Error()})
+}
+
+// classifyError maps the serving error taxonomy (DESIGN.md §15) onto
+// HTTP: overload is a typed 429 with a Retry-After hint — distinct
+// from 503 model-unavailable — deadline exhaustion is 504, and
+// recovered panics surface as 500.
+func classifyError(rw http.ResponseWriter, err error) {
+	var overload *copse.OverloadError
+	var deadline *copse.DeadlineError
+	switch {
+	case errors.As(err, &overload):
+		retryAfter := max(int64(overload.RetryAfter/time.Second), 1)
+		rw.Header().Set("Retry-After", strconv.FormatInt(retryAfter, 10))
+		httpError(rw, http.StatusTooManyRequests, err)
+	case errors.As(err, &deadline), errors.Is(err, context.DeadlineExceeded):
+		httpError(rw, http.StatusGatewayTimeout, err)
+	default:
+		httpError(rw, http.StatusInternalServerError, err)
+	}
 }

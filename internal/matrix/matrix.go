@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"runtime/debug"
 
 	"copse/internal/bits"
 	"copse/internal/he"
@@ -652,12 +653,39 @@ func Pad(v []uint64, min int) []uint64 {
 	return out
 }
 
+// PanicError is a panic recovered inside a ParallelFor body and
+// returned as an error: a worker goroutine that panicked would
+// otherwise kill the whole process, taking every in-flight request
+// down with one poisoned input. The serving layer unwraps it into its
+// typed internal-error taxonomy.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("matrix: recovered panic in parallel body: %v", e.Value)
+}
+
+// safeCall runs fn(i), converting a panic into a *PanicError.
+func safeCall(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
 // ParallelFor runs fn(0..n-1) on `workers` goroutines and returns the
-// first error encountered.
+// first error encountered. A panic in fn is recovered and reported as
+// a *PanicError instead of crashing the process.
 func ParallelFor(n, workers int, fn func(i int) error) error {
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := safeCall(fn, i); err != nil {
 				return err
 			}
 		}
@@ -675,7 +703,7 @@ func ParallelFor(n, workers int, fn func(i int) error) error {
 				if firstErr != nil {
 					continue
 				}
-				if err := fn(i); err != nil {
+				if err := safeCall(fn, i); err != nil {
 					firstErr = err
 				}
 			}

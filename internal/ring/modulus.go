@@ -152,7 +152,17 @@ func GeneratePrimes(bitLen int, step uint64, count int) ([]uint64, error) {
 	// Largest multiple of step at or below upper, plus one.
 	cand := (upper/step)*step + 1
 	b := new(big.Int)
+	// Cap the scan: by prime density a legitimate request finds each
+	// prime within ~bitLen candidates, so a search still short after a
+	// million is an impossible request (step too close to 2^bitLen) —
+	// fail it instead of grinding Miller-Rabin to the bottom of the
+	// range. Decoded wire parameters reach here, so this must not spin.
+	scanned := 0
+	const scanBudget = 1 << 20
 	for cand > step && len(primes) < count {
+		if scanned++; scanned > scanBudget {
+			return nil, fmt.Errorf("ring: found only %d/%d primes of %d bits with step %d within scan budget", len(primes), count, bitLen, step)
+		}
 		if cand <= upper {
 			b.SetUint64(cand)
 			if b.ProbablyPrime(20) {

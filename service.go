@@ -2,9 +2,11 @@ package copse
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -63,6 +65,14 @@ type Service struct {
 	queueNS   atomic.Int64
 	latencyNS atomic.Int64
 
+	// Resilience counters (DESIGN.md §15). queued tracks calls waiting
+	// for an in-flight slot (the shed-queue depth); the others are
+	// included in Failures.
+	queued          atomic.Int64
+	shed            atomic.Int64
+	deadlineRejects atomic.Int64
+	panicsRecovered atomic.Int64
+
 	// Dynamic-batcher counters (DESIGN.md §11).
 	aggPasses  atomic.Int64
 	aggQueries atomic.Int64
@@ -98,6 +108,7 @@ type serviceConfig struct {
 	measureNoise     bool
 	batch            BatchPolicy
 	extBackend       he.Backend
+	shedQueue        int
 }
 
 // Option configures a Service (functional options).
@@ -142,6 +153,15 @@ func WithVectorKernels(on bool) Option { return func(c *serviceConfig) { c.noVec
 // excess calls queue (their wait is reported by Stats). 0 means
 // unlimited.
 func WithMaxInFlight(n int) Option { return func(c *serviceConfig) { c.maxInFlight = n } }
+
+// WithShedQueue bounds how many calls may wait for an in-flight slot
+// before the service sheds load: once all WithMaxInFlight slots are
+// busy and n calls are already queued, further calls fail immediately
+// with a typed *OverloadError (HTTP 429 + Retry-After in copse-serve)
+// instead of growing an unbounded backlog of doomed work. 0 (the
+// default) queues without bound; the option has no effect without
+// WithMaxInFlight.
+func WithShedQueue(n int) Option { return func(c *serviceConfig) { c.shedQueue = n } }
 
 // WithLevels overrides the compiler's recommended BGV chain length.
 func WithLevels(n int) Option { return func(c *serviceConfig) { c.levels = n } }
@@ -486,12 +506,12 @@ func (s *Service) EncryptQueryBatch(name string, batch [][]uint64) (*Query, erro
 	meta := &m.operands.Meta
 	capacity := meta.BatchCapacity()
 	if len(batch) <= capacity {
-		return core.PrepareQueryBatch(backend, meta, batch, encFeats)
+		return s.prepareBatch(backend, meta, batch, encFeats)
 	}
 	var head *Query
 	var tail *Query
 	for lo := 0; lo < len(batch); lo += capacity {
-		q, err := core.PrepareQueryBatch(backend, meta, batch[lo:min(lo+capacity, len(batch))], encFeats)
+		q, err := s.prepareBatch(backend, meta, batch[lo:min(lo+capacity, len(batch))], encFeats)
 		if err != nil {
 			return nil, err
 		}
@@ -503,6 +523,27 @@ func (s *Service) EncryptQueryBatch(name string, batch [][]uint64) (*Query, erro
 		tail = q
 	}
 	return head, nil
+}
+
+// prepareBatch runs one core.PrepareQueryBatch pass with the same
+// panic isolation as the classify pipeline: encryption panics — direct
+// or recovered inside a matrix worker — surface as a typed
+// *InternalError on this request only.
+func (s *Service) prepareBatch(backend he.Backend, meta *core.Meta, batch [][]uint64, encFeats bool) (q *Query, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicsRecovered.Add(1)
+			q = nil
+			err = &InternalError{Op: "encrypt", Value: r, Stack: debug.Stack()}
+		}
+	}()
+	q, err = core.PrepareQueryBatch(backend, meta, batch, encFeats)
+	var pe *matrix.PanicError
+	if errors.As(err, &pe) {
+		s.panicsRecovered.Add(1)
+		err = &InternalError{Op: "encrypt", Value: pe.Value, Stack: pe.Stack}
+	}
+	return q, err
 }
 
 // Classify runs Algorithm 1 on a prepared (possibly batched) query.
@@ -595,15 +636,24 @@ func (s *Service) classify(ctx context.Context, name string, q *Query, shuffleSe
 	if err != nil {
 		return nil, nil, err
 	}
-	enqueued := time.Now()
-	if s.sem != nil {
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-		case <-ctx.Done():
-			s.failures.Add(1)
-			return nil, nil, ctx.Err()
+	// Deadline fast-fail: once the model has latency history, a request
+	// whose remaining budget cannot cover even a typical pass is rejected
+	// before any homomorphic work is spent on it (DESIGN.md §15).
+	if deadline, ok := ctx.Deadline(); ok {
+		if est := passEstimate(m); est > 0 {
+			if remaining := time.Until(deadline); remaining < est {
+				s.deadlineRejects.Add(1)
+				s.failures.Add(1)
+				return nil, nil, &DeadlineError{Stage: "admit", Remaining: remaining, Needed: est}
+			}
 		}
+	}
+	enqueued := time.Now()
+	if err := s.admit(ctx, name, m); err != nil {
+		return nil, nil, err
+	}
+	if s.sem != nil {
+		defer func() { <-s.sem }()
 	}
 	// Requests/Queries count passes that reached execution, so a burst
 	// of queued-then-cancelled calls (counted in Failures) does not
@@ -616,8 +666,68 @@ func (s *Service) classify(ctx context.Context, name string, q *Query, shuffleSe
 
 	s.inFlight.Add(1)
 	start := time.Now()
-	op, trace, err := m.engine.ClassifyCtx(ctx, m.operands, q)
-	var codebooks []*core.ShuffledCodebook
+	op, codebooks, trace, err := s.runPipeline(ctx, backend, m, q, shuffleSeed)
+	elapsed := time.Since(start)
+	s.latencyNS.Add(elapsed.Nanoseconds())
+	m.latency.Observe(elapsed)
+	s.inFlight.Add(-1)
+	if err != nil {
+		s.failures.Add(1)
+		return nil, nil, err
+	}
+	return &EncryptedResult{segs: []resultSeg{{op: op, batch: max(q.Batch, 1), codebooks: codebooks}}}, trace, nil
+}
+
+// admit acquires an in-flight slot (when WithMaxInFlight is set),
+// shedding load with a typed *OverloadError once the bounded wait
+// queue (WithShedQueue) is full. The caller releases the slot.
+func (s *Service) admit(ctx context.Context, name string, m *servedModel) error {
+	if s.sem == nil {
+		return nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	// All slots busy. With a shed bound, joining the queue is
+	// conditional on its depth; without one, wait indefinitely (the
+	// pre-shedding behaviour).
+	if q := s.cfg.shedQueue; q > 0 {
+		if cur := s.queued.Add(1); cur > int64(q) {
+			s.queued.Add(-1)
+			s.shed.Add(1)
+			s.failures.Add(1)
+			return &OverloadError{Model: name, Queued: q, RetryAfter: s.retryAfter(m)}
+		}
+	} else {
+		s.queued.Add(1)
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.failures.Add(1)
+		return ctx.Err()
+	}
+}
+
+// runPipeline executes one classification pass (and the optional
+// shuffle stage) with panic isolation: a panic anywhere in the
+// pipeline — the engine, a generated kernel, a matrix worker goroutine
+// (surfaced as *matrix.PanicError) — fails this request with a typed
+// *InternalError instead of killing the process and every other
+// in-flight pass with it.
+func (s *Service) runPipeline(ctx context.Context, backend he.Backend, m *servedModel, q *Query, shuffleSeed uint64) (op he.Operand, codebooks []*core.ShuffledCodebook, trace *core.Trace, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicsRecovered.Add(1)
+			op, codebooks, trace = he.Operand{}, nil, nil
+			err = &InternalError{Op: "classify", Value: r, Stack: debug.Stack()}
+		}
+	}()
+	op, trace, err = m.engine.ClassifyCtx(ctx, m.operands, q)
 	if err == nil && s.cfg.shuffle {
 		// The shuffle is a pipeline stage like any other: honour a
 		// cancellation that landed during accumulation before paying for
@@ -629,15 +739,33 @@ func (s *Service) classify(ctx context.Context, name string, q *Query, shuffleSe
 			op, codebooks, err = s.shufflePass(backend, m, op, max(q.Batch, 1), shuffleSeed, trace)
 		}
 	}
-	elapsed := time.Since(start)
-	s.latencyNS.Add(elapsed.Nanoseconds())
-	m.latency.Observe(elapsed)
-	s.inFlight.Add(-1)
-	if err != nil {
-		s.failures.Add(1)
-		return nil, nil, err
+	var pe *matrix.PanicError
+	if errors.As(err, &pe) {
+		s.panicsRecovered.Add(1)
+		err = &InternalError{Op: "classify", Value: pe.Value, Stack: pe.Stack}
 	}
-	return &EncryptedResult{segs: []resultSeg{{op: op, batch: max(q.Batch, 1), codebooks: codebooks}}}, trace, nil
+	return op, codebooks, trace, err
+}
+
+// passEstimate is the model's typical per-pass latency (the observed
+// p50), or 0 until enough passes have been recorded to trust it.
+func passEstimate(m *servedModel) time.Duration {
+	snap := m.latency.Snapshot()
+	if snap.Count < 4 {
+		return 0
+	}
+	return snap.Quantile(0.50)
+}
+
+// retryAfter estimates when a shed caller should try again: the queue
+// it would have joined, drained at one typical pass per in-flight slot.
+func (s *Service) retryAfter(m *servedModel) time.Duration {
+	est := passEstimate(m)
+	if est == 0 {
+		est = 100 * time.Millisecond
+	}
+	waves := 1 + s.cfg.shedQueue/max(s.cfg.maxInFlight, 1)
+	return time.Duration(waves) * est
 }
 
 // shufflePass applies the per-pass result shuffle: one block-diagonal
@@ -832,6 +960,20 @@ type ServiceStats struct {
 	// QueueWait is the cumulative time requests spent waiting for an
 	// in-flight slot; zero without WithMaxInFlight.
 	QueueWait time.Duration
+	// Queued is the number of calls currently waiting for an in-flight
+	// slot (the shed-queue depth).
+	Queued int64
+	// Shed counts calls rejected with *OverloadError because the
+	// WithShedQueue bound was full; included in Failures.
+	Shed int64
+	// DeadlineRejects counts calls rejected with *DeadlineError because
+	// their remaining budget could not cover a typical pass; included in
+	// Failures.
+	DeadlineRejects int64
+	// PanicsRecovered counts panics recovered inside serving goroutines
+	// and converted to *InternalError (DESIGN.md §15); the affected
+	// requests are included in Failures.
+	PanicsRecovered int64
 	// Latency is the cumulative classification time (excluding queue
 	// wait); Latency/Requests is the mean per-pass latency.
 	Latency time.Duration
@@ -896,6 +1038,10 @@ func (s *Service) Stats() ServiceStats {
 		Failures:         s.failures.Load(),
 		InFlight:         s.inFlight.Load(),
 		QueueWait:        time.Duration(s.queueNS.Load()),
+		Queued:           s.queued.Load(),
+		Shed:             s.shed.Load(),
+		DeadlineRejects:  s.deadlineRejects.Load(),
+		PanicsRecovered:  s.panicsRecovered.Load(),
 		Latency:          time.Duration(s.latencyNS.Load()),
 		BatcherPasses:    s.aggPasses.Load(),
 		CoalescedQueries: s.aggQueries.Load(),
